@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's exhibits (Table 3,
+Figures 10-13, the Section 4 baseline claims, or a Section 5/8 ablation).
+Benchmarks run the *reduced* workload scale by default; set
+``REPRO_FULL=1`` for the paper-scale trees (minutes instead of seconds).
+
+Each benchmark stores the regenerated rows in ``benchmark.extra_info``
+(visible in ``--benchmark-verbose``/JSON output) and appends them to
+``benchmarks/results/<name>.txt`` so the numbers that back EXPERIMENTS.md
+are regenerated on every run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.workloads.suite import bench_scale
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()
+
+
+@pytest.fixture()
+def record_table():
+    """Write a rendered table to benchmarks/results/<name>.txt."""
+
+    def write(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return write

@@ -1,0 +1,218 @@
+"""Ablations of ER's design choices (Sections 5 and 8).
+
+* Each speculative mechanism (parallel refutation, early choice,
+  multiple e-children) individually removed at 16 processors: the paper
+  argues all three are needed to fight starvation; removing the
+  speculative queue must collapse utilization.
+* Speculative-queue ordering (Section 8 calls the paper's own ranking
+  "rather naive" and asks for better global rankings): the PAPER order
+  versus FIFO, DEEPEST, and BEST_VALUE.
+* Synchronization cost sensitivity: with a frictionless cost model
+  interference loss vanishes, isolating starvation+speculation.
+* Serial-depth sensitivity: the paper's contention/starvation tradeoff
+  ("reduce contention by decreasing the serial depth ... would only
+  increase starvation").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import serial_baselines
+from repro.core.er_parallel import ERConfig, parallel_er
+from repro.core.er_queues import SpecOrder
+from repro.costmodel import FRICTIONLESS_COST_MODEL
+from repro.workloads.suite import table3_suite
+
+PROCS = 16
+
+
+@pytest.fixture(scope="module")
+def r1(scale):
+    spec = table3_suite(scale)["R1"]
+    base = serial_baselines(spec)
+    return spec, base.best_time
+
+
+def test_speculation_mechanisms(benchmark, r1, record_table):
+    spec, serial_time = r1
+
+    def run():
+        rows = {}
+        variants = {
+            "all-on": {},
+            "no-parallel-refutation": dict(parallel_refutation=False),
+            "no-early-choice": dict(early_choice=False),
+            "no-multiple-e-children": dict(multiple_e_children=False),
+            "no-speculation": dict(early_choice=False, multiple_e_children=False),
+        }
+        for name, flags in variants.items():
+            config = ERConfig(serial_depth=spec.serial_depth, **flags)
+            result = parallel_er(spec.problem(), PROCS, config=config)
+            rows[name] = (
+                result.speedup(serial_time),
+                result.report.starvation_fraction(),
+                result.stats.nodes_generated,
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = "\n".join(
+        f"{name:24s} speedup={s:5.2f} starvation={st:.2f} nodes={n}"
+        for name, (s, st, n) in rows.items()
+    )
+    benchmark.extra_info["rows"] = {k: [round(x, 3) for x in v[:2]] for k, v in rows.items()}
+    record_table("ablation_mechanisms", text)
+
+    # The paper's core claim: the speculative queue buys throughput.
+    assert rows["all-on"][0] > rows["no-speculation"][0]
+    # ...by fighting starvation...
+    assert rows["all-on"][1] < rows["no-speculation"][1]
+    # ...at the cost of extra (speculative) nodes.
+    assert rows["all-on"][2] >= rows["no-speculation"][2]
+
+
+def test_speculative_queue_ordering(benchmark, r1, record_table):
+    spec, serial_time = r1
+
+    def run():
+        rows = {}
+        for order in SpecOrder:
+            config = ERConfig(serial_depth=spec.serial_depth, spec_order=order)
+            result = parallel_er(spec.problem(), PROCS, config=config)
+            rows[order.value] = result.speedup(serial_time)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["speedups"] = {k: round(v, 2) for k, v in rows.items()}
+    record_table(
+        "ablation_spec_order",
+        "\n".join(f"{k:12s} speedup={v:.2f}" for k, v in rows.items()),
+    )
+    # All orderings must stay correct and broadly comparable; the paper
+    # expects ordering to matter less than having a queue at all.
+    assert max(rows.values()) < 3.0 * min(rows.values())
+
+
+def test_frictionless_synchronization(benchmark, r1):
+    spec, serial_time = r1
+
+    def run():
+        config = ERConfig(serial_depth=spec.serial_depth)
+        costed = parallel_er(spec.problem(), PROCS, config=config)
+        free = parallel_er(
+            spec.problem(), PROCS, config=config, cost_model=FRICTIONLESS_COST_MODEL
+        )
+        return costed, free
+
+    costed, free = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["interference_costed"] = round(
+        costed.report.interference_fraction(), 4
+    )
+    benchmark.extra_info["interference_free"] = round(
+        free.report.interference_fraction(), 4
+    )
+    assert free.report.interference_fraction() == 0.0
+    assert costed.report.interference_fraction() >= 0.0
+
+
+def test_serial_depth_tradeoff(benchmark, r1, record_table):
+    """Paper Section 7: decreasing the serial depth (= serializing larger
+    subtrees) reduces contention but increases starvation."""
+    spec, serial_time = r1
+
+    def run():
+        rows = {}
+        for serial_depth in sorted({2, 3, spec.serial_depth}):
+            config = ERConfig(serial_depth=serial_depth)
+            result = parallel_er(spec.problem(), PROCS, config=config)
+            rows[serial_depth] = (
+                result.report.interference_fraction(),
+                result.report.starvation_fraction(),
+                result.speedup(serial_time),
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = "\n".join(
+        f"serial_depth={d}: interference={i:.3f} starvation={s:.3f} speedup={sp:.2f}"
+        for d, (i, s, sp) in rows.items()
+    )
+    benchmark.extra_info["rows"] = {
+        str(d): [round(x, 3) for x in v] for d, v in rows.items()
+    }
+    record_table("ablation_serial_depth", text)
+
+    depths = sorted(rows)
+    # Coarser tasks (smaller serial depth) => no more interference than
+    # the finest-grained configuration.
+    assert rows[depths[0]][0] <= rows[depths[-1]][0] + 0.01
+    # ...but at least as much starvation.
+    assert rows[depths[0]][1] >= rows[depths[-1]][1] - 0.05
+
+
+def test_distributed_heap(benchmark, r1, record_table):
+    """Section 8 future work, implemented: "we expect that this efficiency
+    loss can be reduced by distributing work in a manner that reduces
+    processor interaction."  Per-processor queues with work stealing
+    versus the paper's single shared primary queue."""
+    spec, serial_time = r1
+
+    def run():
+        rows = {}
+        for distributed in (False, True):
+            config = ERConfig(serial_depth=spec.serial_depth, distributed_heap=distributed)
+            result = parallel_er(spec.problem(), PROCS, config=config)
+            rows[distributed] = (
+                result.report.interference_fraction(),
+                result.speedup(serial_time),
+                result.extras["steals"],
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = "\n".join(
+        f"{'distributed' if d else 'shared     '}: interference={i:.4f} "
+        f"speedup={s:.2f} steals={st}"
+        for d, (i, s, st) in rows.items()
+    )
+    benchmark.extra_info["interference_shared"] = round(rows[False][0], 4)
+    benchmark.extra_info["interference_distributed"] = round(rows[True][0], 4)
+    record_table("ablation_distributed_heap", text)
+
+    # Work stealing must reduce lock interference, as Section 8 predicts.
+    assert rows[True][0] <= rows[False][0]
+    assert rows[True][2] > 0  # steals actually happened
+    # And it must not cost meaningful throughput.
+    assert rows[True][1] > rows[False][1] * 0.85
+
+
+def test_e_children_cap(benchmark, r1, record_table):
+    """Bounding speculative e-children per node: less speculative loss,
+    more starvation — the whole tradeoff in one knob."""
+    spec, serial_time = r1
+
+    def run():
+        rows = {}
+        for cap in (1, 2, 1_000_000):
+            config = ERConfig(serial_depth=spec.serial_depth, max_e_children=cap)
+            result = parallel_er(spec.problem(), PROCS, config=config)
+            rows[cap] = (
+                result.stats.nodes_generated,
+                result.report.starvation_fraction(),
+                result.speedup(serial_time),
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = "\n".join(
+        f"cap={c}: nodes={n} starvation={s:.2f} speedup={sp:.2f}"
+        for c, (n, s, sp) in rows.items()
+    )
+    benchmark.extra_info["rows"] = {str(c): v[1] for c, v in rows.items()}
+    record_table("ablation_e_cap", text)
+
+    unbounded = rows[1_000_000]
+    tight = rows[1]
+    assert tight[0] <= unbounded[0]  # fewer nodes when capped
+    assert tight[1] >= unbounded[1]  # more starvation when capped

@@ -1,0 +1,154 @@
+"""Section 4 baseline claims, each regenerated and shape-checked.
+
+* §4.1 (Baudet): parallel aspiration speedup is bounded (paper: 5-6)
+  regardless of processor count; 2-3 processors can beat efficiency 1.
+* §4.2 (Akl et al.): MWF speedup plateaus (paper: near 6 past ~10
+  processors) — extra processors only starve.
+* §4.3 (Fishburn): tree-splitting achieves near-linear speedup on
+  worst-first trees but only ~c*sqrt(k) on best-first trees.
+* §4.4 (Marsland): pv-splitting efficiency decays rapidly with k on
+  strongly ordered trees.
+* §1 straw man: naive root splitting drowns in speculative loss —
+  parallel ER dominates it.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.er_parallel import ERConfig, parallel_er
+from repro.games.base import SearchProblem
+from repro.games.random_tree import (
+    IncrementalGameTree,
+    RandomGameTree,
+    SyntheticOrderedTree,
+)
+from repro.parallel import (
+    mwf,
+    naive_split,
+    parallel_aspiration,
+    pv_splitting,
+    tree_splitting,
+)
+from repro.search.alphabeta import alphabeta
+
+SWEEP = (1, 2, 4, 8, 16, 32)
+
+
+def _speedups(problem, algo, serial_cost, counts=SWEEP, **kwargs):
+    return {k: algo(problem, k, **kwargs).speedup(serial_cost) for k in counts}
+
+
+def test_aspiration_speedup_plateau(benchmark, record_table):
+    problem = SearchProblem(IncrementalGameTree(4, 8, seed=2, noise=0.5), depth=8)
+    serial = alphabeta(problem).stats.cost
+
+    speedups = benchmark.pedantic(
+        lambda: _speedups(problem, parallel_aspiration, serial), rounds=1, iterations=1
+    )
+    benchmark.extra_info["speedups"] = {k: round(v, 2) for k, v in speedups.items()}
+    record_table(
+        "baseline_aspiration",
+        "\n".join(f"k={k:2d} speedup={v:.2f}" for k, v in speedups.items()),
+    )
+    assert speedups[4] > speedups[1]
+    # The plateau: 16 -> 32 processors gains under 50%.
+    assert speedups[32] < speedups[16] * 1.5
+    # And the plateau is low in absolute terms (paper: 5-6).
+    assert speedups[32] < 8.0
+
+
+def test_mwf_speedup_plateau(benchmark, record_table):
+    problem = SearchProblem(RandomGameTree(8, 4, seed=5), depth=4)
+    serial = alphabeta(problem, deep_cutoffs=False).stats.cost
+
+    speedups = benchmark.pedantic(
+        lambda: _speedups(problem, mwf, serial), rounds=1, iterations=1
+    )
+    benchmark.extra_info["speedups"] = {k: round(v, 2) for k, v in speedups.items()}
+    record_table(
+        "baseline_mwf",
+        "\n".join(f"k={k:2d} speedup={v:.2f}" for k, v in speedups.items()),
+    )
+    assert speedups[4] > speedups[1]
+    assert speedups[32] < speedups[16] * 1.15  # hard plateau
+    assert speedups[32] < 8.0
+
+
+def test_tree_splitting_sqrt_k_on_best_first(benchmark, record_table):
+    tree = SyntheticOrderedTree(4, 8, seed=3)
+    problem = SearchProblem(tree, depth=8)
+    serial = alphabeta(problem).stats.cost
+    counts = (3, 7, 15, 31)
+
+    speedups = benchmark.pedantic(
+        lambda: _speedups(problem, tree_splitting, serial, counts=counts),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["speedups"] = {k: round(v, 2) for k, v in speedups.items()}
+    record_table(
+        "baseline_treesplit",
+        "\n".join(
+            f"k={k:2d} speedup={v:.2f} sqrt(k)={math.sqrt(k):.2f}" for k, v in speedups.items()
+        ),
+    )
+    for k, s in speedups.items():
+        assert 0.25 < s / math.sqrt(k) < 1.6, (k, s)
+    # Efficiency falls like 1/sqrt(k): it must drop from k=3 to k=31.
+    assert speedups[31] / 31 < 0.6 * speedups[3] / 3
+
+
+def test_tree_splitting_near_linear_on_worst_first(benchmark):
+    tree = SyntheticOrderedTree(4, 6, seed=3, best_child="last")
+    problem = SearchProblem(tree, depth=6)
+    serial = alphabeta(problem).stats.cost
+
+    result = benchmark.pedantic(
+        lambda: tree_splitting(problem, 21, branching=4), rounds=1, iterations=1
+    )
+    speedup = result.speedup(serial)
+    benchmark.extra_info["speedup_at_21"] = round(speedup, 2)
+    assert speedup > 5.0
+
+
+def test_pv_splitting_efficiency_decay(benchmark, record_table):
+    tree = IncrementalGameTree(6, 6, seed=4, noise=0.3)
+    problem = SearchProblem(tree, depth=6, sort_below_root=6)
+    serial = alphabeta(problem).stats.cost
+    counts = (1, 3, 7, 15)
+
+    effs = benchmark.pedantic(
+        lambda: {
+            k: pv_splitting(problem, k).efficiency(serial) for k in counts
+        },
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["efficiency"] = {k: round(v, 3) for k, v in effs.items()}
+    record_table(
+        "baseline_pvsplit",
+        "\n".join(f"k={k:2d} efficiency={v:.3f}" for k, v in effs.items()),
+    )
+    assert effs[3] > effs[15]
+
+
+def test_er_dominates_naive_split(benchmark, record_table):
+    problem = SearchProblem(RandomGameTree(4, 7, seed=31), depth=7)
+    serial = alphabeta(problem).stats.cost
+
+    def run():
+        er = parallel_er(problem, 8, config=ERConfig(serial_depth=4))
+        naive = naive_split(problem, 8)
+        return er.speedup(serial), naive.speedup(serial)
+
+    er_speedup, naive_speedup = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["er_speedup"] = round(er_speedup, 2)
+    benchmark.extra_info["naive_speedup"] = round(naive_speedup, 2)
+    record_table(
+        "baseline_naive",
+        f"P=8: ER speedup={er_speedup:.2f}, naive root-split speedup={naive_speedup:.2f}",
+    )
+    assert er_speedup > naive_speedup

@@ -1,0 +1,112 @@
+"""Benchmarks for the extension layers built beyond the paper's text.
+
+* Workload characterization: Marsland's strong-ordering statistics
+  (Section 4.4's 70%/90% definition) measured for each tree family —
+  placing Table 3's workloads on the ordered<->random spectrum.
+* NegaScout (the minimal-window search of the paper's footnote 3) versus
+  alpha-beta and serial ER.
+* Transposition-table iterative deepening on a transposing real game.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tree_stats import branching_profile, ordering_quality
+from repro.core.serial_er import er_search
+from repro.games.base import SearchProblem
+from repro.games.othello import Othello
+from repro.games.random_tree import IncrementalGameTree, RandomGameTree, SyntheticOrderedTree
+from repro.games.tictactoe import TicTacToe
+from repro.search.alphabeta import alphabeta
+from repro.search.negascout import negascout
+from repro.search.transposition import TranspositionTable, alphabeta_tt, iterative_deepening
+
+
+def test_workload_ordering_spectrum(benchmark, record_table):
+    """Where each tree family sits on Marsland's ordering spectrum."""
+    workloads = {
+        "uniform-random": SearchProblem(RandomGameTree(4, 5, seed=3), depth=5),
+        "incremental": SearchProblem(IncrementalGameTree(4, 5, seed=3, noise=0.0), depth=5),
+        "best-first": SearchProblem(SyntheticOrderedTree(4, 5, seed=3), depth=5),
+        "othello": SearchProblem(Othello(), depth=4),
+    }
+
+    def run():
+        rows = {}
+        for name, problem in workloads.items():
+            quality = ordering_quality(problem, sample_plies=2, static_sort=True)
+            profile = branching_profile(problem, sample_plies=2)
+            rows[name] = (quality, profile)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = "\n".join(
+        f"{name:16s} first-best={q.first_is_best:.2f} "
+        f"best-in-quarter={q.best_in_first_quarter:.2f} "
+        f"strongly-ordered={q.strongly_ordered} "
+        f"branching={p.min_branching}..{p.max_branching}"
+        for name, (q, p) in rows.items()
+    )
+    benchmark.extra_info["first_is_best"] = {
+        k: round(v[0].first_is_best, 2) for k, v in rows.items()
+    }
+    record_table("extension_ordering_spectrum", text)
+
+    assert rows["best-first"][0].strongly_ordered
+    assert not rows["uniform-random"][0].strongly_ordered
+    assert rows["incremental"][0].first_is_best > rows["uniform-random"][0].first_is_best
+
+
+def test_negascout_vs_alphabeta_vs_er(benchmark, record_table):
+    """Minimal-window search on ordered and unordered trees."""
+    ordered = SearchProblem(
+        IncrementalGameTree(4, 7, seed=2, noise=0.2), depth=7, sort_below_root=7
+    )
+    unordered = SearchProblem(RandomGameTree(4, 7, seed=2), depth=7)
+
+    def run():
+        rows = {}
+        for name, problem in (("ordered", ordered), ("unordered", unordered)):
+            ab = alphabeta(problem)
+            ns = negascout(problem)
+            er = er_search(problem)
+            assert ab.value == ns.value == er.value
+            rows[name] = (ab.stats.leaf_evals, ns.stats.leaf_evals, er.stats.leaf_evals)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = "\n".join(
+        f"{name:10s} leaves: alpha-beta={ab} negascout={ns} serial-ER={er}"
+        for name, (ab, ns, er) in rows.items()
+    )
+    benchmark.extra_info["rows"] = {k: list(v) for k, v in rows.items()}
+    record_table("extension_negascout", text)
+
+    # Scout probes pay on the ordered tree.
+    assert rows["ordered"][1] <= rows["ordered"][0] * 1.05
+
+
+def test_transposition_iterative_deepening(benchmark, record_table):
+    """TT iterative deepening on tic-tac-toe (heavy transpositions)."""
+    problem = SearchProblem(TicTacToe(), depth=7)
+
+    def run():
+        cold = alphabeta(problem)
+        table = TranspositionTable()
+        tt = alphabeta_tt(problem, table)
+        deepened = iterative_deepening(problem)
+        assert cold.value == tt.value == deepened.value
+        return cold.stats.nodes_generated, tt.stats.nodes_generated, table.hits
+
+    cold_nodes, tt_nodes, hits = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["cold_nodes"] = cold_nodes
+    benchmark.extra_info["tt_nodes"] = tt_nodes
+    benchmark.extra_info["tt_hits"] = hits
+    record_table(
+        "extension_transposition",
+        f"tic-tac-toe depth 7: cold alpha-beta nodes={cold_nodes}, "
+        f"TT alpha-beta nodes={tt_nodes}, table hits={hits}",
+    )
+    assert tt_nodes < cold_nodes
+    assert hits > 0

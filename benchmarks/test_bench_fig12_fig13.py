@@ -1,0 +1,57 @@
+"""Figures 12 and 13: nodes generated per algorithm and processor count.
+
+Paper results being reproduced in *shape*:
+
+* The 4-processor ER run examines substantially more nodes than serial
+  ER (parallelism forces weaker windows at dispatch time).
+* Past 4 processors the node count grows only slowly — speculative loss
+  "increases moderately between 4 and 16 processors" even though ER does
+  not greatly restrict speculative work (Section 7).
+
+The runs are shared with the Figure 10/11 benchmarks through the
+module-level curve cache, so the node counts come from the same sweeps
+that produced the efficiency numbers — exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import cached_curve, format_nodes_table
+from repro.workloads.suite import PROCESSOR_COUNTS
+
+OTHELLO = ("O1", "O2", "O3")
+RANDOM = ("R1", "R2", "R3")
+
+
+def _run_nodes(benchmark, scale, record_table, tree, figure):
+    curve = benchmark.pedantic(
+        lambda: cached_curve(scale, tree, PROCESSOR_COUNTS), rounds=1, iterations=1
+    )
+    table = format_nodes_table({tree: curve})
+    benchmark.extra_info["nodes"] = {
+        p.n_processors: p.nodes_generated for p in curve.points
+    }
+    benchmark.extra_info["serial_ab_nodes"] = curve.serial.alphabeta.stats.nodes_generated
+    benchmark.extra_info["serial_er_nodes"] = curve.serial.er.stats.nodes_generated
+    record_table(f"fig{figure}_{tree}_{scale}", table)
+
+    by_count = {p.n_processors: p for p in curve.points}
+    serial_er_nodes = curve.serial.er.stats.nodes_generated
+    # Shape assertions:
+    # 1. 4-processor ER generates more nodes than serial ER.
+    assert by_count[4].nodes_generated > serial_er_nodes
+    # 2. Node growth from 4 to 16 processors is moderate (paper: "the
+    #    number of nodes examined tends to grow slowly" past 4).
+    assert by_count[16].nodes_generated < by_count[4].nodes_generated * 2.5
+    return curve
+
+
+@pytest.mark.parametrize("tree", OTHELLO)
+def test_figure12_othello_nodes(benchmark, scale, record_table, tree):
+    _run_nodes(benchmark, scale, record_table, tree, figure=12)
+
+
+@pytest.mark.parametrize("tree", RANDOM)
+def test_figure13_random_nodes(benchmark, scale, record_table, tree):
+    _run_nodes(benchmark, scale, record_table, tree, figure=13)

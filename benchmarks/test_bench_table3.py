@@ -1,0 +1,35 @@
+"""Table 3: characterize the six experimental trees.
+
+Regenerates the tree inventory with measured serial work for each —
+the foundation every figure's speedups are computed against.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import serial_baselines
+from repro.workloads.suite import table3_suite
+
+TREES = ("R1", "R2", "R3", "O1", "O2", "O3")
+
+
+@pytest.mark.parametrize("tree", TREES)
+def test_table3_tree(benchmark, scale, record_table, tree):
+    spec = table3_suite(scale)[tree]
+
+    base = benchmark.pedantic(lambda: serial_baselines(spec), rounds=1, iterations=1)
+
+    row = (
+        f"{spec.name}  {spec.kind:8s} depth={spec.search_depth} serial={spec.serial_depth}  "
+        f"AB: cost={base.alphabeta.cost:.0f} nodes={base.alphabeta.stats.nodes_generated}  "
+        f"ER: cost={base.er.cost:.0f} nodes={base.er.stats.nodes_generated}  "
+        f"best={base.best_name}"
+    )
+    benchmark.extra_info["row"] = row
+    benchmark.extra_info["scale"] = scale
+    record_table(f"table3_{tree}_{scale}", row)
+
+    # Both serial algorithms agree and did real work.
+    assert base.alphabeta.value == base.er.value
+    assert base.alphabeta.stats.leaf_evals > 0

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Head-to-head comparison of every parallel algorithm in the package.
+
+The paper's Section 8 names this as future work: "We are currently
+working on reimplementing some of the more important existing
+algorithms, which will allow direct comparison."  With every algorithm
+on the same simulator and cost model, this script runs that comparison —
+parallel ER versus parallel aspiration, MWF, tree-splitting,
+pv-splitting, and naive root splitting — across processor counts, on
+both an unordered and a strongly ordered tree.
+
+Run:  python examples/algorithm_shootout.py
+"""
+
+from __future__ import annotations
+
+from repro import ERConfig, SearchProblem, alphabeta, parallel_er
+from repro.games import IncrementalGameTree, RandomGameTree
+from repro.parallel import mwf, naive_split, parallel_aspiration, pv_splitting, tree_splitting
+
+COUNTS = (1, 2, 4, 8, 16)
+
+
+def run_shootout(problem: SearchProblem, serial_cost: float, title: str) -> None:
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+    algorithms = {
+        "parallel ER": lambda p, k: parallel_er(p, k, config=ERConfig(serial_depth=4)),
+        "aspiration": parallel_aspiration,
+        "MWF": mwf,
+        "tree-splitting": tree_splitting,
+        "pv-splitting": pv_splitting,
+        "naive split": naive_split,
+    }
+    header = f"{'algorithm':<16}" + "".join(f"  P={k:<5d}" for k in COUNTS)
+    print(header + "   (speedup over best serial)")
+    print("-" * len(header))
+    reference_value = None
+    for name, algo in algorithms.items():
+        cells = []
+        for k in COUNTS:
+            result = algo(problem, k)
+            if reference_value is None:
+                reference_value = result.value
+            assert result.value == reference_value, f"{name} disagrees at P={k}!"
+            cells.append(f"{result.speedup(serial_cost):7.2f}")
+        print(f"{name:<16}" + " ".join(cells))
+    print(f"(all algorithms returned the same root value {reference_value})\n")
+
+
+def main() -> None:
+    # Unordered random tree: ER's home turf (Figure 11's regime).
+    problem = SearchProblem(RandomGameTree(degree=4, height=7, seed=13), depth=7)
+    serial = alphabeta(problem).stats.cost
+    run_shootout(problem, serial, "Unordered random tree (degree 4, 7 ply)")
+
+    # Strongly ordered tree: pv-splitting's home turf (Section 4.4).
+    problem = SearchProblem(
+        IncrementalGameTree(degree=4, height=7, seed=6, noise=0.3),
+        depth=7,
+        sort_below_root=7,
+    )
+    serial = alphabeta(problem).stats.cost
+    run_shootout(problem, serial, "Strongly ordered tree (degree 4, 7 ply, sorted)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""A Connect Four round-robin between engine configurations.
+
+Exercises the :mod:`repro.engine` layer: engines built over the same
+game with different algorithms and depths play full games against each
+other, demonstrating that the search algorithms are interchangeable
+behind one interface and that extra depth (what a parallel speedup buys)
+wins games.
+
+Run:  python examples/connect4_tournament.py [--board 5x4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+
+from repro.engine import EngineConfig, GameEngine, play_match
+from repro.games.connect4 import ConnectFour
+
+
+def result_string(game: ConnectFour, final, moves: int) -> str:
+    if game.opponent_just_won(final):
+        # The side that just moved won; moves is the total count.
+        winner = "first" if moves % 2 == 1 else "second"
+        return f"{winner} player wins in {moves} moves"
+    return f"draw after {moves} moves"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--board", default="6x5", help="board size WIDTHxHEIGHT")
+    args = parser.parse_args()
+    width, height = (int(x) for x in args.board.lower().split("x"))
+    game = ConnectFour(width=width, height=height)
+
+    lineup = {
+        "ab-depth2": EngineConfig(algorithm="alphabeta", max_depth=2),
+        "ab-depth5": EngineConfig(algorithm="alphabeta", max_depth=5),
+        "er-depth5": EngineConfig(algorithm="er", max_depth=5),
+        "par-er-d5": EngineConfig(
+            algorithm="parallel-er", max_depth=5, n_processors=4
+        ),
+    }
+
+    print(f"Connect Four {width}x{height} round-robin\n")
+    scores = {name: 0.0 for name in lineup}
+    for (name_a, cfg_a), (name_b, cfg_b) in itertools.permutations(lineup.items(), 2):
+        result = play_match(
+            game, GameEngine(game, cfg_a), GameEngine(game, cfg_b), max_moves=width * height
+        )
+        final = result.final_position
+        verdict = result_string(game, final, result.moves)
+        print(f"{name_a:>12} (first) vs {name_b:<12} -> {verdict}")
+        if game.opponent_just_won(final):
+            winner = name_a if result.moves % 2 == 1 else name_b
+            scores[winner] += 1.0
+        else:
+            scores[name_a] += 0.5
+            scores[name_b] += 0.5
+
+    print("\nstandings:")
+    for name, score in sorted(scores.items(), key=lambda kv: -kv[1]):
+        print(f"  {name:>12}: {score:.1f}")
+    print("\nthings to notice:")
+    print(" - engines at equal depth draw every mirror game exactly: alpha-beta,")
+    print("   serial ER, and parallel ER compute identical values, so the")
+    print("   algorithm is fully interchangeable behind the engine interface;")
+    print(" - search depth parity changes results (odd vs even horizons end on")
+    print("   different players' evaluations) — the same odd/even sensitivity")
+    print("   the paper's serial R2 measurement reflects;")
+    print(" - deeper search with a myopic evaluator is not automatically")
+    print("   stronger (the classic minimax-pathology observation): what the")
+    print("   parallel speedup really buys is depth at fixed *wall time*,")
+    print("   which pays off exactly when the evaluator rewards depth.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: the library in ninety seconds.
+
+1. Search a complete game (tic-tac-toe) with negmax — the paper's
+   Figure 1: optimal play is a draw.
+2. Search a random game tree with alpha-beta and serial ER, which agree
+   exactly but do different amounts of work.
+3. Run parallel ER on simulated processors and watch the speedup.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ERConfig, SearchProblem, alphabeta, er_search, negamax, parallel_er
+from repro.games import RandomGameTree, TicTacToe
+
+
+def figure_one() -> None:
+    print("=" * 60)
+    print("Figure 1: tic-tac-toe under optimal play")
+    print("=" * 60)
+    problem = SearchProblem(TicTacToe(), depth=9)
+    result = alphabeta(problem)
+    verdict = {1.0: "first player wins", 0.0: "a draw", -1.0: "second player wins"}
+    print(f"root value {result.value:+.0f}: optimal play is {verdict[result.value]}")
+    print(f"(alpha-beta evaluated {result.stats.leaf_evals} terminal positions)\n")
+
+
+def serial_comparison() -> SearchProblem:
+    print("=" * 60)
+    print("Serial search: alpha-beta vs ER on a random game tree")
+    print("=" * 60)
+    problem = SearchProblem(RandomGameTree(degree=4, height=8, seed=7), depth=8)
+    nm = negamax(problem)
+    ab = alphabeta(problem)
+    er = er_search(problem)
+    assert nm.value == ab.value == er.value
+    print(f"negmax     : value {nm.value:8.0f}   {nm.stats.leaf_evals:>8} leaves")
+    print(f"alpha-beta : value {ab.value:8.0f}   {ab.stats.leaf_evals:>8} leaves")
+    print(f"serial ER  : value {er.value:8.0f}   {er.stats.leaf_evals:>8} leaves")
+    print("all three agree; pruning skipped "
+          f"{100 * (1 - ab.stats.leaf_evals / nm.stats.leaf_evals):.0f}% of the tree\n")
+    return problem
+
+
+def parallel_speedup(problem: SearchProblem) -> None:
+    print("=" * 60)
+    print("Parallel ER on simulated processors")
+    print("=" * 60)
+    serial_time = min(alphabeta(problem).cost, er_search(problem).cost)
+    config = ERConfig(serial_depth=5)  # serial ER below ply 5, as in Table 3
+    print(f"{'procs':>6} {'sim time':>12} {'speedup':>8} {'efficiency':>11}")
+    for n in (1, 2, 4, 8, 16):
+        result = parallel_er(problem, n, config=config)
+        print(
+            f"{n:>6} {result.sim_time:>12.0f} {result.speedup(serial_time):>8.2f} "
+            f"{result.efficiency(serial_time):>11.2f}"
+        )
+    print("\nefficiency declines with more processors (starvation, contention,")
+    print("speculative loss — see examples/loss_anatomy.py for the breakdown)")
+
+
+if __name__ == "__main__":
+    figure_one()
+    problem = serial_comparison()
+    parallel_speedup(problem)

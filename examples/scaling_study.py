@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Scaling study: regenerate the paper's Figures 10-13 as ASCII charts.
+
+Sweeps parallel ER over 1-16 simulated processors on the Table 3 trees
+and plots efficiency (Figures 10-11) and nodes generated (Figures 12-13)
+in the terminal.
+
+Run:  python examples/scaling_study.py [--scale reduced|paper] [--trees R1 O1 ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.experiments import cached_curve, format_speedup_summary
+from repro.workloads.suite import PROCESSOR_COUNTS, table3_suite
+
+
+def ascii_chart(series: list[tuple[int, float]], width: int = 44, label: str = "") -> str:
+    peak = max(value for _, value in series) or 1.0
+    lines = []
+    for x, value in series:
+        bar = "#" * max(1, round(width * value / peak))
+        lines.append(f"  P={x:<3d} {bar} {value:.3f}" if isinstance(value, float)
+                      else f"  P={x:<3d} {bar} {value}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("reduced", "paper"), default="reduced")
+    parser.add_argument(
+        "--trees", nargs="*", default=["R1", "R3", "O1"],
+        choices=["R1", "R2", "R3", "O1", "O2", "O3"],
+    )
+    args = parser.parse_args()
+
+    suite = table3_suite(args.scale)
+    curves = {}
+    for tree in args.trees:
+        spec = suite[tree]
+        print(f"running {tree} ({spec.description}) at {args.scale} scale ...")
+        curves[tree] = cached_curve(args.scale, tree, PROCESSOR_COUNTS)
+
+    for tree, curve in curves.items():
+        figure = "10" if tree.startswith("O") else "11"
+        print(f"\n── Figure {figure}-style efficiency, tree {tree} "
+              f"(serial AB eff = {curve.serial.alphabeta_efficiency:.3f})")
+        print(ascii_chart(curve.efficiency_series()))
+        figure = "12" if tree.startswith("O") else "13"
+        print(f"\n── Figure {figure}-style nodes generated, tree {tree} "
+              f"(serial AB = {curve.serial.alphabeta.stats.nodes_generated}, "
+              f"serial ER = {curve.serial.er.stats.nodes_generated})")
+        nodes = [(n, float(v)) for n, v in curve.nodes_series()]
+        print(ascii_chart(nodes))
+
+    print("\n" + format_speedup_summary(curves))
+    print("\npaper reference points (16 processors):")
+    print("  random trees : speedup 9.8-11.2, efficiency 0.61-0.70")
+    print("  Othello trees: speedup 6.7-10.6, efficiency 0.42-0.66")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+"""repro — reproduction of Steinberg & Solomon, "Searching Game Trees in
+Parallel" (ICPP 1990).
+
+The package implements the paper's ER (Evaluate-Refute) algorithm —
+serial (Figure 8) and parallel (Section 6, problem heap with primary and
+speculative queues) — together with every substrate it rests on: game
+abstractions (synthetic random trees, tic-tac-toe, Connect Four, a
+bitboard Othello engine), serial reference algorithms (negmax, alpha-beta
+with and without deep cutoffs, aspiration), the Section 4 baseline
+parallel algorithms (parallel aspiration, MWF, tree-splitting,
+pv-splitting), a deterministic discrete-event multiprocessor simulator,
+and the analysis layer that regenerates the paper's figures.
+
+Quickstart::
+
+    from repro import SearchProblem, alphabeta, er_search, parallel_er
+    from repro.games import RandomGameTree
+
+    problem = SearchProblem(RandomGameTree(degree=4, height=8, seed=7), depth=8)
+    serial = alphabeta(problem)
+    result = parallel_er(problem, n_processors=8)
+    assert result.value == serial.value
+    print("speedup:", result.speedup(serial.cost))
+
+See README.md for the tour, DESIGN.md for the system inventory, and
+EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from .analysis.experiments import er_scaling_curve, serial_baselines
+from .analysis.losses import classify_work, loss_report
+from .core.er_parallel import ERConfig, parallel_er
+from .core.er_queues import SpecOrder
+from .core.serial_er import er_search
+from .costmodel import DEFAULT_COST_MODEL, FRICTIONLESS_COST_MODEL, CostModel
+from .errors import (
+    DeadlockError,
+    GameError,
+    IllegalMoveError,
+    ReproError,
+    SearchError,
+    SimulationError,
+)
+from .games.base import Game, SearchProblem, subproblem
+from .parallel import (
+    ParallelResult,
+    mwf,
+    naive_split,
+    parallel_aspiration,
+    pv_splitting,
+    tree_splitting,
+)
+from .parallel.threaded import threaded_er
+from .engine import EngineConfig, GameEngine, play_match
+from .search.alphabeta import alphabeta
+from .search.aspiration import aspiration_search
+from .search.negamax import negamax
+from .search.negascout import negascout
+from .search.stats import SearchResult, SearchStats
+from .search.transposition import TranspositionTable, alphabeta_tt, iterative_deepening
+from .workloads.suite import PROCESSOR_COUNTS, table3_suite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "FRICTIONLESS_COST_MODEL",
+    "SpecOrder",
+    "ERConfig",
+    # problems
+    "Game",
+    "SearchProblem",
+    "subproblem",
+    "table3_suite",
+    "PROCESSOR_COUNTS",
+    # serial algorithms
+    "negamax",
+    "alphabeta",
+    "negascout",
+    "aspiration_search",
+    "er_search",
+    "TranspositionTable",
+    "alphabeta_tt",
+    "iterative_deepening",
+    # game-playing engine
+    "GameEngine",
+    "EngineConfig",
+    "play_match",
+    # parallel algorithms
+    "parallel_er",
+    "threaded_er",
+    "parallel_aspiration",
+    "mwf",
+    "tree_splitting",
+    "pv_splitting",
+    "naive_split",
+    # results & analysis
+    "SearchResult",
+    "SearchStats",
+    "ParallelResult",
+    "serial_baselines",
+    "er_scaling_curve",
+    "classify_work",
+    "loss_report",
+    # errors
+    "ReproError",
+    "GameError",
+    "IllegalMoveError",
+    "SearchError",
+    "SimulationError",
+    "DeadlockError",
+]

@@ -1,0 +1,110 @@
+"""Efficiency-loss decomposition (paper Section 3.1).
+
+A parallel run's shortfall from perfect efficiency is split into:
+
+* **starvation loss** — processor-time blocked on an empty problem heap
+  (plus tail idleness after a processor's last task);
+* **interference loss** — processor-time blocked on shared-structure
+  locks;
+* **speculative loss** — work spent on nodes that serial alpha-beta (the
+  reference algorithm, per the paper's definition of mandatory work)
+  would not have examined.
+
+The timing losses come from the simulator report; speculative loss is
+computed by comparing node traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..games.base import Path
+from ..parallel.base import ParallelResult
+from ..search.stats import SearchStats
+
+
+@dataclass(frozen=True)
+class WorkClassification:
+    """Node-set comparison of a parallel run against the serial reference."""
+
+    mandatory_examined: int
+    speculative_examined: int
+    reference_total: int
+    mandatory_missed: int
+
+    @property
+    def parallel_total(self) -> int:
+        return self.mandatory_examined + self.speculative_examined
+
+    @property
+    def speculative_fraction(self) -> float:
+        """Share of the parallel run's nodes that were speculative."""
+        if self.parallel_total == 0:
+            return 0.0
+        return self.speculative_examined / self.parallel_total
+
+    @property
+    def expansion_ratio(self) -> float:
+        """Parallel nodes over reference nodes (>1 means extra work).
+
+        Below 1 is possible: a parallel run can achieve cutoffs serial
+        alpha-beta does not, the paper's "greater than perfect
+        efficiency" anomaly.
+        """
+        if self.reference_total == 0:
+            return 1.0
+        return self.parallel_total / self.reference_total
+
+
+def classify_work(reference: set[Path], parallel: set[Path]) -> WorkClassification:
+    """Split the parallel run's visited nodes by the reference node set."""
+    mandatory = parallel & reference
+    return WorkClassification(
+        mandatory_examined=len(mandatory),
+        speculative_examined=len(parallel) - len(mandatory),
+        reference_total=len(reference),
+        mandatory_missed=len(reference) - len(mandatory),
+    )
+
+
+@dataclass(frozen=True)
+class LossReport:
+    """Full Section-3.1 decomposition for one parallel run."""
+
+    n_processors: int
+    efficiency: float
+    starvation_fraction: float
+    interference_fraction: float
+    work: WorkClassification
+
+    @property
+    def speculative_fraction(self) -> float:
+        return self.work.speculative_fraction
+
+
+def loss_report(
+    result: ParallelResult,
+    serial_time: float,
+    reference_stats: SearchStats,
+) -> LossReport:
+    """Build a loss report from a traced parallel run.
+
+    Args:
+        result: a parallel run executed with ``trace=True``.
+        serial_time: simulated cost of the best serial algorithm.
+        reference_stats: traced stats of the reference serial alpha-beta.
+
+    Raises:
+        ValueError: if either side was run without tracing.
+    """
+    if result.stats.trace is None:
+        raise ValueError("parallel run must be executed with trace=True")
+    if reference_stats.trace is None:
+        raise ValueError("reference stats must be collected with a trace")
+    return LossReport(
+        n_processors=result.n_processors,
+        efficiency=result.efficiency(serial_time),
+        starvation_fraction=result.report.starvation_fraction(),
+        interference_fraction=result.report.interference_fraction(),
+        work=classify_work(reference_stats.trace, result.stats.trace),
+    )

@@ -1,0 +1,220 @@
+"""Command-line entry points: regenerate any paper exhibit from a shell.
+
+Examples::
+
+    repro-gametree figure 11                 # ER efficiency, random trees
+    repro-gametree figure 12 --scale paper   # Othello node counts, full size
+    repro-gametree serial --tree O1          # serial AB vs serial ER
+    repro-gametree baselines                 # Section 4 algorithm claims
+    repro-gametree losses --tree R1 -P 8     # Section 3.1 decomposition
+    repro-gametree demo                      # 30-second tour
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis.experiments import (
+    cached_curve,
+    er_config_for,
+    figure10,
+    figure11,
+    format_efficiency_table,
+    format_nodes_table,
+    format_speedup_summary,
+    serial_baselines,
+)
+from .analysis.losses import loss_report
+from .core.er_parallel import parallel_er
+from .games.base import SearchProblem
+from .games.random_tree import IncrementalGameTree, RandomGameTree, SyntheticOrderedTree
+from .parallel import mwf, parallel_aspiration, pv_splitting, tree_splitting
+from .search.alphabeta import alphabeta
+from .search.stats import SearchStats
+from .workloads.suite import PROCESSOR_COUNTS, table3_suite
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    counts = tuple(args.processors) if args.processors else PROCESSOR_COUNTS
+    number = args.number
+    if number in (10, 12):
+        curves = figure10(args.scale, counts)
+    elif number in (11, 13):
+        curves = figure11(args.scale, counts)
+    else:
+        print(f"unknown figure {number}; this paper has figures 10-13", file=sys.stderr)
+        return 2
+    if number in (10, 11):
+        print(f"Figure {number} — efficiency of parallel ER ({args.scale} scale)")
+        print(format_efficiency_table(curves))
+    else:
+        print(f"Figure {number} — nodes generated ({args.scale} scale)")
+        print(format_nodes_table(curves))
+    print()
+    print(format_speedup_summary(curves))
+    return 0
+
+
+def _cmd_serial(args: argparse.Namespace) -> int:
+    spec = table3_suite(args.scale)[args.tree]
+    base = serial_baselines(spec)
+    print(f"{spec.name} ({spec.description}), value = {base.alphabeta.value}")
+    for name, result in (("alpha-beta", base.alphabeta), ("serial ER", base.er)):
+        s = result.stats
+        print(
+            f"  {name:10s}: cost={s.cost:10.0f}  nodes={s.nodes_generated:7d}  "
+            f"leaves={s.leaf_evals:7d}  ordering-evals={s.ordering_evals:6d}"
+        )
+    print(f"  best serial: {base.best_name}")
+    return 0
+
+
+def _cmd_baselines(args: argparse.Namespace) -> int:
+    counts = tuple(args.processors) if args.processors else (1, 2, 4, 8, 16)
+    print("Parallel aspiration (Baudet) on a strongly ordered tree:")
+    problem = SearchProblem(IncrementalGameTree(4, 8, seed=2, noise=0.5), depth=8)
+    serial = alphabeta(problem).stats.cost
+    for k in counts:
+        r = parallel_aspiration(problem, k)
+        print(f"  k={k:3d}  speedup={r.speedup(serial):5.2f}")
+    print("Tree-splitting (Fishburn) on a best-first tree (expect ~c*sqrt(k)):")
+    problem = SearchProblem(SyntheticOrderedTree(4, 8, seed=3), depth=8)
+    serial = alphabeta(problem).stats.cost
+    for k in counts:
+        r = tree_splitting(problem, k)
+        print(f"  k={k:3d}  speedup={r.speedup(serial):5.2f}")
+    print("PV-splitting (Marsland) on a strongly ordered tree:")
+    problem = SearchProblem(
+        IncrementalGameTree(6, 6, seed=4, noise=0.3), depth=6, sort_below_root=6
+    )
+    serial = alphabeta(problem).stats.cost
+    for k in counts:
+        r = pv_splitting(problem, k)
+        print(f"  k={k:3d}  speedup={r.speedup(serial):5.2f}")
+    print("MWF (Akl et al.) on a random tree (expect a plateau):")
+    problem = SearchProblem(RandomGameTree(8, 4, seed=5), depth=4)
+    serial = alphabeta(problem, deep_cutoffs=False).stats.cost
+    for k in counts:
+        r = mwf(problem, k)
+        print(f"  k={k:3d}  speedup={r.speedup(serial):5.2f}")
+    return 0
+
+
+def _cmd_losses(args: argparse.Namespace) -> int:
+    spec = table3_suite(args.scale)[args.tree]
+    problem = spec.problem()
+    reference = SearchStats.with_trace()
+    alphabeta(problem, stats=reference)
+    base = serial_baselines(spec)
+    result = parallel_er(
+        problem, args.processors_single, config=er_config_for(spec), trace=True
+    )
+    report = loss_report(result, base.best_time, reference)
+    print(f"{spec.name} with {report.n_processors} processors:")
+    print(f"  efficiency            {report.efficiency:.3f}")
+    print(f"  starvation fraction   {report.starvation_fraction:.3f}")
+    print(f"  interference fraction {report.interference_fraction:.3f}")
+    print(f"  speculative fraction  {report.speculative_fraction:.3f}")
+    print(
+        f"  nodes: parallel={report.work.parallel_total} "
+        f"reference={report.work.reference_total} "
+        f"expansion-ratio={report.work.expansion_ratio:.2f}"
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import build_report
+
+    counts = tuple(args.processors) if args.processors else PROCESSOR_COUNTS
+    report = build_report(args.scale, processor_counts=counts)
+    print(report.markdown)
+    return 0
+
+
+def _cmd_gantt(args: argparse.Namespace) -> int:
+    from .analysis.gantt import render_gantt
+
+    spec = table3_suite(args.scale)[args.tree]
+    result = parallel_er(
+        spec.problem(),
+        args.processors_single,
+        config=er_config_for(spec),
+        record_timeline=True,
+    )
+    print(
+        f"{spec.name} on {args.processors_single} processors "
+        f"(makespan {result.sim_time:.0f} simulated units):"
+    )
+    print(render_gantt(result.report, width=args.width))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    spec = table3_suite("reduced")["R1"]
+    base = serial_baselines(spec)
+    print(f"Tree {spec.name}: {spec.description}")
+    print(f"root value {base.alphabeta.value}; best serial: {base.best_name}")
+    curve = cached_curve("reduced", "R1", (1, 4, 16))
+    for point in curve.points:
+        print(
+            f"  P={point.n_processors:2d}  speedup={point.speedup:5.2f}  "
+            f"efficiency={point.efficiency:.2f}  nodes={point.nodes_generated}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-gametree",
+        description="Reproduce 'Searching Game Trees in Parallel' (ICPP 1990)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure")
+    fig.add_argument("number", type=int, choices=(10, 11, 12, 13))
+    fig.add_argument("--scale", choices=("reduced", "paper"), default="reduced")
+    fig.add_argument("--processors", type=int, nargs="*", default=None)
+    fig.set_defaults(func=_cmd_figure)
+
+    ser = sub.add_parser("serial", help="serial alpha-beta vs serial ER on one tree")
+    ser.add_argument("--tree", choices=("R1", "R2", "R3", "O1", "O2", "O3"), default="R1")
+    ser.add_argument("--scale", choices=("reduced", "paper"), default="reduced")
+    ser.set_defaults(func=_cmd_serial)
+
+    base = sub.add_parser("baselines", help="Section 4 baseline algorithm claims")
+    base.add_argument("--processors", type=int, nargs="*", default=None)
+    base.set_defaults(func=_cmd_baselines)
+
+    loss = sub.add_parser("losses", help="Section 3.1 loss decomposition")
+    loss.add_argument("--tree", choices=("R1", "R2", "R3", "O1", "O2", "O3"), default="R1")
+    loss.add_argument("--scale", choices=("reduced", "paper"), default="reduced")
+    loss.add_argument("-P", "--processors", dest="processors_single", type=int, default=8)
+    loss.set_defaults(func=_cmd_losses)
+
+    report = sub.add_parser("report", help="regenerate the headline exhibits as markdown")
+    report.add_argument("--scale", choices=("reduced", "paper"), default="reduced")
+    report.add_argument("--processors", type=int, nargs="*", default=None)
+    report.set_defaults(func=_cmd_report)
+
+    gantt = sub.add_parser("gantt", help="ASCII schedule chart of one parallel run")
+    gantt.add_argument("--tree", choices=("R1", "R2", "R3", "O1", "O2", "O3"), default="R3")
+    gantt.add_argument("--scale", choices=("reduced", "paper"), default="reduced")
+    gantt.add_argument("-P", "--processors", dest="processors_single", type=int, default=8)
+    gantt.add_argument("--width", type=int, default=72)
+    gantt.set_defaults(func=_cmd_gantt)
+
+    demo = sub.add_parser("demo", help="30-second tour")
+    demo.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,16 @@
+"""The paper's contribution: serial and parallel ER."""
+
+from .er_parallel import ERConfig, PNode, parallel_er
+from .er_queues import PrimaryQueue, SpeculativeQueue, SpecOrder
+from .serial_er import ERRecord, er_search
+
+__all__ = [
+    "er_search",
+    "ERRecord",
+    "parallel_er",
+    "ERConfig",
+    "PNode",
+    "PrimaryQueue",
+    "SpeculativeQueue",
+    "SpecOrder",
+]

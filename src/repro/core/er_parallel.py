@@ -1,0 +1,888 @@
+"""Parallel ER — the paper's problem-heap implementation (Section 6).
+
+Every simulated processor runs the same worker loop: take a node from the
+problem heap (primary queue first, speculative queue as a fallback),
+process it per Table 1, and when a subtree finishes, back its value up the
+tree with the ``combine`` procedure, dispatching follow-on work per
+Table 2.  The three speculative mechanisms of Section 5 are all present
+and individually switchable for the ablation benchmarks:
+
+* **parallel refutation** — once an e-node's first e-child is evaluated,
+  every remaining child becomes an r-node and is refuted concurrently;
+* **early choice** — an e-node becomes eligible for e-child selection as
+  soon as all but one of its elder grandchildren are evaluated;
+* **multiple e-children** — idle processors pop e-nodes off the
+  speculative queue and start evaluating their next-best child.
+
+Below ``serial_depth`` remaining plies, popped e/r-nodes are searched by
+serial ER in one piece (Table 3's "Serial Depth" column); undecided nodes
+still expand their first child so the elder-grandchild structure survives
+down to the boundary.
+
+Faithfulness notes (deviations are deliberate and documented):
+
+* cutoff checks walk the live ancestor chain, so deep cutoffs arise
+  naturally (the paper's serial reference also uses deep cutoffs);
+* queued nodes orphaned by a cutoff are discarded lazily when popped;
+* a serial subtree search runs against the window captured when it
+  starts, is charged simulated time in chunks, and is abandoned between
+  chunks if an ancestor cutoff makes it moot — its node counts are still
+  merged (the work was performed), only its remaining time is not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..costmodel import DEFAULT_COST_MODEL, CostModel
+from ..errors import SearchError, SimulationError
+from ..games.base import NEG_INF, POS_INF, Path, Position, SearchProblem, subproblem
+from ..parallel.base import ParallelResult
+from ..search.stats import SearchStats
+from ..sim.engine import Engine
+from ..sim.locks import SimLock, WorkSignal
+from ..sim.ops import Acquire, Compute, Release, WaitWork
+from .er_queues import PrimaryQueue, SpeculativeQueue, SpecOrder
+from .serial_er import er_search
+
+# Node types of Table 1.
+E_NODE = "e"
+R_NODE = "r"
+UNDECIDED = "u"
+
+
+@dataclass(frozen=True)
+class ERConfig:
+    """Tunables of the parallel ER engine.
+
+    Attributes:
+        serial_depth: the ply at or below which popped e/r-nodes are
+            searched by serial ER in one piece (Table 3's "Serial Depth":
+            a 10-ply search with serial depth 7 parallelizes plies 0-6 and
+            searches height-3 subtrees serially).  Note the direction —
+            *decreasing* it makes serial subtrees larger, which is why the
+            paper says decreasing it trades contention for starvation.
+        parallel_refutation: refute an e-node's remaining children
+            concurrently (Section 5) rather than one at a time.
+        early_choice: allow e-child selection when all but one elder
+            grandchild is evaluated (via the speculative queue).
+        multiple_e_children: allow idle processors to start additional
+            e-children (via the speculative queue).
+        deep_cutoff_checks: use the full ancestor window for cutoffs
+            rather than only the parent bound.
+        max_e_children: cap on concurrently selected e-children per node.
+            Section 5's "multiple e-nodes" asks for *at least one active
+            e-child*; an uncapped speculative queue can pile several
+            full-window child evaluations onto the same node (the root's
+            are quarter-trees), which is the dominant speculative loss.
+        spec_order: ranking policy of the speculative queue.
+        chunk_units: granularity (simulated time) at which long serial
+            subtree searches can be abandoned after a cutoff.
+        max_events: engine safety valve.
+    """
+
+    #: Default: no serial cutover (every node handled by the problem heap).
+    serial_depth: int = 1_000_000
+    parallel_refutation: bool = True
+    early_choice: bool = True
+    multiple_e_children: bool = True
+    deep_cutoff_checks: bool = True
+    #: Default: unbounded, as in the paper's speculative queue; the
+    #: ablation benchmark sweeps tighter caps.
+    max_e_children: int = 1_000_000
+    #: Section 8 future work: per-processor work queues with stealing
+    #: ("distributing work in a manner that reduces processor
+    #: interaction") instead of one shared primary queue.
+    distributed_heap: bool = False
+    spec_order: SpecOrder = SpecOrder.PAPER
+    chunk_units: float = 400.0
+    max_events: int = 50_000_000
+
+    def __post_init__(self) -> None:
+        if self.serial_depth < 0:
+            raise SearchError("serial_depth must be non-negative")
+        if self.max_e_children < 1:
+            raise SearchError("max_e_children must be at least 1")
+        if self.chunk_units <= 0:
+            raise SearchError("chunk_units must be positive")
+
+
+class PNode:
+    """Shared-tree node state for the parallel search."""
+
+    __slots__ = (
+        "position",
+        "path",
+        "ply",
+        "parent",
+        "ntype",
+        "value",
+        "done",
+        "counted",
+        "elder_counted",
+        "child_positions",
+        "children",
+        "next_child",
+        "combined_children",
+        "elder_done",
+        "e_children",
+        "e_child_selected",
+        "refutation_started",
+        "on_spec",
+        "is_leaf",
+        "expansion_charged",
+    )
+
+    def __init__(
+        self,
+        position: Position,
+        path: Path,
+        ply: int,
+        parent: Optional["PNode"],
+        ntype: str,
+    ):
+        self.position = position
+        self.path = path
+        self.ply = ply
+        self.parent = parent
+        self.ntype = ntype
+        self.value: float = NEG_INF
+        self.done = False
+        self.counted = False  # contributed to parent's combined count
+        self.elder_counted = False  # contributed to parent's elder count
+        self.child_positions: Optional[list[Position]] = None
+        self.children: Optional[list[Optional["PNode"]]] = None
+        self.next_child = 0  # next child index to dispatch
+        self.combined_children = 0
+        self.elder_done = 0  # children holding a tentative value
+        self.e_children = 0  # children dispatched as e-children
+        self.e_child_selected = False
+        self.refutation_started = False
+        self.on_spec = False
+        self.is_leaf = False
+        self.expansion_charged = False
+
+    @property
+    def n_children(self) -> int:
+        return 0 if self.child_positions is None else len(self.child_positions)
+
+    @property
+    def has_tentative(self) -> bool:
+        return self.elder_counted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PNode(path={self.path}, type={self.ntype}, value={self.value}, "
+            f"done={self.done}, combined={self.combined_children}/{self.n_children})"
+        )
+
+
+class _Context:
+    """State shared by all workers of one parallel ER run."""
+
+    def __init__(
+        self,
+        problem: SearchProblem,
+        cost_model: CostModel,
+        config: ERConfig,
+        trace: bool,
+        n_processors: int = 1,
+    ):
+        self.problem = problem
+        self.cost_model = cost_model
+        self.config = config
+        self.trace = trace
+        self.n_processors = n_processors
+        self.heap_lock = SimLock("heap")
+        self.tree_lock = SimLock("tree")
+        self.work = WorkSignal("er-work")
+        self.primary = PrimaryQueue()
+        self.speculative = SpeculativeQueue(config.spec_order)
+        if config.distributed_heap:
+            self.local_queues = [PrimaryQueue() for _ in range(n_processors)]
+            self.local_locks = [SimLock(f"heap-{i}") for i in range(n_processors)]
+        else:
+            self.local_queues = []
+            self.local_locks = []
+        self.root = PNode(problem.game.root(), (), 0, None, E_NODE)
+        self.done = False
+        self.counters = {
+            "pops_primary": 0,
+            "pops_speculative": 0,
+            "stale_discards": 0,
+            "cutoff_discards": 0,
+            "serial_searches": 0,
+            "serial_aborts": 0,
+            "spec_selections": 0,
+            "mandatory_selections": 0,
+            "refutation_conversions": 0,
+            "steals": 0,
+        }
+        if config.distributed_heap:
+            self.local_queues[0].push(self.root)
+        else:
+            self.primary.push(self.root)
+
+    # -- window / cutoff machinery ----------------------------------------
+
+    def window(self, node: PNode) -> tuple[float, float]:
+        """Current alpha-beta window of ``node`` from the live tree."""
+        parent = node.parent
+        if parent is None:
+            return (NEG_INF, POS_INF)
+        if self.config.deep_cutoff_checks:
+            p_alpha, p_beta = self.window(parent)
+        else:
+            p_alpha, p_beta = NEG_INF, POS_INF
+        floor = max(parent.value, p_alpha)
+        return (-p_beta, -floor)
+
+    def is_cut_off(self, node: PNode) -> bool:
+        alpha, beta = self.window(node)
+        return node.value >= beta or alpha >= beta
+
+    def has_finished_ancestor(self, node: PNode) -> bool:
+        """True when some strict ancestor already combined or was cut off."""
+        ancestor = node.parent
+        while ancestor is not None:
+            if ancestor.done:
+                return True
+            ancestor = ancestor.parent
+        return False
+
+    # -- heap operations (caller holds heap_lock) --------------------------
+
+    def pop_work(self) -> tuple[Optional[PNode], bool]:
+        node = self.primary.pop()
+        if node is not None:
+            self.counters["pops_primary"] += 1
+            return node, False
+        node = self.speculative.pop()
+        if node is not None:
+            node.on_spec = False
+            self.counters["pops_speculative"] += 1
+            return node, True
+        return None, False
+
+    # -- tree operations (caller holds tree_lock) ---------------------------
+
+    def expand_positions(self, node: PNode, stats: SearchStats) -> float:
+        """Generate and cache child positions; returns the cost to charge.
+
+        Children of e-nodes keep the game's move order; all other nodes
+        pre-sort by static value per the problem's ordering policy
+        (Section 7: "successors of e-nodes were also not sorted").
+        """
+        if node.child_positions is not None:
+            return 0.0
+        game = self.problem.game
+        successors = (
+            []
+            if self.problem.is_horizon(node.ply)
+            else list(game.children(node.position))
+        )
+        cost = 0.0
+        if not successors:
+            node.is_leaf = True
+            node.child_positions = []
+            node.children = []
+            return 0.0
+        cost += stats.on_expand(node.path, len(successors), self.cost_model)
+        if node.ntype != E_NODE and self.problem.should_sort(node.ply):
+            cost += stats.on_ordering(len(successors), self.cost_model)
+            static = [game.evaluate(child) for child in successors]
+            order = sorted(range(len(successors)), key=static.__getitem__)
+            successors = [successors[i] for i in order]
+        node.child_positions = successors
+        node.children = [None] * len(successors)
+        return cost
+
+    def make_child(self, node: PNode, index: int, ntype: str) -> PNode:
+        assert node.child_positions is not None and node.children is not None
+        child = PNode(
+            node.child_positions[index],
+            node.path + (index,),
+            node.ply + 1,
+            node,
+            ntype,
+        )
+        node.children[index] = child
+        return child
+
+    def maybe_push_spec(self, node: PNode, pushes: list[tuple[str, PNode]]) -> None:
+        """Queue ``node`` for speculative e-child selection if eligible."""
+        if node.ntype != E_NODE or node.done or node.on_spec:
+            return
+        if node.child_positions is None or node.is_leaf:
+            return
+        if node.elder_done < node.n_children - 1:
+            return
+        if node.e_child_selected and not self.config.multiple_e_children:
+            return
+        if self._active_e_children(node) >= self.config.max_e_children:
+            return
+        if self._best_candidate(node) is None:
+            return
+        node.on_spec = True
+        pushes.append(("spec", node))
+
+    def _active_e_children(self, node: PNode) -> int:
+        """E-children of ``node`` whose evaluation is still in flight."""
+        if node.children is None:
+            return 0
+        return sum(
+            1
+            for child in node.children
+            if child is not None and child.ntype == E_NODE and not child.done
+        )
+
+    def _best_candidate(self, node: PNode, include_refutable: bool = False) -> Optional[PNode]:
+        """Best unstarted child of an e-node: lowest tentative value.
+
+        For *speculative selection* children whose tentative value already
+        refutes them are skipped — evaluating them cannot pay off
+        (Section 5: select "the node with the most optimistic bound").
+        Refutation release must pass ``include_refutable=True``: every
+        remaining child has to be dispatched eventually, refutable or not,
+        or the parent would never combine.
+        """
+        assert node.children is not None
+        node_alpha, _ = self.window(node)
+        child_beta = -max(node.value, node_alpha)
+        best: Optional[PNode] = None
+        for child in node.children:
+            if child is None or child.done or child.ntype != UNDECIDED:
+                continue
+            if not child.has_tentative:
+                continue
+            if not include_refutable and child.value >= child_beta:
+                continue
+            if best is None or child.value < best.value:
+                best = child
+        return best
+
+    def select_e_child(self, node: PNode, pushes: list[tuple[str, PNode]], mandatory: bool) -> bool:
+        """Promote the best candidate child of ``node`` to an e-child.
+
+        A mandatory selection falls back to a refutable candidate when no
+        promising one exists: some child must be dispatched or the node
+        would never combine (the dispatched child is then cut off cheaply
+        at pop time, which triggers refutation of the rest).
+        """
+        candidate = self._best_candidate(node)
+        if candidate is None and mandatory:
+            candidate = self._best_candidate(node, include_refutable=True)
+        if candidate is None:
+            return False
+        candidate.ntype = E_NODE
+        node.e_children += 1
+        node.e_child_selected = True
+        key = "mandatory_selections" if mandatory else "spec_selections"
+        self.counters[key] += 1
+        pushes.append(("primary", candidate))
+        return True
+
+    def start_refutation(self, node: PNode, pushes: list[tuple[str, PNode]]) -> None:
+        """Table 2, row 3: convert remaining children to r-nodes."""
+        node.refutation_started = True
+        assert node.children is not None
+        # Only children whose Eval_first has completed are released now; a
+        # child whose first-grandchild evaluation is still in flight joins
+        # the refutation when that evaluation combines (the UNDECIDED
+        # branch of _dispatch_at).  Converting an in-flight child here
+        # would dispatch it while its own subtree is still being written.
+        candidates = [
+            child
+            for child in node.children
+            if child is not None
+            and not child.done
+            and child.ntype == UNDECIDED
+            and child.has_tentative
+        ]
+        # Refute in ascending tentative-value order — the parallel analogue
+        # of serial ER's sort before its refutation loop (Figure 8).
+        candidates.sort(key=lambda c: c.value)
+        if not self.config.parallel_refutation:
+            # Sequential ablation: release only the best candidate; the
+            # next is released when this one combines (see combine()).
+            candidates = candidates[:1]
+        for child in candidates:
+            self._convert_to_r(child, pushes)
+
+    def _convert_to_r(self, child: PNode, pushes: list[tuple[str, PNode]]) -> None:
+        child.ntype = R_NODE
+        if child.child_positions is not None and not child.is_leaf:
+            child.next_child = max(child.next_child, 1)
+        self.counters["refutation_conversions"] += 1
+        pushes.append(("primary", child))
+
+    # -- the combine procedure (Section 6) ----------------------------------
+
+    def combine(self, node: PNode, pushes: list[tuple[str, PNode]]) -> int:
+        """Back ``node``'s value up the tree; returns levels walked.
+
+        Walks upward while ancestors finish (all children combined) or are
+        cut off; stops at the first live ancestor with remaining work and
+        performs the Table 2 dispatch there.
+        """
+        levels = 0
+        current = node
+        while True:
+            parent = current.parent
+            if parent is None:
+                if current.done:
+                    self.done = True
+                return levels
+            if parent.done:
+                return levels  # orphaned subtree; results are moot
+            levels += 1
+            if current.done:
+                if not current.counted:
+                    current.counted = True
+                    parent.combined_children += 1
+                if not current.elder_counted:
+                    current.elder_counted = True
+                    parent.elder_done += 1
+                # A child abandoned with no information (value still -inf,
+                # e.g. an aborted serial search under a finished ancestor)
+                # must not contribute a bogus +inf to its parent.
+                if current.value != NEG_INF and -current.value > parent.value:
+                    parent.value = -current.value
+            # Does the parent finish or die right now?
+            if (
+                parent.child_positions is not None
+                and parent.combined_children == parent.n_children
+            ):
+                parent.done = True
+                current = parent
+                continue
+            if self.is_cut_off(parent):
+                alpha, beta = self.window(parent)
+                if beta > parent.value:
+                    parent.value = beta  # fail-hard: "at least beta"
+                parent.done = True
+                self.counters["cutoff_discards"] += 1
+                current = parent
+                continue
+            # Parent lives on with remaining work: Table 2 actions.
+            self._dispatch_at(parent, current, pushes)
+            return levels
+
+    def _dispatch_at(self, parent: PNode, completed: PNode, pushes: list[tuple[str, PNode]]) -> None:
+        """Table 2: schedule follow-on work at the stop node's level."""
+        if parent.ntype == UNDECIDED:
+            # The parent's first child acquired a value, i.e. one more
+            # elder grandchild of the grandparent is evaluated.
+            grand = parent.parent
+            if not parent.elder_counted:
+                parent.elder_counted = True
+                if grand is not None and not grand.done:
+                    grand.elder_done += 1
+            if grand is not None and not grand.done and grand.ntype == E_NODE:
+                if grand.refutation_started:
+                    # Refutation already under way: this late child joins it.
+                    self._convert_to_r(parent, pushes)
+                else:
+                    self._check_e_node(grand, pushes)
+        elif parent.ntype == R_NODE:
+            # Sequential refutation: dispatch the next child, if any.
+            if (
+                parent.child_positions is not None
+                and parent.next_child < parent.n_children
+            ):
+                pushes.append(("primary", parent))
+        elif parent.ntype == E_NODE:
+            if completed.ntype == E_NODE and not parent.refutation_started:
+                # The first e-child finished: refute the remaining children.
+                self.start_refutation(parent, pushes)
+            elif parent.refutation_started and not self.config.parallel_refutation:
+                # Sequential-refutation ablation: release the next child.
+                best = self._best_candidate(parent, include_refutable=True)
+                if best is not None:
+                    self._convert_to_r(best, pushes)
+            else:
+                self._check_e_node(parent, pushes)
+
+    def _check_e_node(self, node: PNode, pushes: list[tuple[str, PNode]]) -> None:
+        """Table 2, rows 1-2: e-child selection and speculative eligibility.
+
+        With early choice on, the first e-child is selected as soon as all
+        but one of the elder grandchildren are evaluated (Section 6: "we
+        select the e-child of an e-node as soon as all but one of the
+        elder grandchildren have been evaluated") — the one-straggler gate
+        would otherwise stall the whole subtree on its slowest branch.
+        """
+        if node.done or node.child_positions is None:
+            return
+        threshold = node.n_children - 1 if self.config.early_choice else node.n_children
+        if node.elder_done >= threshold and not node.e_child_selected:
+            if self.select_e_child(node, pushes, mandatory=True):
+                return
+        self.maybe_push_spec(node, pushes)
+
+
+def _worker(ctx: _Context, stats: SearchStats, pid: int = 0) -> Iterator:
+    """The per-processor loop of Section 6."""
+    cm = ctx.cost_model
+    while not ctx.done:
+        if ctx.config.distributed_heap:
+            node, from_spec, seen_version = yield from _pop_distributed(ctx, pid)
+        else:
+            yield Acquire(ctx.heap_lock)
+            yield Compute(cm.heap_op)
+            node, from_spec = ctx.pop_work()
+            seen_version = ctx.work.version
+            yield Release(ctx.heap_lock)
+        if node is None:
+            if ctx.done:
+                return
+            yield WaitWork(ctx.work, seen_version)
+            continue
+        if from_spec:
+            yield from _process_speculative(ctx, node, stats, pid)
+        else:
+            yield from _process_primary(ctx, node, stats, pid)
+    return
+
+
+def _pop_distributed(ctx: _Context, pid: int) -> Iterator:
+    """Pop under per-processor queues: own queue, then steal, then spec.
+
+    The Section 8 "distribute work to reduce processor interaction"
+    variant: each processor has a private deque; an empty processor scans
+    the others round-robin (peeking lengths without the lock, as a real
+    work-stealing deque would) and falls back to the shared speculative
+    queue.  Returns ``(node, from_spec, seen_version)``.
+    """
+    cm = ctx.cost_model
+    seen_version = ctx.work.version
+    own_lock = ctx.local_locks[pid]
+    yield Acquire(own_lock)
+    yield Compute(cm.heap_op)
+    node = ctx.local_queues[pid].pop()
+    yield Release(own_lock)
+    if node is not None:
+        ctx.counters["pops_primary"] += 1
+        return node, False, seen_version
+    for offset in range(1, ctx.n_processors):
+        victim = (pid + offset) % ctx.n_processors
+        if len(ctx.local_queues[victim]) == 0:
+            continue  # lock-free peek; emptiness races are benign
+        yield Acquire(ctx.local_locks[victim])
+        yield Compute(cm.heap_op)
+        node = ctx.local_queues[victim].pop()
+        yield Release(ctx.local_locks[victim])
+        if node is not None:
+            ctx.counters["pops_primary"] += 1
+            ctx.counters["steals"] += 1
+            return node, False, seen_version
+    yield Acquire(ctx.heap_lock)
+    yield Compute(cm.heap_op)
+    spec = ctx.speculative.pop()
+    if spec is not None:
+        spec.on_spec = False
+        ctx.counters["pops_speculative"] += 1
+    yield Release(ctx.heap_lock)
+    return spec, spec is not None, seen_version
+
+
+def _push_all(ctx: _Context, pushes: list[tuple[str, PNode]], pid: int = 0) -> Iterator:
+    """Publish queued work under the appropriate heap lock(s)."""
+    if not pushes:
+        return
+    if ctx.config.distributed_heap:
+        primaries = [n for q, n in pushes if q == "primary"]
+        speculatives = [n for q, n in pushes if q != "primary"]
+        if primaries:
+            yield Acquire(ctx.local_locks[pid])
+            yield Compute(ctx.cost_model.heap_op * len(primaries))
+            for node in primaries:
+                ctx.local_queues[pid].push(node)
+            yield Release(ctx.local_locks[pid])
+        if speculatives:
+            yield Acquire(ctx.heap_lock)
+            yield Compute(ctx.cost_model.heap_op * len(speculatives))
+            for node in speculatives:
+                ctx.speculative.push(node)
+            yield Release(ctx.heap_lock)
+        ctx.work.notify_all()
+        return
+    yield Acquire(ctx.heap_lock)
+    yield Compute(ctx.cost_model.heap_op * len(pushes))
+    for queue_name, node in pushes:
+        if queue_name == "primary":
+            ctx.primary.push(node)
+        else:
+            ctx.speculative.push(node)
+    ctx.work.notify_all()
+    yield Release(ctx.heap_lock)
+
+
+def _finish_node(ctx: _Context, node: PNode, stats: SearchStats, pid: int = 0) -> Iterator:
+    """Mark ``node`` done and run combine under the tree lock."""
+    yield Acquire(ctx.tree_lock)
+    node.done = True
+    pushes: list[tuple[str, PNode]] = []
+    levels = ctx.combine(node, pushes)
+    yield Compute(ctx.cost_model.combine_step * max(1, levels))
+    if ctx.done:
+        ctx.work.notify_all()
+    yield Release(ctx.tree_lock)
+    yield from _push_all(ctx, pushes, pid)
+
+
+def _process_speculative(ctx: _Context, node: PNode, stats: SearchStats, pid: int = 0) -> Iterator:
+    """Pop from the speculative queue: select one more e-child."""
+    cm = ctx.cost_model
+    yield Acquire(ctx.tree_lock)
+    yield Compute(cm.bookkeeping)
+    pushes: list[tuple[str, PNode]] = []
+    if (
+        not node.done
+        and not ctx.has_finished_ancestor(node)
+        and not ctx.is_cut_off(node)
+        and ctx._active_e_children(node) < ctx.config.max_e_children
+    ):
+        if ctx.select_e_child(node, pushes, mandatory=False):
+            # Leave the node eligible for yet another e-child.
+            ctx.maybe_push_spec(node, pushes)
+    else:
+        ctx.counters["stale_discards"] += 1
+    yield Release(ctx.tree_lock)
+    yield from _push_all(ctx, pushes, pid)
+
+
+def _process_primary(ctx: _Context, node: PNode, stats: SearchStats, pid: int = 0) -> Iterator:
+    """Pop from the primary queue: Table 1 node generation."""
+    cm = ctx.cost_model
+    cfg = ctx.config
+
+    # Staleness and cutoff screening against the live tree.
+    yield Acquire(ctx.tree_lock)
+    yield Compute(cm.bookkeeping)
+    if node.done or ctx.has_finished_ancestor(node):
+        ctx.counters["stale_discards"] += 1
+        yield Release(ctx.tree_lock)
+        return
+    if ctx.is_cut_off(node):
+        _, beta = ctx.window(node)
+        if beta > node.value:
+            node.value = beta
+        ctx.counters["cutoff_discards"] += 1
+        yield Release(ctx.tree_lock)
+        yield from _finish_node(ctx, node, stats, pid)
+        return
+    window = ctx.window(node)
+    yield Release(ctx.tree_lock)
+
+    # Generate child positions (cheap move generation, outside the locks).
+    expand_cost = ctx.expand_positions(node, stats)
+    if expand_cost:
+        yield Compute(expand_cost)
+
+    if node.is_leaf:
+        yield Compute(stats.on_leaf(node.path, cm))
+        node.value = ctx.problem.game.evaluate(node.position)
+        yield from _finish_node(ctx, node, stats, pid)
+        return
+
+    if node.ntype in (E_NODE, R_NODE) and node.ply >= cfg.serial_depth:
+        if node.next_child > 0:
+            # First child already fully evaluated while the node was
+            # undecided: search only the remaining children serially.
+            yield from _serial_refute_remaining(ctx, node, stats, window, pid)
+        else:
+            yield from _serial_evaluate(ctx, node, stats, window, pid)
+        return
+
+    pushes: list[tuple[str, PNode]] = []
+    yield Acquire(ctx.tree_lock)
+    yield Compute(cm.bookkeeping)
+    if node.ntype == E_NODE:
+        # Table 1: generate all (remaining) children as undecided nodes.
+        # A promoted e-child arrives here with its first child already
+        # evaluated; only the empty slots are dispatched.
+        assert node.children is not None
+        for index in range(node.n_children):
+            if node.children[index] is None:
+                pushes.append(("primary", ctx.make_child(node, index, UNDECIDED)))
+        node.next_child = node.n_children
+    elif node.ntype == UNDECIDED:
+        # Table 1: generate the first child as an e-node.
+        if node.next_child == 0:
+            pushes.append(("primary", ctx.make_child(node, 0, E_NODE)))
+            node.next_child = 1
+    else:  # R_NODE above serial depth
+        if node.next_child < node.n_children:
+            ntype = E_NODE if node.next_child == 0 else R_NODE
+            pushes.append(("primary", ctx.make_child(node, node.next_child, ntype)))
+            node.next_child += 1
+    yield Release(ctx.tree_lock)
+    yield from _push_all(ctx, pushes, pid)
+
+
+def _charge_serial(ctx: _Context, node: PNode, cost: float, stats: SearchStats) -> Iterator:
+    """Charge a serial search's time in abandonable chunks.
+
+    Yields chunks of at most ``chunk_units``; between chunks the worker
+    re-checks the live tree and abandons the remainder if the subtree is
+    now moot.  Returns via StopIteration-value whether the work survived.
+    """
+    cfg = ctx.config
+    charged = 0.0
+    while charged < cost:
+        chunk = min(cfg.chunk_units, cost - charged)
+        yield Compute(chunk)
+        charged += chunk
+        if charged < cost:
+            if node.done or ctx.has_finished_ancestor(node) or ctx.is_cut_off(node):
+                ctx.counters["serial_aborts"] += 1
+                return False
+    return True
+
+
+def _merge_substats(ctx: _Context, stats: SearchStats, sub: SearchStats, prefix: Path) -> None:
+    """Fold a subtree search's accounting in, re-rooting its trace."""
+    if stats.trace is not None and sub.trace is not None:
+        stats.trace.update(prefix + p for p in sub.trace)
+        sub.trace = None
+    stats.interior_visits += sub.interior_visits
+    stats.leaf_evals += sub.leaf_evals
+    stats.ordering_evals += sub.ordering_evals
+    stats.nodes_generated += sub.nodes_generated
+    stats.cutoffs += sub.cutoffs
+    stats.cost += sub.cost
+
+
+def _serial_evaluate(
+    ctx: _Context, node: PNode, stats: SearchStats, window: tuple[float, float], pid: int = 0
+) -> Iterator:
+    """Search the whole subtree under ``node`` with serial ER."""
+    alpha, beta = window
+    if node.done:
+        return  # finished concurrently
+    sub = subproblem(ctx.problem, node.position, node.ply)
+    substats = SearchStats.with_trace() if ctx.trace else SearchStats()
+    ctx.counters["serial_searches"] += 1
+    result = er_search(sub, alpha, beta, cost_model=ctx.cost_model, stats=substats)
+    _merge_substats(ctx, stats, substats, node.path)
+    survived = yield from _charge_serial(ctx, node, substats.cost, stats)
+    if survived:
+        if result.value > node.value:
+            node.value = result.value
+    else:
+        _mark_refuted_if_cut(ctx, node)
+    yield from _finish_node(ctx, node, stats, pid)
+
+
+def _mark_refuted_if_cut(ctx: _Context, node: PNode) -> None:
+    """After an abort caused by a live-window cutoff, record "refuted".
+
+    Fail-hard semantics: a node cut off at ``beta`` stands for "at least
+    beta", which its parent folds in as a no-op or a legitimate floor.
+    Aborts caused purely by a finished ancestor leave the value alone —
+    combine ignores the orphaned subtree entirely.
+    """
+    if node.done or ctx.has_finished_ancestor(node):
+        return
+    if ctx.is_cut_off(node):
+        _, beta = ctx.window(node)
+        if beta != POS_INF and beta > node.value:
+            node.value = beta
+
+
+def _serial_refute_remaining(
+    ctx: _Context, node: PNode, stats: SearchStats, window: tuple[float, float], pid: int = 0
+) -> Iterator:
+    """Serially refute children[next_child:] of an r-node at serial depth.
+
+    This happens when an undecided node whose first child was already
+    evaluated is converted to an r-node at the serial boundary: the
+    remaining children are searched one by one with the tightening bound,
+    exactly as serial ER's Refute_rest would.
+    """
+    alpha, beta = window
+    if node.done:
+        return  # finished concurrently (e.g. cut off by a late combine)
+    value = max(node.value, alpha)
+    if value >= beta:
+        # Refuted between the pop-time screen and now (a sibling's result
+        # tightened the window): record and combine without searching.
+        if value > node.value:
+            node.value = value
+        yield from _finish_node(ctx, node, stats, pid)
+        return
+    assert node.child_positions is not None
+    for index in range(node.next_child, node.n_children):
+        sub = subproblem(ctx.problem, node.child_positions[index], node.ply + 1)
+        substats = SearchStats.with_trace() if ctx.trace else SearchStats()
+        ctx.counters["serial_searches"] += 1
+        result = er_search(
+            sub, -beta, -value, cost_model=ctx.cost_model, stats=substats
+        )
+        _merge_substats(ctx, stats, substats, node.path + (index,))
+        survived = yield from _charge_serial(ctx, node, substats.cost, stats)
+        if not survived:
+            break
+        if -result.value > value:
+            value = -result.value
+        node.next_child = index + 1
+        if value >= beta:
+            stats.on_cutoff()
+            break
+    if value > node.value:
+        node.value = value
+    yield from _finish_node(ctx, node, stats, pid)
+
+
+def parallel_er(
+    problem: SearchProblem,
+    n_processors: int,
+    *,
+    config: ERConfig = ERConfig(),
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    trace: bool = False,
+    record_timeline: bool = False,
+) -> ParallelResult:
+    """Run parallel ER on ``n_processors`` simulated processors.
+
+    Args:
+        problem: the game and horizon to search.
+        n_processors: simulated processor count (the paper sweeps 1–16).
+        config: algorithm tunables; the default enables all three
+            speculative mechanisms, like the paper's implementation.
+        cost_model: operation costs; must match the serial baseline's when
+            computing speedups.
+        trace: record every visited node path (enables loss analysis at
+            some memory cost).
+        record_timeline: record per-processor (kind, start, end) schedule
+            intervals for :func:`repro.analysis.gantt.render_gantt`.
+
+    Returns:
+        A :class:`~repro.parallel.base.ParallelResult` whose ``value``
+        equals the serial root value (asserted across the test suite).
+    """
+    if n_processors < 1:
+        raise SearchError("need at least one processor")
+    ctx = _Context(problem, cost_model, config, trace, n_processors=n_processors)
+    worker_stats = [
+        SearchStats.with_trace() if trace else SearchStats() for _ in range(n_processors)
+    ]
+    workers = [_worker(ctx, worker_stats[i], pid=i) for i in range(n_processors)]
+    report = Engine(
+        workers, max_events=config.max_events, record_timeline=record_timeline
+    ).run()
+    if not ctx.done:
+        raise SimulationError("parallel ER finished without combining the root")
+    merged = SearchStats.with_trace() if trace else SearchStats()
+    for ws in worker_stats:
+        merged.merge(ws)
+    return ParallelResult(
+        value=ctx.root.value,
+        n_processors=n_processors,
+        report=report,
+        stats=merged,
+        algorithm="er",
+        extras=dict(ctx.counters),
+    )

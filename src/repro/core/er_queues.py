@@ -1,0 +1,89 @@
+"""The two priority queues of the parallel ER problem heap (Section 6).
+
+* The **primary queue** holds *scheduled* work — mandatory work plus
+  speculative work that has been committed to — ordered by node depth,
+  deepest first.
+* The **speculative queue** holds e-nodes offering *potential* speculative
+  work (additional e-child selections), ranked by number of e-children
+  already selected (fewer first) with ties broken in favour of shallower
+  nodes; the paper calls this ordering naive and its Section 8 proposes
+  improving it, which the ablation benchmark explores via ``SpecOrder``.
+
+Entries are never removed eagerly: nodes invalidated by cutoffs are
+discarded lazily when popped, matching a realistic lock-based
+implementation and keeping queue operations O(log n).
+"""
+
+from __future__ import annotations
+
+import heapq
+from enum import Enum
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .er_parallel import PNode
+
+
+class SpecOrder(Enum):
+    """Ranking policies for the speculative queue."""
+
+    #: The paper's ordering: fewest e-children first, then shallowest.
+    PAPER = "paper"
+    #: Plain FIFO — the "no ranking" straw man.
+    FIFO = "fifo"
+    #: Deepest nodes first (mirrors the primary queue's ordering).
+    DEEPEST = "deepest"
+    #: Best tentative value first — a "global ranking" candidate the
+    #: paper's Section 8 calls for.
+    BEST_VALUE = "best-value"
+
+
+class PrimaryQueue:
+    """Scheduled work, deepest node first."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, "PNode"]] = []
+        self._seq = 0
+
+    def push(self, node: "PNode") -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (-node.ply, self._seq, node))
+
+    def pop(self) -> Optional["PNode"]:
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class SpeculativeQueue:
+    """Potential speculative work (e-nodes awaiting extra e-children)."""
+
+    def __init__(self, order: SpecOrder = SpecOrder.PAPER) -> None:
+        self._heap: list[tuple[tuple, int, "PNode"]] = []
+        self._seq = 0
+        self._order = order
+
+    def _key(self, node: "PNode") -> tuple:
+        if self._order is SpecOrder.PAPER:
+            return (node.e_children, node.ply)
+        if self._order is SpecOrder.FIFO:
+            return ()
+        if self._order is SpecOrder.DEEPEST:
+            return (-node.ply,)
+        # BEST_VALUE: most promising (lowest tentative value) first.
+        return (node.value,)
+
+    def push(self, node: "PNode") -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self._key(node), self._seq, node))
+
+    def pop(self) -> Optional["PNode"]:
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._heap)

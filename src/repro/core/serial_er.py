@@ -1,0 +1,186 @@
+"""Serial ER — the Evaluate/Refute algorithm of Figure 8 of the paper.
+
+Game-tree search is viewed as *evaluating* one child of each node (the
+e-child) and *refuting* the rest (Section 5).  Instead of committing to an
+e-child up front as alpha-beta implicitly does, ER first evaluates the
+*elder grandchildren* — the first child of each child — then picks the
+child with the best resulting bound as the e-child, finishes evaluating
+it, and refutes the remaining children in ascending order of their
+tentative values.
+
+Three deliberate deviations from the paper's literal pseudocode, which is
+sloppy in ways that break correctness (documented here because tests pin
+them down):
+
+1. ``Refute_rest`` does *not* reset the node's value to alpha: the bound
+   established by ``Eval_first`` (the fully evaluated first child) is a
+   sound lower bound and discarding it can overstate the parent's value.
+2. ``Eval_first`` records a leaf's static value in the node record (the
+   paper's version returns it but leaves ``value`` stale, which would
+   corrupt the tentative-value sort).
+3. Children of e-nodes are never statically pre-sorted — the tentative
+   values from elder-grandchild evaluation order them for free — while
+   children generated inside ``Eval_first``/``Refute_rest`` are pre-sorted
+   according to the problem's ordering policy.  This matches Section 7
+   ("successors of e-nodes were also not sorted") and is what lets serial
+   ER beat alpha-beta on tree O1 despite examining more nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..costmodel import DEFAULT_COST_MODEL, CostModel
+from ..games.base import NEG_INF, POS_INF, Path, Position, SearchProblem
+from ..search.stats import SearchResult, SearchStats
+
+
+@dataclass
+class ERRecord:
+    """Per-node state of Figure 8: tentative value, done flag, children."""
+
+    position: Position
+    path: Path
+    ply: int
+    value: float = NEG_INF
+    done: bool = False
+    children: Optional[list["ERRecord"]] = None
+    is_leaf: bool = False
+
+
+class _SerialER:
+    """One serial ER search; instances are single-use."""
+
+    def __init__(self, problem: SearchProblem, cost_model: CostModel, stats: SearchStats):
+        self.problem = problem
+        self.cost_model = cost_model
+        self.stats = stats
+
+    # -- tree plumbing ---------------------------------------------------
+
+    def _expand(self, record: ERRecord, sort: bool) -> list[ERRecord]:
+        """Generate (once) and cache the children of ``record``."""
+        if record.children is not None:
+            return record.children
+        game = self.problem.game
+        successors = (
+            () if self.problem.is_horizon(record.ply) else game.children(record.position)
+        )
+        if not successors:
+            record.is_leaf = True
+            record.children = []
+            return record.children
+        self.stats.on_expand(record.path, len(successors), self.cost_model)
+        order = list(range(len(successors)))
+        if sort and self.problem.should_sort(record.ply):
+            self.stats.on_ordering(len(successors), self.cost_model)
+            static = [game.evaluate(child) for child in successors]
+            order.sort(key=static.__getitem__)
+        record.children = [
+            ERRecord(successors[index], record.path + (index,), record.ply + 1)
+            for index in order
+        ]
+        return record.children
+
+    def _leaf_value(self, record: ERRecord) -> float:
+        self.stats.on_leaf(record.path, self.cost_model)
+        return self.problem.game.evaluate(record.position)
+
+    # -- Figure 8, function ER -------------------------------------------
+
+    def evaluate(self, record: ERRecord, alpha: float, beta: float) -> float:
+        """Fully evaluate ``record`` (the paper's function ``ER``)."""
+        children = self._expand(record, sort=False)
+        if record.is_leaf:
+            record.value = self._leaf_value(record)
+            record.done = True
+            return record.value
+        record.value = alpha
+        # Phase 1: evaluate the elder grandchild below every child.
+        for child in children:
+            t = -self.eval_first(child, -beta, -record.value)
+            if child.done:
+                if t > record.value:
+                    record.value = t
+                if record.value >= beta:
+                    self.stats.on_cutoff()
+                    return record.value
+        # Phase 2: the child with the lowest tentative value becomes the
+        # e-child (first in this order); the rest are refuted in turn.
+        for child in sorted(children, key=lambda c: c.value):
+            if child.done:
+                continue
+            t = -self.refute_rest(child, -beta, -record.value)
+            if t > record.value:
+                record.value = t
+            if record.value >= beta:
+                self.stats.on_cutoff()
+                return record.value
+        return record.value
+
+    # -- Figure 8, function Eval_first -----------------------------------
+
+    def eval_first(self, record: ERRecord, alpha: float, beta: float) -> float:
+        """Evaluate only the first child of ``record``, setting a bound."""
+        children = self._expand(record, sort=True)
+        if record.is_leaf:
+            record.value = self._leaf_value(record)
+            record.done = True
+            return record.value
+        record.value = alpha
+        t = -self.evaluate(children[0], -beta, -record.value)
+        if t > record.value:
+            record.value = t
+        record.done = record.value >= beta or len(children) == 1
+        if record.value >= beta:
+            self.stats.on_cutoff()
+        return record.value
+
+    # -- Figure 8, function Refute_rest -----------------------------------
+
+    def refute_rest(self, record: ERRecord, alpha: float, beta: float) -> float:
+        """Examine the remaining children of ``record`` (first already done).
+
+        ``record.value`` already holds the bound from ``Eval_first``; it is
+        kept (deviation 1 in the module docstring) and only raised.
+        """
+        if alpha > record.value:
+            record.value = alpha
+        assert record.children is not None, "Refute_rest requires Eval_first"
+        for child in record.children[1:]:
+            t = -self.eval_first(child, -beta, -record.value)
+            if not child.done:
+                t = -self.refute_rest(child, -beta, -record.value)
+            if t > record.value:
+                record.value = t
+            if record.value >= beta:
+                self.stats.on_cutoff()
+                record.done = True
+                return record.value
+        record.done = True
+        return record.value
+
+
+def er_search(
+    problem: SearchProblem,
+    alpha: float = NEG_INF,
+    beta: float = POS_INF,
+    *,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    stats: Optional[SearchStats] = None,
+) -> SearchResult:
+    """Evaluate the root of ``problem`` with serial ER.
+
+    With the open window the result equals negmax's value exactly (the
+    test suite cross-checks this against negmax and alpha-beta on random,
+    synthetic, and real game trees).
+    """
+    if stats is None:
+        stats = SearchStats()
+    if not alpha < beta:
+        raise ValueError("ER window requires alpha < beta")
+    searcher = _SerialER(problem, cost_model, stats)
+    root = ERRecord(problem.game.root(), (), 0)
+    value = searcher.evaluate(root, alpha, beta)
+    return SearchResult(value=value, stats=stats)

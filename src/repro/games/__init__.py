@@ -1,0 +1,41 @@
+"""Game substrates: synthetic trees and real games.
+
+Every substrate implements the :class:`~repro.games.base.Game` protocol so
+search algorithms are written once and run on all of them.
+"""
+
+from .base import Game, Line, Path, Position, SearchProblem, follow_path
+from .connect4 import C4Position, ConnectFour
+from .explicit import ExplicitTree, negmax_of_spec
+from .nim import Nim, grundy_value, theoretical_value
+from .random_tree import (
+    IncrementalGameTree,
+    RandomGameTree,
+    SyntheticOrderedTree,
+    TreePosition,
+)
+from .tictactoe import TicTacToe, play, position_from_string, winner
+
+__all__ = [
+    "Game",
+    "Line",
+    "Path",
+    "Position",
+    "SearchProblem",
+    "follow_path",
+    "RandomGameTree",
+    "IncrementalGameTree",
+    "SyntheticOrderedTree",
+    "TreePosition",
+    "TicTacToe",
+    "play",
+    "position_from_string",
+    "winner",
+    "ConnectFour",
+    "C4Position",
+    "ExplicitTree",
+    "negmax_of_spec",
+    "Nim",
+    "grundy_value",
+    "theoretical_value",
+]

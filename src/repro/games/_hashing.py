@@ -1,0 +1,46 @@
+"""Counter-based splittable hashing for lazily generated game trees.
+
+The paper's random trees assign each leaf an independent pseudo-random
+value (Section 7).  Materializing a 4^11-leaf tree is out of the question,
+so every random quantity in the synthetic games is *derived* from the
+node's path with a SplitMix64-style mixer: the same (seed, path) always
+yields the same value, trees never occupy memory, and two searches of the
+same tree — serial, parallel, or interleaved — see identical values.
+"""
+
+from __future__ import annotations
+
+from .base import Path
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+
+
+def splitmix64(state: int) -> int:
+    """One output of the SplitMix64 generator for the given state."""
+    z = (state + _GOLDEN) & _MASK64
+    z = ((z ^ (z >> 30)) * _MIX1) & _MASK64
+    z = ((z ^ (z >> 27)) * _MIX2) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+def path_hash(seed: int, path: Path, stream: int = 0) -> int:
+    """Hash a node path into 64 uniform bits.
+
+    ``stream`` selects independent random streams for the same node (for
+    example leaf value versus static-evaluation noise).
+    """
+    h = splitmix64(seed & _MASK64 ^ (stream * 0xD1B54A32D192ED03 & _MASK64))
+    for index in path:
+        h = splitmix64(h ^ (index + 1))
+    return h
+
+
+def uniform_int(seed: int, path: Path, low: int, high: int, stream: int = 0) -> int:
+    """Deterministic uniform integer in ``[low, high]`` for a node path."""
+    if high < low:
+        raise ValueError("uniform_int requires low <= high")
+    span = high - low + 1
+    return low + path_hash(seed, path, stream) % span

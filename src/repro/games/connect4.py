@@ -1,0 +1,143 @@
+"""Connect Four on a configurable board, as a second real game substrate.
+
+Uses the classic bitboard layout (one column of ``height + 1`` bits per
+file, the top bit a sentinel) so win detection is four shift-and-mask
+operations.  Included to exercise the search stack on a game with a
+different branching profile than Othello (constant width, long forced
+lines) in the examples and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import GameError, IllegalMoveError
+
+
+@dataclass(frozen=True)
+class C4Position:
+    """Bitboards of the side to move and of both sides combined."""
+
+    current: int
+    mask: int
+    moves_made: int
+
+
+class ConnectFour:
+    """Connect Four game adapter.
+
+    Args:
+        width: number of columns (default 7).
+        height: number of rows (default 6).
+    """
+
+    def __init__(self, width: int = 7, height: int = 6):
+        if width < 4 and height < 4:
+            raise GameError("board must fit a line of four in some direction")
+        if width < 1 or height < 1:
+            raise GameError("board dimensions must be positive")
+        self.width = width
+        self.height = height
+        self._column_stride = height + 1
+        self._bottom_row = 0
+        for col in range(width):
+            self._bottom_row |= 1 << (col * self._column_stride)
+        self._full_mask = ((1 << (self._column_stride * width)) - 1) & ~(
+            self._bottom_row << height
+        )
+
+    def root(self) -> C4Position:
+        return C4Position(0, 0, 0)
+
+    def legal_columns(self, position: C4Position) -> list[int]:
+        """Columns that are not yet full."""
+        stride = self._column_stride
+        top = 1 << (self.height - 1)
+        return [
+            col
+            for col in range(self.width)
+            if not (position.mask >> (col * stride)) & top
+        ]
+
+    def play(self, position: C4Position, column: int) -> C4Position:
+        """Drop a stone in ``column``.
+
+        Raises:
+            IllegalMoveError: if the column is full or out of range.
+        """
+        if not 0 <= column < self.width:
+            raise IllegalMoveError(f"column {column} out of range")
+        stride = self._column_stride
+        if (position.mask >> (column * stride)) & (1 << (self.height - 1)):
+            raise IllegalMoveError(f"column {column} is full")
+        new_mask = position.mask | (position.mask + (1 << (column * stride)))
+        # The opponent becomes the side to move: its stones are the old
+        # occupied cells minus the mover's, which is current XOR mask.
+        return C4Position(
+            position.current ^ position.mask,
+            new_mask,
+            position.moves_made + 1,
+        )
+
+    def _has_won(self, board: int) -> bool:
+        """Does ``board`` contain four aligned stones?"""
+        stride = self._column_stride
+        for shift in (1, stride, stride + 1, stride - 1):
+            paired = board & (board >> shift)
+            if paired & (paired >> (2 * shift)):
+                return True
+        return False
+
+    def opponent_just_won(self, position: C4Position) -> bool:
+        """True when the player who moved last completed a line."""
+        opponent = position.current ^ position.mask
+        return self._has_won(opponent)
+
+    def children(self, position: C4Position) -> Sequence[C4Position]:
+        if self.opponent_just_won(position):
+            return ()
+        if position.mask == self._full_mask:
+            return ()
+        return tuple(self.play(position, col) for col in self.legal_columns(position))
+
+    def evaluate(self, position: C4Position) -> float:
+        if self.opponent_just_won(position):
+            # Prefer faster wins: losses that arrive later score higher.
+            return -10_000.0 + position.moves_made
+        if position.mask == self._full_mask:
+            return 0.0
+        return float(
+            self._threat_count(position.current, position.mask)
+            - self._threat_count(position.current ^ position.mask, position.mask)
+        )
+
+    def _threat_count(self, board: int, mask: int) -> int:
+        """Number of open three-in-a-rows — a simple positional heuristic."""
+        stride = self._column_stride
+        empties = self._full_mask & ~mask
+        threats = 0
+        for shift in (1, stride, stride + 1, stride - 1):
+            # trio bit p set  <=>  stones at p, p+shift, p+2*shift.
+            trio = board & (board >> shift) & (board >> (2 * shift))
+            threats += ((trio << (3 * shift)) & empties).bit_count()
+            threats += ((trio >> shift) & empties).bit_count()
+        return threats
+
+    def render(self, position: C4Position) -> str:
+        """ASCII board for examples and debugging."""
+        stride = self._column_stride
+        mover_is_first = position.moves_made % 2 == 0
+        rows = []
+        for row in range(self.height - 1, -1, -1):
+            cells = []
+            for col in range(self.width):
+                bit = 1 << (col * stride + row)
+                if not position.mask & bit:
+                    cells.append(".")
+                elif bool(position.current & bit) == mover_is_first:
+                    cells.append("X")
+                else:
+                    cells.append("O")
+            rows.append(" ".join(cells))
+        return "\n".join(rows)

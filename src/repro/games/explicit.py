@@ -1,0 +1,104 @@
+"""Explicitly specified game trees, for tests, docs, and worked examples.
+
+An :class:`ExplicitTree` is built from nested Python lists: a number is a
+leaf's static value, a list is an interior node's children.  The paper's
+hand-worked trees (Figures 6 and 7) are provided as constants so tests
+can check algorithm behaviour against the prose.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from ..errors import GameError
+from .base import Path
+
+Spec = Union[int, float, Sequence["Spec"]]
+
+
+class ExplicitTree:
+    """A game whose entire tree is given literally.
+
+    Args:
+        spec: nested lists of numbers, e.g. ``[[3, 5], [2, [1, 4]]]``.
+        interior_value: static value reported for interior nodes (they
+            are only evaluated when an ordering policy asks; defaults to
+            the negmax value of the subtree, i.e. a perfect evaluator,
+            which can be overridden with noise for ordering experiments).
+    """
+
+    def __init__(self, spec: Spec, perfect_interior_evaluator: bool = True):
+        self._spec = spec
+        self._perfect = perfect_interior_evaluator
+        self._validate(spec)
+
+    def _validate(self, spec: Spec) -> None:
+        if isinstance(spec, (int, float)):
+            return
+        if isinstance(spec, (list, tuple)):
+            if len(spec) == 0:
+                raise GameError("interior nodes must have at least one child")
+            for child in spec:
+                self._validate(child)
+            return
+        raise GameError(f"tree spec must be numbers and lists, got {type(spec)!r}")
+
+    def _resolve(self, path: Path) -> Spec:
+        node = self._spec
+        for index in path:
+            if isinstance(node, (int, float)):
+                raise GameError(f"path {path!r} descends through a leaf")
+            node = node[index]
+        return node
+
+    def root(self) -> Path:
+        return ()
+
+    def children(self, position: Path) -> Sequence[Path]:
+        node = self._resolve(position)
+        if isinstance(node, (int, float)):
+            return ()
+        return tuple(position + (i,) for i in range(len(node)))
+
+    def evaluate(self, position: Path) -> float:
+        node = self._resolve(position)
+        if isinstance(node, (int, float)):
+            return float(node)
+        if self._perfect:
+            return float(negmax_of_spec(node))
+        return 0.0
+
+    @property
+    def height(self) -> int:
+        def depth(spec: Spec) -> int:
+            if isinstance(spec, (int, float)):
+                return 0
+            return 1 + max(depth(child) for child in spec)
+
+        return depth(self._spec)
+
+
+def negmax_of_spec(spec: Spec) -> float:
+    """Reference negmax value of a nested-list tree (obviously correct)."""
+    if isinstance(spec, (int, float)):
+        return float(spec)
+    return max(-negmax_of_spec(child) for child in spec)
+
+
+#: The paper's Figure 6 situation: the root is evaluated to 9 through its
+#: first child E; the second child K is refuted as soon as its first
+#: child L is examined, so K's remaining subtree M (the poison 999
+#: leaves) is never visited.  Tests assert both the value and the prune.
+FIGURE6 = [
+    [9, 10, 11],  # E: value -9, contributing 9 to the root
+    [-11, [999, 999]],  # K: L (-11) refutes it; M is never examined
+]
+
+#: The paper's Figure 7 tree (values chosen to follow the prose walk:
+#: C, P, and c are the elder grandchildren; O becomes the root's e-child
+#: with value -13; B fails refutation and ends at -11; b is refuted at -8).
+FIGURE7 = [
+    [[16, 14], [13, 12]],  # B subtree: C = evaluate -> tentative -16
+    [[13, 20], [15, 17]],  # O subtree: P -> tentative -13 (chosen e-child)
+    [[15, 11], [8, 9]],  # b subtree: c -> tentative -15
+]

@@ -1,0 +1,94 @@
+"""Nim — a game with *provable* values for every position.
+
+Sprague–Grundy theory gives the exact game-theoretic outcome of any Nim
+position (the XOR of heap sizes is nonzero iff the player to move wins),
+so Nim supplies something no other substrate here can: mathematical
+ground truth for arbitrary positions, independent of any search.  The
+test suite exploits this to validate every search algorithm against
+theory rather than against another implementation.
+
+Positions are sorted tuples of heap sizes (zero heaps dropped); a move
+removes 1..k stones from one heap; the player who cannot move loses
+(normal play convention).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import GameError
+
+NimPosition = tuple[int, ...]
+
+#: Terminal scores: the player to move at an empty position has lost.
+LOSS = -1.0
+WIN = 1.0
+
+
+def normalize(heaps: Sequence[int]) -> NimPosition:
+    """Canonical form: sorted, zero heaps removed.
+
+    Raises:
+        GameError: on negative heap sizes.
+    """
+    if any(h < 0 for h in heaps):
+        raise GameError("heap sizes must be non-negative")
+    return tuple(sorted(h for h in heaps if h > 0))
+
+
+def grundy_value(position: NimPosition) -> int:
+    """The Sprague-Grundy value: XOR of the heap sizes (Bouton's theorem)."""
+    value = 0
+    for heap in position:
+        value ^= heap
+    return value
+
+
+def theoretical_value(position: NimPosition) -> float:
+    """+1 if the player to move wins under optimal play, else -1."""
+    return WIN if grundy_value(position) != 0 else LOSS
+
+
+class Nim:
+    """Game adapter for Nim.
+
+    Args:
+        heaps: starting heap sizes, e.g. ``(3, 4, 5)``.
+    """
+
+    def __init__(self, heaps: Sequence[int] = (3, 4, 5)):
+        self._root = normalize(heaps)
+
+    def root(self) -> NimPosition:
+        return self._root
+
+    def children(self, position: NimPosition) -> Sequence[NimPosition]:
+        successors = []
+        seen = set()
+        for index, heap in enumerate(position):
+            for take in range(1, heap + 1):
+                rest = position[:index] + (heap - take,) + position[index + 1 :]
+                child = normalize(rest)
+                if child not in seen:
+                    seen.add(child)
+                    successors.append(child)
+        return tuple(successors)
+
+    def evaluate(self, position: NimPosition) -> float:
+        """Terminal: a player facing no stones has lost.
+
+        Interior positions get an *uninformative* heuristic (0) so that a
+        horizon-limited search must actually look ahead; full-depth
+        searches never consult it because Nim games always terminate.
+        """
+        if not position:
+            return LOSS
+        return 0.0
+
+    def total_stones(self) -> int:
+        return sum(self._root)
+
+
+def max_game_length(heaps: Sequence[int]) -> int:
+    """An upper bound on game length: one move removes >= 1 stone."""
+    return sum(normalize(heaps))

@@ -1,0 +1,46 @@
+"""Bitboard Othello engine (rules, evaluator, experiment roots)."""
+
+from .board import (
+    apply_move,
+    bits,
+    flips_for_move,
+    legal_moves,
+    render,
+    square_bit,
+    square_name,
+)
+from .evaluator import WIN_SCORE, EvaluationWeights, evaluate, phase_weights
+from .game import (
+    BLACK,
+    O1_ROOT,
+    O2_ROOT,
+    O3_ROOT,
+    START,
+    WHITE,
+    Othello,
+    OthelloPosition,
+    play_opening,
+)
+
+__all__ = [
+    "apply_move",
+    "bits",
+    "flips_for_move",
+    "legal_moves",
+    "render",
+    "square_bit",
+    "square_name",
+    "WIN_SCORE",
+    "EvaluationWeights",
+    "evaluate",
+    "phase_weights",
+    "BLACK",
+    "WHITE",
+    "START",
+    "Othello",
+    "OthelloPosition",
+    "play_opening",
+    "O1_ROOT",
+    "O2_ROOT",
+    "O3_ROOT",
+]

@@ -1,0 +1,225 @@
+"""Synthetic random game trees (Section 7 of the paper).
+
+Three families are provided:
+
+* :class:`RandomGameTree` — the paper's model: a complete d-ary tree of
+  fixed height whose leaves carry iid uniform values.  Interior static
+  values are independent noise, so move ordering is uninformative — the
+  regime in which the paper reports ER's best efficiency (Figure 11).
+
+* :class:`IncrementalGameTree` — an "incremental" model in which a node's
+  value is an accumulated sum of edge increments, so the static evaluator
+  is informative and trees are *strongly ordered* in Marsland's sense
+  (Section 4.4).  Used for the pv-splitting and ordering-quality ablations.
+
+* :class:`SyntheticOrderedTree` — a tree whose exact negmax value is fixed
+  by construction and whose best child can be pinned to a chosen position.
+  With ``best_child='first'`` the tree is perfectly best-first ordered and
+  alpha-beta visits exactly the Knuth–Moore minimal tree, which the test
+  suite checks against the closed-form leaf count of Section 2.2.
+
+All three are lazy: positions are just node paths plus cached metadata,
+and every random quantity is recomputed from a splittable hash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import GameError
+from .base import Path
+from ._hashing import path_hash, uniform_int
+
+
+@dataclass(frozen=True)
+class TreePosition:
+    """A position in a synthetic tree: its path from the root."""
+
+    path: Path
+
+    @property
+    def ply(self) -> int:
+        return len(self.path)
+
+
+class RandomGameTree:
+    """Complete ``degree``-ary tree of ``height`` plies, iid uniform leaves.
+
+    Args:
+        degree: number of children of every interior node (paper: 4 or 8).
+        height: leaf depth in plies (paper: 7, 10, or 11).
+        seed: stream seed; equal seeds give identical trees.
+        value_range: leaf values are uniform on ``[-value_range, value_range]``.
+    """
+
+    def __init__(self, degree: int, height: int, seed: int = 0, value_range: int = 10_000):
+        if degree < 1:
+            raise GameError("degree must be at least 1")
+        if height < 0:
+            raise GameError("height must be non-negative")
+        if value_range < 1:
+            raise GameError("value_range must be positive")
+        self.degree = degree
+        self.height = height
+        self.seed = seed
+        self.value_range = value_range
+
+    def root(self) -> TreePosition:
+        return TreePosition(())
+
+    def children(self, position: TreePosition) -> Sequence[TreePosition]:
+        if position.ply >= self.height:
+            return ()
+        path = position.path
+        return tuple(TreePosition(path + (i,)) for i in range(self.degree))
+
+    def evaluate(self, position: TreePosition) -> float:
+        # Leaves get the paper's iid uniform values; interior nodes get an
+        # independent draw, modelling a completely uninformative evaluator.
+        stream = 0 if position.ply >= self.height else 1
+        return float(
+            uniform_int(self.seed, position.path, -self.value_range, self.value_range, stream)
+        )
+
+    def leaf_count(self) -> int:
+        """Total leaves of the full tree (``degree ** height``)."""
+        return self.degree**self.height
+
+
+class IncrementalGameTree:
+    """Strongly ordered random tree: values accumulate along edges.
+
+    Each edge carries a uniform increment; a node's *true score* is the
+    negamax-alternating sum of increments on its path, and its static
+    value is that score plus bounded noise.  With ``noise=0`` the static
+    evaluator ranks children almost perfectly; raising ``noise`` degrades
+    ordering quality continuously, which the ordering ablation sweeps.
+    """
+
+    def __init__(
+        self,
+        degree: int,
+        height: int,
+        seed: int = 0,
+        increment_range: int = 100,
+        noise: float = 0.25,
+    ):
+        if degree < 1:
+            raise GameError("degree must be at least 1")
+        if height < 0:
+            raise GameError("height must be non-negative")
+        if increment_range < 1:
+            raise GameError("increment_range must be positive")
+        if noise < 0:
+            raise GameError("noise must be non-negative")
+        self.degree = degree
+        self.height = height
+        self.seed = seed
+        self.increment_range = increment_range
+        self.noise = noise
+
+    def root(self) -> TreePosition:
+        return TreePosition(())
+
+    def children(self, position: TreePosition) -> Sequence[TreePosition]:
+        if position.ply >= self.height:
+            return ()
+        path = position.path
+        return tuple(TreePosition(path + (i,)) for i in range(self.degree))
+
+    def _score(self, path: Path) -> int:
+        """True accumulated score of a node, side-to-move point of view."""
+        score = 0
+        for ply in range(1, len(path) + 1):
+            inc = uniform_int(self.seed, path[:ply], -self.increment_range, self.increment_range)
+            score = -score + inc
+        return score
+
+    def evaluate(self, position: TreePosition) -> float:
+        score = self._score(position.path)
+        if position.ply >= self.height or self.noise == 0:
+            noise = 0
+        else:
+            bound = max(1, int(self.increment_range * self.noise))
+            noise = uniform_int(self.seed, position.path, -bound, bound, stream=2)
+        return float(score + noise)
+
+
+class SyntheticOrderedTree:
+    """Tree with a predetermined negmax value at every node.
+
+    Construction (top-down, derived lazily from path hashes): the root is
+    assigned a value ``v``.  Exactly one child — the *best* child — is
+    assigned value ``-v`` so that ``max(-child)`` recovers ``v``; every
+    other child is assigned ``-v + delta`` with ``delta >= 1``, making it
+    strictly worse for the parent.  Leaves evaluate to their predetermined
+    value, so the whole tree's negmax value equals the root's assignment
+    exactly — a ground truth for correctness tests at any size.
+
+    Args:
+        best_child: ``'first'`` produces a perfectly best-first-ordered
+            tree (alpha-beta visits exactly the minimal tree);
+            ``'last'`` produces the pathological worst-first order;
+            ``'random'`` scatters the best child uniformly.
+    """
+
+    _PLACEMENTS = ("first", "last", "random")
+
+    def __init__(
+        self,
+        degree: int,
+        height: int,
+        seed: int = 0,
+        root_value: int | None = None,
+        delta_range: int = 50,
+        best_child: str = "first",
+    ):
+        if degree < 1:
+            raise GameError("degree must be at least 1")
+        if height < 0:
+            raise GameError("height must be non-negative")
+        if delta_range < 1:
+            raise GameError("delta_range must be positive")
+        if best_child not in self._PLACEMENTS:
+            raise GameError(f"best_child must be one of {self._PLACEMENTS}")
+        self.degree = degree
+        self.height = height
+        self.seed = seed
+        self.delta_range = delta_range
+        self.best_child = best_child
+        if root_value is None:
+            root_value = uniform_int(seed, (), -1000, 1000, stream=7)
+        self.root_value = root_value
+
+    def root(self) -> TreePosition:
+        return TreePosition(())
+
+    def children(self, position: TreePosition) -> Sequence[TreePosition]:
+        if position.ply >= self.height:
+            return ()
+        path = position.path
+        return tuple(TreePosition(path + (i,)) for i in range(self.degree))
+
+    def _best_index(self, path: Path) -> int:
+        if self.best_child == "first":
+            return 0
+        if self.best_child == "last":
+            return self.degree - 1
+        return path_hash(self.seed, path, stream=3) % self.degree
+
+    def assigned_value(self, path: Path) -> int:
+        """The negmax value this construction assigns to a node."""
+        value = self.root_value
+        for ply in range(len(path)):
+            prefix = path[:ply]
+            index = path[ply]
+            if index == self._best_index(prefix):
+                value = -value
+            else:
+                delta = uniform_int(self.seed, path[: ply + 1], 1, self.delta_range, stream=4)
+                value = -value + delta
+        return value
+
+    def evaluate(self, position: TreePosition) -> float:
+        return float(self.assigned_value(position.path))

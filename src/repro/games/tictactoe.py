@@ -1,0 +1,123 @@
+"""Tic-tac-toe, the paper's Figure 1 substrate.
+
+The full game tree is small enough to search exhaustively, giving exact
+ground truth for every search algorithm: the root negmax value is 0 (a
+draw under optimal play), which the test suite asserts for negmax,
+alpha-beta, serial ER, and every parallel algorithm.
+
+Positions are ``(cells, to_move)`` where ``cells`` is a 9-tuple over
+``{0, 1, 2}`` (empty / X / O) indexed row-major and ``to_move`` is 1 or 2.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import GameError, IllegalMoveError
+
+Cells = tuple[int, ...]
+TTTPosition = tuple[Cells, int]
+
+_LINES: tuple[tuple[int, int, int], ...] = (
+    (0, 1, 2),
+    (3, 4, 5),
+    (6, 7, 8),
+    (0, 3, 6),
+    (1, 4, 7),
+    (2, 5, 8),
+    (0, 4, 8),
+    (2, 4, 6),
+)
+
+EMPTY_BOARD: Cells = (0,) * 9
+
+
+def winner(cells: Cells) -> int:
+    """Return 1 or 2 if that player has three in a row, else 0."""
+    for a, b, c in _LINES:
+        mark = cells[a]
+        if mark != 0 and mark == cells[b] == cells[c]:
+            return mark
+    return 0
+
+
+def legal_moves(cells: Cells) -> list[int]:
+    """Indices of empty cells (the game must not already be decided)."""
+    return [i for i, mark in enumerate(cells) if mark == 0]
+
+
+def play(position: TTTPosition, cell: int) -> TTTPosition:
+    """Apply a move, returning the successor position.
+
+    Raises:
+        IllegalMoveError: if the cell is occupied, out of range, or the
+            game is already over.
+    """
+    cells, to_move = position
+    if not 0 <= cell < 9:
+        raise IllegalMoveError(f"cell {cell} out of range")
+    if cells[cell] != 0:
+        raise IllegalMoveError(f"cell {cell} is occupied")
+    if winner(cells) != 0:
+        raise IllegalMoveError("game is already over")
+    new_cells = cells[:cell] + (to_move,) + cells[cell + 1 :]
+    return (new_cells, 3 - to_move)
+
+
+class TicTacToe:
+    """Game adapter for tic-tac-toe.
+
+    ``evaluate`` returns the exact outcome at terminal positions
+    (win = +1 for the side to move — impossible, the mover just lost —
+    so in practice −1 or 0) and an open-lines heuristic at the horizon.
+    """
+
+    def root(self) -> TTTPosition:
+        return (EMPTY_BOARD, 1)
+
+    def children(self, position: TTTPosition) -> Sequence[TTTPosition]:
+        cells, _ = position
+        if winner(cells) != 0:
+            return ()
+        return tuple(play(position, cell) for cell in legal_moves(cells))
+
+    def evaluate(self, position: TTTPosition) -> float:
+        cells, to_move = position
+        won = winner(cells)
+        if won != 0:
+            # The player to move faces a completed line by the opponent.
+            return 1.0 if won == to_move else -1.0
+        if all(mark != 0 for mark in cells):
+            return 0.0
+        return float(self._open_lines(cells, to_move) - self._open_lines(cells, 3 - to_move))
+
+    @staticmethod
+    def _open_lines(cells: Cells, player: int) -> int:
+        """Lines not containing any opposing mark — a classic heuristic."""
+        other = 3 - player
+        return sum(1 for line in _LINES if all(cells[i] != other for i in line))
+
+    @staticmethod
+    def render(position: TTTPosition) -> str:
+        """ASCII board for examples and debugging."""
+        cells, to_move = position
+        glyphs = {0: ".", 1: "X", 2: "O"}
+        rows = (
+            " ".join(glyphs[cells[r * 3 + c]] for c in range(3)) for r in range(3)
+        )
+        return "\n".join(rows) + f"\n({glyphs[to_move]} to move)"
+
+
+def position_from_string(text: str, to_move: int) -> TTTPosition:
+    """Parse a board like ``'X.O .X. ..O'`` (whitespace separated rows)."""
+    glyphs = {".": 0, "X": 1, "O": 2}
+    flat = "".join(text.split())
+    if len(flat) != 9:
+        raise GameError("board string must contain exactly 9 cells")
+    try:
+        cells = tuple(glyphs[ch] for ch in flat)
+    except KeyError as exc:
+        raise GameError(f"unknown board glyph {exc.args[0]!r}") from exc
+    if to_move not in (1, 2):
+        raise GameError("to_move must be 1 (X) or 2 (O)")
+    return (cells, to_move)

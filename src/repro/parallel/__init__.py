@@ -1,0 +1,23 @@
+"""Parallel game-tree search algorithms (the paper's Section 4 baselines
+plus the problem-heap substrate shared with parallel ER)."""
+
+from .aspiration import aspiration_windows, parallel_aspiration
+from .base import ParallelResult
+from .mwf import mwf
+from .naive_split import naive_split
+from .pv_splitting import pv_splitting
+from .schedule import ScheduledTask, list_schedule
+from .tree_splitting import processor_tree_height, tree_splitting
+
+__all__ = [
+    "ParallelResult",
+    "parallel_aspiration",
+    "aspiration_windows",
+    "mwf",
+    "naive_split",
+    "pv_splitting",
+    "tree_splitting",
+    "processor_tree_height",
+    "ScheduledTask",
+    "list_schedule",
+]

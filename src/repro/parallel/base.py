@@ -1,0 +1,46 @@
+"""Common result type and helpers for all parallel search algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..search.stats import SearchStats
+from ..sim.metrics import SimReport
+
+
+@dataclass(frozen=True)
+class ParallelResult:
+    """Outcome of one simulated parallel search run.
+
+    Attributes:
+        value: the root negmax value found.
+        n_processors: how many simulated processors ran.
+        report: timing report from the discrete-event engine.
+        stats: merged work accounting across all processors.
+        algorithm: short name for tables ("er", "mwf", "tree-split", ...).
+        extras: algorithm-specific counters (speculative selections,
+            aborted serial searches, phases, ...).
+    """
+
+    value: float
+    n_processors: int
+    report: SimReport
+    stats: SearchStats
+    algorithm: str
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def sim_time(self) -> float:
+        """Simulated completion time (the makespan)."""
+        return self.report.makespan
+
+    def speedup(self, serial_time: float) -> float:
+        """Fishburn's speedup: best serial time over parallel time."""
+        if self.sim_time <= 0:
+            return float("inf")
+        return serial_time / self.sim_time
+
+    def efficiency(self, serial_time: float) -> float:
+        """Speedup divided by processor count (paper Section 3)."""
+        return self.speedup(serial_time) / max(1, self.n_processors)

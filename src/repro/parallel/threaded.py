@@ -1,0 +1,128 @@
+"""Real-thread execution of the parallel ER problem heap.
+
+The simulated engine answers the paper's *performance* questions; this
+module answers the *correctness-under-concurrency* one: the very same
+worker generators that run on the discrete-event engine are driven here
+by OS threads, with each simulation op interpreted against real
+synchronization primitives:
+
+* ``Compute``      -> nothing (the Python work already happened)
+* ``Acquire/Release`` -> a real ``threading.Lock``
+* ``WaitWork``     -> a ``threading.Condition`` wait (with a short timeout
+  so a lost wakeup can never wedge the run)
+
+Because CPython's GIL serializes bytecode, no speedup is expected or
+measured — this exists to demonstrate that the heap/tree protocol is
+correct under genuinely nondeterministic interleavings, which the test
+suite exercises with many thread counts and seeds.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from ..core.er_parallel import ERConfig, _Context, _worker
+from ..costmodel import DEFAULT_COST_MODEL, CostModel
+from ..errors import SearchError, SimulationError
+from ..games.base import SearchProblem
+from ..search.stats import SearchStats
+from ..sim.ops import Acquire, Compute, Release, WaitWork
+
+#: Upper bound on a single WaitWork nap; keeps lost wakeups harmless.
+_WAIT_SLICE_SECONDS = 0.002
+
+
+class _ThreadedDriver:
+    """Interprets one worker generator against real primitives."""
+
+    def __init__(self, ctx: _Context, deadline: float):
+        self.ctx = ctx
+        self.deadline = deadline
+        # Lazily populated: the distributed-heap variant creates one lock
+        # per processor.  dict.setdefault is atomic under the GIL, so two
+        # threads racing to create the same entry agree on the winner.
+        self.locks: dict = {}
+        self.condition = threading.Condition()
+        self.errors: list[BaseException] = []
+
+    def _real_lock(self, sim_lock) -> threading.Lock:
+        return self.locks.setdefault(sim_lock, threading.Lock())
+
+    def wake_all(self) -> None:
+        with self.condition:
+            self.condition.notify_all()
+
+    def drive(self, worker) -> None:
+        try:
+            for op in worker:
+                if isinstance(op, Compute):
+                    continue
+                if isinstance(op, Acquire):
+                    self._real_lock(op.lock).acquire()
+                elif isinstance(op, Release):
+                    lock = self._real_lock(op.lock)
+                    lock.release()
+                    # Work may have been published: give sleepers a poke.
+                    self.wake_all()
+                elif isinstance(op, WaitWork):
+                    with self.condition:
+                        if op.signal.version == op.seen_version and not self.ctx.done:
+                            self.condition.wait(timeout=_WAIT_SLICE_SECONDS)
+                else:  # pragma: no cover - protocol guard
+                    raise SimulationError(f"threaded driver cannot run {op!r}")
+        except BaseException as exc:  # noqa: BLE001 - surfaced to the caller
+            self.errors.append(exc)
+            self.ctx.done = True
+            self.wake_all()
+
+
+def threaded_er(
+    problem: SearchProblem,
+    n_threads: int,
+    *,
+    config: Optional[ERConfig] = None,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    timeout: float = 60.0,
+) -> tuple[float, SearchStats]:
+    """Run parallel ER's problem-heap protocol on real OS threads.
+
+    Returns:
+        ``(root_value, merged_stats)``.  The value must equal the serial
+        result — asserted across the test suite under many interleavings.
+
+    Raises:
+        SimulationError: if a worker thread raised or the run timed out.
+    """
+    if n_threads < 1:
+        raise SearchError("need at least one thread")
+    if config is None:
+        config = ERConfig()
+    ctx = _Context(problem, cost_model, config, trace=False, n_processors=n_threads)
+    driver = _ThreadedDriver(ctx, timeout)
+    stats = [SearchStats() for _ in range(n_threads)]
+    threads = [
+        threading.Thread(
+            target=driver.drive,
+            args=(_worker(ctx, stats[i], pid=i),),
+            name=f"er-worker-{i}",
+            daemon=True,
+        )
+        for i in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=timeout)
+        if thread.is_alive():
+            ctx.done = True
+            driver.wake_all()
+            raise SimulationError("threaded ER timed out")
+    if driver.errors:
+        raise SimulationError(f"worker thread failed: {driver.errors[0]!r}") from driver.errors[0]
+    if not ctx.done:
+        raise SimulationError("threaded ER finished without combining the root")
+    merged = SearchStats()
+    for s in stats:
+        merged.merge(s)
+    return ctx.root.value, merged

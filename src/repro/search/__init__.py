@@ -1,0 +1,46 @@
+"""Serial search algorithms and tree analysis (paper Sections 2 and 5)."""
+
+from .alphabeta import alphabeta
+from .aspiration import AspirationOutcome, aspiration_search
+from .minimal_tree import (
+    Rules,
+    count_critical_leaves,
+    count_critical_nodes,
+    is_critical,
+    minimal_leaf_count_formula,
+    minimal_tree_paths,
+    node_type,
+)
+from .negamax import negamax
+from .negascout import negascout
+from .stats import SearchResult, SearchStats, argsort_by_static_value
+from .transposition import (
+    Bound,
+    TranspositionTable,
+    TTEntry,
+    alphabeta_tt,
+    iterative_deepening,
+)
+
+__all__ = [
+    "alphabeta",
+    "negascout",
+    "TranspositionTable",
+    "TTEntry",
+    "Bound",
+    "alphabeta_tt",
+    "iterative_deepening",
+    "aspiration_search",
+    "AspirationOutcome",
+    "negamax",
+    "SearchResult",
+    "SearchStats",
+    "argsort_by_static_value",
+    "Rules",
+    "node_type",
+    "is_critical",
+    "minimal_tree_paths",
+    "minimal_leaf_count_formula",
+    "count_critical_leaves",
+    "count_critical_nodes",
+]

@@ -1,0 +1,70 @@
+"""Serial aspiration search (the substrate of Baudet's parallel variant).
+
+Alpha-beta run with a narrow window ``(guess - delta, guess + delta)``
+around an estimate of the root value.  If the search *fails high* (value
+at or above the ceiling) or *fails low* (at or below the floor), the
+failing side of the window is reopened and the search repeated.  Narrow
+windows prune dramatically when the guess is good — the effect Baudet's
+parallel aspiration search (paper Section 4.1) exploits by giving each
+processor a different window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..costmodel import DEFAULT_COST_MODEL, CostModel
+from ..games.base import NEG_INF, POS_INF, SearchProblem
+from .alphabeta import alphabeta
+from .stats import SearchResult, SearchStats
+
+
+@dataclass(frozen=True)
+class AspirationOutcome:
+    """Result of an aspiration search, with the re-search count."""
+
+    result: SearchResult
+    researches: int
+
+
+def aspiration_search(
+    problem: SearchProblem,
+    guess: float,
+    delta: float,
+    *,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    stats: Optional[SearchStats] = None,
+    max_researches: int = 4,
+) -> AspirationOutcome:
+    """Search with an aspiration window around ``guess``.
+
+    The window widens geometrically on failure and falls back to the open
+    window after ``max_researches`` failures, so the result is always the
+    true root value.
+
+    Raises:
+        ValueError: if ``delta`` is not positive.
+    """
+    if delta <= 0:
+        raise ValueError("aspiration delta must be positive")
+    if stats is None:
+        stats = SearchStats()
+
+    low, high = guess - delta, guess + delta
+    researches = 0
+    while True:
+        result = alphabeta(problem, low, high, cost_model=cost_model, stats=stats)
+        if low < result.value < high:
+            return AspirationOutcome(result=result, researches=researches)
+        researches += 1
+        if researches > max_researches:
+            result = alphabeta(
+                problem, NEG_INF, POS_INF, cost_model=cost_model, stats=stats
+            )
+            return AspirationOutcome(result=result, researches=researches)
+        width = high - low
+        if result.value >= high:
+            low, high = high - 1, high + 2 * width  # fail high: raise ceiling
+        else:
+            low, high = low - 2 * width, low + 1  # fail low: drop floor

@@ -1,0 +1,129 @@
+"""Knuth–Moore critical nodes and minimal trees (paper Section 2.2).
+
+Two rule sets are implemented:
+
+* ``DEEP`` — the classic three-type rules for full alpha-beta:
+  (i) the root is type 1; (ii) the first child of a type-1 node is type 1,
+  the rest type 2; (iii) the first child of a type-2 node is type 3;
+  (iv) all children of a type-3 node are type 2.
+
+* ``SHALLOW`` — the two-type rules for alpha-beta without deep cutoffs
+  (the minimal tree MWF searches in its first phase): (i) the root is
+  type 1; (ii) the first child of a type-1 node is type 1, the rest
+  type 2; (iii) the first child of a type-2 node is type 1.
+
+On a perfectly ordered (best-first) tree, alpha-beta with deep cutoffs
+examines exactly the ``DEEP`` minimal tree, whose leaf count is the
+closed form  d^⌈h/2⌉ + d^⌊h/2⌋ − 1  (Slagle & Dixon; Knuth & Moore).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from functools import lru_cache
+from typing import Iterator, Optional
+
+from ..errors import SearchError
+from ..games.base import Path
+
+
+class Rules(Enum):
+    """Which cutoff regime defines the minimal tree."""
+
+    DEEP = "deep"
+    SHALLOW = "shallow"
+
+
+def node_type(path: Path, rules: Rules = Rules.DEEP) -> Optional[int]:
+    """Type (1, 2, or 3) of the node at ``path``, or ``None`` if non-critical.
+
+    A node is critical iff every step of its path stays inside the rules.
+    """
+    current = 1
+    for index in path:
+        if current == 1:
+            current = 1 if index == 0 else 2
+        elif current == 2:
+            if index != 0:
+                return None
+            current = 3 if rules is Rules.DEEP else 1
+        else:  # type 3: all children are type 2
+            current = 2
+    return current
+
+
+def is_critical(path: Path, rules: Rules = Rules.DEEP) -> bool:
+    """True when the node at ``path`` belongs to the minimal tree."""
+    return node_type(path, rules) is not None
+
+
+def minimal_tree_paths(degree: int, height: int, rules: Rules = Rules.DEEP) -> Iterator[Path]:
+    """Yield every critical node path of a complete d-ary tree, preorder."""
+    if degree < 1 or height < 0:
+        raise SearchError("degree must be >= 1 and height >= 0")
+
+    def walk(path: Path, kind: int) -> Iterator[Path]:
+        yield path
+        if len(path) >= height:
+            return
+        if kind == 1:
+            yield from walk(path + (0,), 1)
+            for index in range(1, degree):
+                yield from walk(path + (index,), 2)
+        elif kind == 2:
+            yield from walk(path + (0,), 3 if rules is Rules.DEEP else 1)
+        else:
+            for index in range(degree):
+                yield from walk(path + (index,), 2)
+
+    return walk((), 1)
+
+
+def minimal_leaf_count_formula(degree: int, height: int) -> int:
+    """Closed-form leaf count of the ``DEEP`` minimal tree (Section 2.2)."""
+    if degree < 1 or height < 0:
+        raise SearchError("degree must be >= 1 and height >= 0")
+    return degree ** -(-height // 2) + degree ** (height // 2) - 1
+
+
+def count_critical_leaves(degree: int, height: int, rules: Rules = Rules.DEEP) -> int:
+    """Leaf count of the minimal tree, by recurrence over node types.
+
+    Matches :func:`minimal_leaf_count_formula` for ``Rules.DEEP`` (checked
+    by the test suite) and also covers the shallow rule set, which has no
+    standard closed form in the paper.
+    """
+    if degree < 1 or height < 0:
+        raise SearchError("degree must be >= 1 and height >= 0")
+
+    @lru_cache(maxsize=None)
+    def leaves(kind: int, remaining: int) -> int:
+        if remaining == 0:
+            return 1
+        if kind == 1:
+            return leaves(1, remaining - 1) + (degree - 1) * leaves(2, remaining - 1)
+        if kind == 2:
+            next_kind = 3 if rules is Rules.DEEP else 1
+            return leaves(next_kind, remaining - 1)
+        return degree * leaves(2, remaining - 1)
+
+    return leaves(1, height)
+
+
+def count_critical_nodes(degree: int, height: int, rules: Rules = Rules.DEEP) -> int:
+    """Total node count (interior + leaves) of the minimal tree."""
+    if degree < 1 or height < 0:
+        raise SearchError("degree must be >= 1 and height >= 0")
+
+    @lru_cache(maxsize=None)
+    def nodes(kind: int, remaining: int) -> int:
+        if remaining == 0:
+            return 1
+        if kind == 1:
+            return 1 + nodes(1, remaining - 1) + (degree - 1) * nodes(2, remaining - 1)
+        if kind == 2:
+            next_kind = 3 if rules is Rules.DEEP else 1
+            return 1 + nodes(next_kind, remaining - 1)
+        return 1 + degree * nodes(2, remaining - 1)
+
+    return nodes(1, height)

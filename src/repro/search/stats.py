@@ -1,0 +1,136 @@
+"""Work accounting shared by every search algorithm.
+
+Figures 12–13 of the paper compare algorithms by *nodes generated*, and
+all speedup numbers rest on a common notion of work.  Every search in this
+package — serial or simulated-parallel — reports a :class:`SearchStats`
+charged through the same :class:`~repro.costmodel.CostModel`, so "time"
+means the same thing everywhere (see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..costmodel import CostModel
+from ..games.base import Path
+
+
+@dataclass
+class SearchStats:
+    """Mutable accumulator of search work.
+
+    Attributes:
+        interior_visits: interior nodes whose children were generated.
+        leaf_evals: static evaluations of horizon/terminal nodes.
+        ordering_evals: static evaluations spent pre-sorting children
+            (the overhead that makes serial ER beat alpha-beta on tree O1).
+        nodes_generated: total successor positions created.
+        cutoffs: number of beta cutoffs taken.
+        cost: accumulated simulated time units.
+        trace: if not ``None``, the set of visited node paths — consumed by
+            the mandatory/speculative loss analysis (paper Section 3.1).
+    """
+
+    interior_visits: int = 0
+    leaf_evals: int = 0
+    ordering_evals: int = 0
+    nodes_generated: int = 0
+    cutoffs: int = 0
+    cost: float = 0.0
+    trace: Optional[set[Path]] = None
+
+    @classmethod
+    def with_trace(cls) -> "SearchStats":
+        """A stats object that also records every visited node path."""
+        return cls(trace=set())
+
+    # -- charging hooks -------------------------------------------------
+
+    def on_expand(self, path: Path, n_children: int, cost_model: CostModel) -> float:
+        """Record generating ``n_children`` successors of the node at ``path``.
+
+        Returns the cost charged, so simulated workers can also advance
+        their local clocks by it.
+        """
+        self.interior_visits += 1
+        self.nodes_generated += n_children
+        if self.trace is not None:
+            self.trace.add(path)
+        charged = cost_model.expansion(n_children)
+        self.cost += charged
+        return charged
+
+    def on_leaf(self, path: Path, cost_model: CostModel) -> float:
+        """Record statically evaluating the leaf at ``path``."""
+        self.leaf_evals += 1
+        if self.trace is not None:
+            self.trace.add(path)
+        charged = cost_model.static_eval
+        self.cost += charged
+        return charged
+
+    def on_ordering(self, n_children: int, cost_model: CostModel) -> float:
+        """Record the static evaluations used to sort ``n_children``."""
+        self.ordering_evals += n_children
+        charged = cost_model.ordering(n_children)
+        self.cost += charged
+        return charged
+
+    def on_cutoff(self) -> None:
+        self.cutoffs += 1
+
+    # -- derived quantities ---------------------------------------------
+
+    @property
+    def nodes_examined(self) -> int:
+        """Nodes visited (interior expansions plus leaf evaluations)."""
+        return self.interior_visits + self.leaf_evals
+
+    def merge(self, other: "SearchStats") -> None:
+        """Fold another accumulator into this one (for parallel workers)."""
+        self.interior_visits += other.interior_visits
+        self.leaf_evals += other.leaf_evals
+        self.ordering_evals += other.ordering_evals
+        self.nodes_generated += other.nodes_generated
+        self.cutoffs += other.cutoffs
+        self.cost += other.cost
+        if self.trace is not None and other.trace is not None:
+            self.trace.update(other.trace)
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of a search: the root negmax value plus its accounting."""
+
+    value: float
+    stats: SearchStats
+    pv: tuple[int, ...] = ()
+
+    @property
+    def cost(self) -> float:
+        return self.stats.cost
+
+
+@dataclass
+class OrderingPolicy:
+    """How children are pre-ordered before search.
+
+    ``argsort`` returns child indices sorted ascending by static value
+    (lowest child value = best for the parent under negmax), charging the
+    evaluator applications to ``stats``.
+    """
+
+    cost_model: CostModel
+    stats: SearchStats
+
+    def argsort(self, game, children) -> list[int]:
+        self.stats.on_ordering(len(children), self.cost_model)
+        values = [game.evaluate(child) for child in children]
+        return sorted(range(len(children)), key=values.__getitem__)
+
+
+def argsort_by_static_value(game, children) -> list[int]:
+    """Uncharged ascending argsort by static value (for tests/utilities)."""
+    values = [game.evaluate(child) for child in children]
+    return sorted(range(len(children)), key=values.__getitem__)

@@ -1,0 +1,21 @@
+"""Deterministic discrete-event multiprocessor simulator (DESIGN.md §1)."""
+
+from .engine import Engine, Worker, run_workers
+from .locks import SimLock, WorkSignal
+from .metrics import ProcessorMetrics, SimReport
+from .ops import Acquire, Compute, Op, Release, WaitWork
+
+__all__ = [
+    "Engine",
+    "Worker",
+    "run_workers",
+    "SimLock",
+    "WorkSignal",
+    "ProcessorMetrics",
+    "SimReport",
+    "Acquire",
+    "Compute",
+    "Op",
+    "Release",
+    "WaitWork",
+]

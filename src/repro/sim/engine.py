@@ -1,0 +1,189 @@
+"""Deterministic discrete-event engine driving simulated processors.
+
+Workers are generators yielding :mod:`~repro.sim.ops` operations; the
+engine interleaves them on a single event queue keyed ``(time, seq)``, so
+every run is exactly reproducible — the substitution for the paper's
+Sequent Symmetry (DESIGN.md §1).  Python executed between two yields is
+atomic in simulated time; locks exist to *charge* contention, and blocked
+time is split into interference (lock waits) and starvation (work waits).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from enum import Enum
+from typing import Generator, Iterable, Optional
+
+from ..errors import DeadlockError, SimulationError, WorkerProtocolError
+from .locks import SimLock, WorkSignal
+from .metrics import ProcessorMetrics, SimReport
+from .ops import Acquire, Compute, Op, Release, WaitWork
+
+Worker = Generator[Op, None, None]
+
+
+class _State(Enum):
+    READY = "ready"
+    BLOCKED_LOCK = "blocked-lock"
+    BLOCKED_WORK = "blocked-work"
+    FINISHED = "finished"
+
+
+@dataclass
+class _Proc:
+    worker: Worker
+    state: _State = _State.READY
+    blocked_since: float = 0.0
+    metrics: ProcessorMetrics = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.metrics = ProcessorMetrics()
+
+
+class Engine:
+    """Runs a fixed set of worker generators to completion.
+
+    Args:
+        workers: one generator per simulated processor.
+        max_events: safety valve against runaway zero-cost loops.
+    """
+
+    def __init__(
+        self,
+        workers: Iterable[Worker],
+        max_events: int = 50_000_000,
+        record_timeline: bool = False,
+    ):
+        self._procs = [_Proc(worker=w) for w in workers]
+        if not self._procs:
+            raise SimulationError("engine needs at least one worker")
+        if record_timeline:
+            for proc in self._procs:
+                proc.metrics.timeline = []
+        self._max_events = max_events
+        self.now = 0.0
+        self._seq = 0
+        self._queue: list[tuple[float, int, int]] = []
+        self._events = 0
+        self._running = False
+
+    # -- scheduling primitives -------------------------------------------
+
+    def _schedule(self, wid: int, at: float) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (at, self._seq, wid))
+
+    def _wake_from_signal(self, wid: int, signal: WorkSignal) -> None:
+        proc = self._procs[wid]
+        if proc.state is not _State.BLOCKED_WORK:
+            raise SimulationError(f"worker {wid} woken but not waiting on {signal.name!r}")
+        proc.metrics.starve_wait += self.now - proc.blocked_since
+        if proc.metrics.timeline is not None and self.now > proc.blocked_since:
+            proc.metrics.timeline.append(("starve", proc.blocked_since, self.now))
+        proc.state = _State.READY
+        self._schedule(wid, self.now)
+
+    def _grant_lock(self, lock: SimLock, wid: int) -> None:
+        lock.holder = wid
+        proc = self._procs[wid]
+        proc.metrics.lock_wait += self.now - proc.blocked_since
+        if proc.metrics.timeline is not None and self.now > proc.blocked_since:
+            proc.metrics.timeline.append(("lock", proc.blocked_since, self.now))
+        proc.state = _State.READY
+        self._schedule(wid, self.now)
+
+    # -- op handlers -------------------------------------------------------
+
+    def _handle(self, wid: int, op: Op) -> None:
+        proc = self._procs[wid]
+        if isinstance(op, Compute):
+            proc.metrics.busy += op.units
+            if proc.metrics.timeline is not None and op.units > 0:
+                proc.metrics.timeline.append(("busy", self.now, self.now + op.units))
+            self._schedule(wid, self.now + op.units)
+        elif isinstance(op, Acquire):
+            lock = op.lock
+            if lock.holder is None and not lock.waiters:
+                lock.holder = wid
+                self._schedule(wid, self.now)
+            elif lock.holder == wid:
+                raise WorkerProtocolError(
+                    f"worker {wid} re-acquired {lock.name!r} (non-reentrant)"
+                )
+            else:
+                lock.waiters.append(wid)
+                proc.state = _State.BLOCKED_LOCK
+                proc.blocked_since = self.now
+        elif isinstance(op, Release):
+            lock = op.lock
+            if lock.holder != wid:
+                raise WorkerProtocolError(
+                    f"worker {wid} released {lock.name!r} held by {lock.holder}"
+                )
+            lock.holder = None
+            if lock.waiters:
+                self._grant_lock(lock, lock.waiters.popleft())
+            self._schedule(wid, self.now)
+        elif isinstance(op, WaitWork):
+            op.signal._bind(self)
+            if op.signal.version != op.seen_version:
+                # Notified between the worker's check and its wait: resume
+                # immediately rather than sleeping through the wakeup.
+                self._schedule(wid, self.now)
+            else:
+                op.signal.waiters.append(wid)
+                proc.state = _State.BLOCKED_WORK
+                proc.blocked_since = self.now
+        else:
+            raise WorkerProtocolError(f"worker {wid} yielded unknown op {op!r}")
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self) -> SimReport:
+        """Drive all workers to completion; returns the run report.
+
+        Raises:
+            DeadlockError: if every unfinished worker is blocked forever.
+            SimulationError: if the event budget is exhausted.
+        """
+        if self._running:
+            raise SimulationError("engine instances are single-use")
+        self._running = True
+        for wid in range(len(self._procs)):
+            self._schedule(wid, 0.0)
+
+        while self._queue:
+            self._events += 1
+            if self._events > self._max_events:
+                raise SimulationError(f"exceeded event budget of {self._max_events}")
+            self.now, _, wid = heapq.heappop(self._queue)
+            proc = self._procs[wid]
+            if proc.state is _State.FINISHED:
+                continue
+            try:
+                op = proc.worker.send(None)
+            except StopIteration:
+                proc.state = _State.FINISHED
+                proc.metrics.finish_time = self.now
+                continue
+            self._handle(wid, op)
+
+        unfinished = [i for i, p in enumerate(self._procs) if p.state is not _State.FINISHED]
+        if unfinished:
+            blocked = {
+                i: self._procs[i].state.value for i in unfinished
+            }
+            raise DeadlockError(f"workers never finished: {blocked}")
+
+        makespan = max((p.metrics.finish_time for p in self._procs), default=0.0)
+        return SimReport(
+            makespan=makespan,
+            processors=[p.metrics for p in self._procs],
+            events=self._events,
+        )
+
+
+def run_workers(workers: Iterable[Worker], max_events: int = 50_000_000) -> SimReport:
+    """Convenience wrapper: build an engine, run it, return the report."""
+    return Engine(workers, max_events=max_events).run()

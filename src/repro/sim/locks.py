@@ -1,0 +1,62 @@
+"""Synchronization objects for the discrete-event engine.
+
+These exist for *timing*, not memory safety: worker code between yields is
+atomic by construction, but the paper's efficiency losses include real
+contention for the shared problem heap and tree (Section 7), so workers
+hold these locks across the simulated duration of their critical sections
+and the engine accounts the blocked time as interference loss.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from ..errors import SimulationError
+
+
+class SimLock:
+    """A FIFO mutex in simulated time.
+
+    Created standalone; the engine attaches itself when a worker first
+    touches the lock.  ``holder`` is a worker id or ``None``.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.holder: Optional[int] = None
+        self.waiters: deque[int] = deque()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimLock({self.name!r}, holder={self.holder}, waiting={len(self.waiters)})"
+
+
+class WorkSignal:
+    """A broadcast condition used for "the problem heap is empty" waits.
+
+    Workers block on it via :class:`~repro.sim.ops.WaitWork`; any worker
+    that adds work (or declares termination) calls :meth:`notify_all`,
+    which wakes every waiter at the current simulated time.  Waits are
+    level-triggered on the waiter side: woken workers re-check the heap,
+    so spurious wakeups are harmless.
+    """
+
+    def __init__(self, name: str = "work"):
+        self.name = name
+        self.waiters: deque[int] = deque()
+        self.version = 0
+        self._engine = None
+
+    def _bind(self, engine) -> None:
+        if self._engine is None:
+            self._engine = engine
+        elif self._engine is not engine:
+            raise SimulationError(f"signal {self.name!r} used by two engines")
+
+    def notify_all(self) -> None:
+        """Wake every blocked waiter at the engine's current time."""
+        self.version += 1
+        if self._engine is None:
+            return  # nothing ever waited
+        while self.waiters:
+            self._engine._wake_from_signal(self.waiters.popleft(), self)

@@ -1,0 +1,67 @@
+"""Operations a simulated worker may yield to the engine.
+
+A *worker* is a Python generator.  Between yields it executes ordinary
+Python — atomically, as far as simulated time is concerned — and each
+yielded operation tells the engine how simulated time passes or why the
+processor blocks:
+
+* :class:`Compute` — the processor is busy for a duration.
+* :class:`Acquire` / :class:`Release` — contend for a :class:`SimLock`;
+  blocked time is accounted as *interference loss* (paper Section 3.1).
+* :class:`WaitWork` — block on a :class:`WorkSignal` until new work is
+  announced; blocked time is accounted as *starvation loss*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from .locks import SimLock, WorkSignal
+
+
+class Op:
+    """Base class of all simulator operations."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Compute(Op):
+    """Advance this processor's clock by ``units`` of busy time."""
+
+    units: float
+
+    def __post_init__(self) -> None:
+        if self.units < 0:
+            raise ValueError("compute duration must be non-negative")
+
+
+@dataclass(frozen=True)
+class Acquire(Op):
+    """Block until the lock is granted to this processor (FIFO order)."""
+
+    lock: "SimLock"
+
+
+@dataclass(frozen=True)
+class Release(Op):
+    """Release a lock held by this processor."""
+
+    lock: "SimLock"
+
+
+@dataclass(frozen=True)
+class WaitWork(Op):
+    """Block until the signal is notified (new work or termination).
+
+    ``seen_version`` is the signal version the worker observed when it
+    decided to wait (while holding the heap lock).  If the signal was
+    notified between that observation and this yield, the engine resumes
+    the worker immediately instead of blocking — the classic lost-wakeup
+    race, closed the same way a monitor's condition variable closes it.
+    """
+
+    signal: "WorkSignal"
+    seen_version: int

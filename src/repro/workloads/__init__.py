@@ -1,0 +1,17 @@
+"""Experimental workloads (the paper's Table 3 plus scaled variants)."""
+
+from .suite import (
+    FULL_SCALE_ENV,
+    PROCESSOR_COUNTS,
+    TreeSpec,
+    bench_scale,
+    table3_suite,
+)
+
+__all__ = [
+    "TreeSpec",
+    "table3_suite",
+    "bench_scale",
+    "PROCESSOR_COUNTS",
+    "FULL_SCALE_ENV",
+]

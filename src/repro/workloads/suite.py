@@ -1,0 +1,111 @@
+"""The experimental trees of the paper's Table 3.
+
+| Name | Type    | Degree  | Search depth | Serial depth |
+|------|---------|---------|--------------|--------------|
+| R1   | Random  | 4       | 10 ply       | 7            |
+| R2   | Random  | 4       | 11 ply       | 7            |
+| R3   | Random  | 8       | 7 ply        | 5            |
+| O1   | Othello | varying | 7 ply        | 5            |
+| O2   | Othello | varying | 7 ply        | 5            |
+| O3   | Othello | varying | 7 ply        | 5            |
+
+Othello children are pre-sorted by static value above ply five (never
+below, and never for successors of e-nodes — Section 7); the random trees
+carry iid uniform leaf values, so pre-sorting them would burn evaluator
+calls on noise and is disabled.
+
+Paper-scale trees are expensive in pure Python, so each spec also has a
+*reduced* configuration with the same structure at a smaller depth; the
+benchmarks run reduced by default and paper scale under ``REPRO_FULL=1``
+(EXPERIMENTS.md records which scale produced each number).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import SearchError
+from ..games.base import Game, SearchProblem
+from ..games.othello.game import O1_ROOT, O2_ROOT, O3_ROOT, Othello
+from ..games.random_tree import RandomGameTree
+
+#: Environment variable that switches benchmarks to paper scale.
+FULL_SCALE_ENV = "REPRO_FULL"
+
+
+@dataclass(frozen=True)
+class TreeSpec:
+    """One experimental tree: a game, horizons, and the serial depth."""
+
+    name: str
+    kind: str  # "random" | "othello"
+    make_game: Callable[[], Game]
+    search_depth: int
+    serial_depth: int
+    sort_below_root: int
+    description: str
+
+    def problem(self) -> SearchProblem:
+        return SearchProblem(
+            game=self.make_game(),
+            depth=self.search_depth,
+            sort_below_root=self.sort_below_root,
+        )
+
+
+def _random_spec(name: str, degree: int, depth: int, serial: int, seed: int) -> TreeSpec:
+    return TreeSpec(
+        name=name,
+        kind="random",
+        make_game=lambda: RandomGameTree(degree, depth, seed=seed),
+        search_depth=depth,
+        serial_depth=serial,
+        sort_below_root=0,
+        description=f"random {degree}-ary, {depth} ply, serial depth {serial}",
+    )
+
+
+def _othello_spec(name: str, root, depth: int, serial: int, sort: int) -> TreeSpec:
+    return TreeSpec(
+        name=name,
+        kind="othello",
+        make_game=lambda: Othello(root),
+        search_depth=depth,
+        serial_depth=serial,
+        sort_below_root=sort,
+        description=f"Othello mid-game, {depth} ply, serial depth {serial}",
+    )
+
+
+def table3_suite(scale: str = "reduced") -> dict[str, TreeSpec]:
+    """The six experimental trees, at ``"paper"`` or ``"reduced"`` scale."""
+    if scale == "paper":
+        return {
+            "R1": _random_spec("R1", degree=4, depth=10, serial=7, seed=101),
+            "R2": _random_spec("R2", degree=4, depth=11, serial=7, seed=202),
+            "R3": _random_spec("R3", degree=8, depth=7, serial=5, seed=303),
+            "O1": _othello_spec("O1", O1_ROOT, depth=7, serial=5, sort=5),
+            "O2": _othello_spec("O2", O2_ROOT, depth=7, serial=5, sort=5),
+            "O3": _othello_spec("O3", O3_ROOT, depth=7, serial=5, sort=5),
+        }
+    if scale == "reduced":
+        return {
+            "R1": _random_spec("R1", degree=4, depth=8, serial=5, seed=101),
+            "R2": _random_spec("R2", degree=4, depth=9, serial=5, seed=202),
+            "R3": _random_spec("R3", degree=8, depth=5, serial=3, seed=303),
+            "O1": _othello_spec("O1", O1_ROOT, depth=5, serial=3, sort=3),
+            "O2": _othello_spec("O2", O2_ROOT, depth=5, serial=3, sort=3),
+            "O3": _othello_spec("O3", O3_ROOT, depth=5, serial=3, sort=3),
+        }
+    raise SearchError(f"unknown scale {scale!r}; use 'paper' or 'reduced'")
+
+
+def bench_scale() -> str:
+    """Scale selected by the environment for benchmark runs."""
+    return "paper" if os.environ.get(FULL_SCALE_ENV) else "reduced"
+
+
+#: Processor counts swept by the paper's figures.
+PROCESSOR_COUNTS = (1, 2, 4, 8, 12, 16)

@@ -1,0 +1,46 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.games.base import SearchProblem
+from repro.games.explicit import ExplicitTree
+from repro.games.random_tree import RandomGameTree
+from repro.search.negamax import negamax
+
+# One moderate default profile: deterministic, no deadline (search code has
+# highly variable per-example cost), modest example counts for CI speed.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=40,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+)
+settings.load_profile("repro")
+
+
+def explicit_problem(spec) -> SearchProblem:
+    """An ExplicitTree search problem covering its full height."""
+    game = ExplicitTree(spec)
+    return SearchProblem(game=game, depth=game.height)
+
+
+def random_problem(degree: int, height: int, seed: int) -> SearchProblem:
+    return SearchProblem(RandomGameTree(degree, height, seed=seed), depth=height)
+
+
+def ground_truth(problem: SearchProblem) -> float:
+    return negamax(problem).value
+
+
+@pytest.fixture
+def small_random_problems() -> list[SearchProblem]:
+    """A bundle of small trees with varied degree/height/seed."""
+    problems = []
+    for degree, height in ((2, 4), (3, 4), (4, 3), (2, 6), (5, 3)):
+        for seed in (0, 1):
+            problems.append(random_problem(degree, height, seed))
+    return problems

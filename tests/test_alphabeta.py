@@ -1,0 +1,115 @@
+"""Unit tests for alpha-beta search (paper Sections 2.1-2.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.games.base import NEG_INF, POS_INF, SearchProblem
+from repro.games.explicit import ExplicitTree, negmax_of_spec
+from repro.games.random_tree import RandomGameTree, SyntheticOrderedTree
+from repro.search.alphabeta import alphabeta
+from repro.search.minimal_tree import minimal_leaf_count_formula
+from repro.search.negamax import negamax
+
+from conftest import explicit_problem
+
+# Strategy for small explicit trees.
+leaf = st.integers(min_value=-50, max_value=50)
+tree_spec = st.recursive(leaf, lambda child: st.lists(child, min_size=1, max_size=3), max_leaves=25)
+
+
+class TestAgreementWithNegamax:
+    @given(tree_spec)
+    def test_open_window_equals_negamax(self, spec):
+        problem = explicit_problem(spec)
+        assert alphabeta(problem).value == negmax_of_spec(spec)
+
+    @given(tree_spec)
+    def test_shallow_variant_equals_negamax(self, spec):
+        problem = explicit_problem(spec)
+        assert alphabeta(problem, deep_cutoffs=False).value == negmax_of_spec(spec)
+
+    def test_random_trees(self, small_random_problems):
+        for problem in small_random_problems:
+            truth = negamax(problem).value
+            assert alphabeta(problem).value == truth
+            assert alphabeta(problem, deep_cutoffs=False).value == truth
+
+    def test_sorted_search_same_value(self):
+        import dataclasses
+
+        problem = SearchProblem(RandomGameTree(4, 5, seed=3), depth=5)
+        sorted_problem = dataclasses.replace(problem, sort_below_root=5)
+        assert alphabeta(sorted_problem).value == alphabeta(problem).value
+
+
+class TestWindowSemantics:
+    def test_rejects_empty_window(self):
+        with pytest.raises(ValueError):
+            alphabeta(explicit_problem([1, 2]), alpha=3, beta=3)
+
+    @given(tree_spec, st.integers(-60, 60), st.integers(1, 40))
+    def test_narrow_window_brackets_correctly(self, spec, low, width):
+        high = low + width
+        truth = negmax_of_spec(spec)
+        result = alphabeta(explicit_problem(spec), alpha=low, beta=high)
+        if low < truth < high:
+            assert result.value == truth
+        elif truth <= low:
+            assert result.value <= low  # fail low
+        else:
+            assert result.value >= high  # fail high
+
+    def test_fail_soft_returns_useful_bound(self):
+        # True value 5; searching (10, 20) must fail low with value <= 10.
+        result = alphabeta(explicit_problem([-5, -3]), alpha=10, beta=20)
+        assert result.value <= 10
+
+
+class TestCutoffs:
+    def test_shallow_cutoff_example(self):
+        """Figure 2(a): B's subtree is cut after its first child."""
+        # A's first child pins A >= 7; B's first child caps B's usefulness
+        # (B >= -5 means -B <= 5 < 7), so B's other children are skipped.
+        spec = [-7, [5, 999]]
+        result = alphabeta(explicit_problem(spec))
+        assert result.value == 7.0
+        assert result.stats.cutoffs >= 1
+        # The poison leaf 999 must not have been evaluated.
+        assert result.stats.leaf_evals == 2
+
+    def test_deep_cutoff_requires_deep_variant(self):
+        """Deep cutoffs only happen when ancestor bounds propagate."""
+        problem = SearchProblem(RandomGameTree(3, 6, seed=11), depth=6)
+        deep = alphabeta(problem)
+        shallow = alphabeta(problem, deep_cutoffs=False)
+        assert deep.value == shallow.value
+        # Deep cutoffs can only remove work (Baudet: a second-order effect).
+        assert deep.stats.leaf_evals <= shallow.stats.leaf_evals
+
+    def test_best_first_tree_searches_minimal_tree(self):
+        for degree, height in ((3, 4), (4, 5), (2, 8)):
+            tree = SyntheticOrderedTree(degree, height, seed=0)
+            result = alphabeta(SearchProblem(tree, depth=height))
+            assert result.stats.leaf_evals == minimal_leaf_count_formula(degree, height)
+
+    def test_pruning_beats_negamax(self):
+        problem = SearchProblem(RandomGameTree(4, 6, seed=2), depth=6)
+        ab = alphabeta(problem)
+        nm = negamax(problem)
+        assert ab.stats.leaf_evals < nm.stats.leaf_evals
+        assert ab.value == nm.value
+
+
+class TestOrderingCharges:
+    def test_sorting_charges_evaluator_applications(self):
+        problem = SearchProblem(RandomGameTree(4, 3, seed=1), depth=3, sort_below_root=2)
+        result = alphabeta(problem)
+        assert result.stats.ordering_evals > 0
+        unsorted = alphabeta(SearchProblem(RandomGameTree(4, 3, seed=1), depth=3))
+        assert unsorted.stats.ordering_evals == 0
+
+    def test_pv_reported(self):
+        spec = [[9, 1], [7, 3]]
+        result = alphabeta(explicit_problem(spec))
+        assert len(result.pv) >= 1

@@ -1,0 +1,46 @@
+"""Unit tests for serial aspiration search."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.search.aspiration import aspiration_search
+from repro.games.explicit import negmax_of_spec
+from repro.search.alphabeta import alphabeta
+
+from conftest import explicit_problem, random_problem
+
+leaf = st.integers(min_value=-50, max_value=50)
+tree_spec = st.recursive(leaf, lambda child: st.lists(child, min_size=1, max_size=3), max_leaves=20)
+
+
+class TestCorrectness:
+    @given(tree_spec, st.integers(-80, 80), st.integers(1, 30))
+    def test_always_finds_true_value(self, spec, guess, delta):
+        outcome = aspiration_search(explicit_problem(spec), guess=guess, delta=delta)
+        assert outcome.result.value == negmax_of_spec(spec)
+
+    def test_random_tree_with_awful_guess(self):
+        problem = random_problem(3, 5, seed=4)
+        truth = alphabeta(problem).value
+        outcome = aspiration_search(problem, guess=truth + 100_000, delta=10)
+        assert outcome.result.value == truth
+        assert outcome.researches >= 1
+
+    def test_good_guess_avoids_research(self):
+        problem = random_problem(3, 5, seed=4)
+        truth = alphabeta(problem).value
+        outcome = aspiration_search(problem, guess=truth, delta=50)
+        assert outcome.researches == 0
+
+    def test_good_guess_prunes_more(self):
+        problem = random_problem(4, 6, seed=8)
+        full = alphabeta(problem)
+        narrow = aspiration_search(problem, guess=full.value, delta=5)
+        assert narrow.result.stats.cost < full.stats.cost
+
+
+class TestValidation:
+    def test_rejects_nonpositive_delta(self):
+        with pytest.raises(ValueError):
+            aspiration_search(explicit_problem([1, 2]), guess=0, delta=0)

@@ -1,0 +1,188 @@
+"""Tests for the Section 4 baseline parallel algorithms."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SearchError
+from repro.games.base import NEG_INF, POS_INF, SearchProblem
+from repro.games.explicit import negmax_of_spec
+from repro.games.random_tree import (
+    IncrementalGameTree,
+    RandomGameTree,
+    SyntheticOrderedTree,
+)
+from repro.parallel import (
+    aspiration_windows,
+    mwf,
+    naive_split,
+    parallel_aspiration,
+    processor_tree_height,
+    pv_splitting,
+    tree_splitting,
+)
+from repro.search.alphabeta import alphabeta
+from repro.search.negamax import negamax
+
+from conftest import explicit_problem, random_problem
+
+leaf = st.integers(min_value=-50, max_value=50)
+tree_spec = st.recursive(leaf, lambda child: st.lists(child, min_size=1, max_size=3), max_leaves=20)
+
+ALGOS = [parallel_aspiration, mwf, tree_splitting, pv_splitting, naive_split]
+ALGO_IDS = ["aspiration", "mwf", "tree-split", "pv-split", "naive"]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("algo", ALGOS, ids=ALGO_IDS)
+    @pytest.mark.parametrize("k", [1, 2, 5, 9])
+    def test_random_trees(self, algo, k):
+        for seed in range(3):
+            problem = random_problem(3, 4, seed)
+            truth = negamax(problem).value
+            assert algo(problem, k).value == truth
+
+    @pytest.mark.parametrize("algo", ALGOS, ids=ALGO_IDS)
+    def test_explicit_trees(self, algo):
+        for spec in ([1, 2], [[3, -4], [5, [6, 7]]], [[1], [2], [3]], 11):
+            problem = explicit_problem(spec)
+            assert algo(problem, 4).value == negmax_of_spec(spec)
+
+    @pytest.mark.parametrize("algo", ALGOS, ids=ALGO_IDS)
+    def test_ordered_trees(self, algo):
+        tree = SyntheticOrderedTree(3, 4, seed=1, best_child="random")
+        problem = SearchProblem(tree, depth=4)
+        assert algo(problem, 7).value == float(tree.root_value)
+
+    @pytest.mark.parametrize("algo", ALGOS, ids=ALGO_IDS)
+    def test_rejects_zero_processors(self, algo):
+        with pytest.raises(SearchError):
+            algo(random_problem(2, 2, 0), 0)
+
+
+class TestAspirationWindows:
+    @given(st.floats(-100, 100), st.floats(0.5, 50), st.integers(1, 12))
+    def test_partition_is_total_and_disjoint(self, estimate, width, k):
+        windows = aspiration_windows(estimate, width, k)
+        assert len(windows) == k
+        assert windows[0][0] == NEG_INF
+        assert windows[-1][1] == POS_INF
+        for (a1, b1), (a2, b2) in zip(windows, windows[1:]):
+            assert b1 == a2  # contiguous
+            assert a1 < b1 and a2 < b2
+
+    def test_single_window_is_open(self):
+        assert aspiration_windows(0, 10, 1) == [(NEG_INF, POS_INF)]
+
+    def test_validation(self):
+        with pytest.raises(SearchError):
+            aspiration_windows(0, 0, 3)
+        with pytest.raises(SearchError):
+            aspiration_windows(0, 10, 0)
+
+
+class TestAspirationBehaviour:
+    def test_speedup_plateaus(self):
+        """Baudet's observation: speedup is bounded regardless of k."""
+        problem = SearchProblem(IncrementalGameTree(4, 7, seed=2, noise=0.5), depth=7)
+        serial = alphabeta(problem).stats.cost
+        speedups = {
+            k: parallel_aspiration(problem, k).speedup(serial) for k in (1, 4, 16, 32)
+        }
+        assert speedups[4] > speedups[1]
+        # Doubling processors 16 -> 32 must gain very little.
+        assert speedups[32] < speedups[16] * 1.5
+
+    def test_extras_reports_winning_window(self):
+        problem = random_problem(3, 4, seed=1)
+        result = parallel_aspiration(problem, 4)
+        low, high = result.extras["winning_window"]
+        assert low < result.value < high
+
+
+class TestTreeSplitting:
+    def test_sqrt_k_shape_on_best_first_trees(self):
+        """Fishburn: efficiency O(1/sqrt(k)) on perfectly ordered trees,
+        i.e. speedup ~ c*sqrt(k)."""
+        tree = SyntheticOrderedTree(4, 8, seed=3)
+        problem = SearchProblem(tree, depth=8)
+        serial = alphabeta(problem).stats.cost
+        speedups = {k: tree_splitting(problem, k).speedup(serial) for k in (3, 7, 15)}
+        for k, s in speedups.items():
+            ratio = s / math.sqrt(k)
+            assert 0.3 < ratio < 1.5, (k, s)
+        # Growing, but sublinearly.
+        assert speedups[15] > speedups[3]
+        assert speedups[15] / 15 < speedups[3] / 3
+
+    def test_near_linear_on_worst_first_trees(self):
+        """When no cutoffs exist, tree-splitting approaches linear speedup."""
+        tree = SyntheticOrderedTree(4, 6, seed=3, best_child="last")
+        problem = SearchProblem(tree, depth=6)
+        serial = alphabeta(problem).stats.cost
+        result = tree_splitting(problem, 21, branching=4)
+        assert result.speedup(serial) > 5.0
+
+    def test_processor_tree_height(self):
+        assert processor_tree_height(1, 2) == 0
+        assert processor_tree_height(3, 2) == 1
+        assert processor_tree_height(7, 2) == 2
+        assert processor_tree_height(4, 2) == 2  # partial level counts
+        assert processor_tree_height(13, 3) == 2
+
+    def test_height_validation(self):
+        with pytest.raises(SearchError):
+            processor_tree_height(0, 2)
+        with pytest.raises(SearchError):
+            processor_tree_height(4, 1)
+
+
+class TestPVSplitting:
+    def test_efficiency_decays_with_k(self):
+        """Marsland & Popowich: efficiency drops quickly as k grows."""
+        tree = IncrementalGameTree(6, 6, seed=4, noise=0.3)
+        problem = SearchProblem(tree, depth=6, sort_below_root=6)
+        serial = alphabeta(problem).stats.cost
+        eff = {
+            k: pv_splitting(problem, k).efficiency(serial) for k in (1, 3, 7, 15)
+        }
+        assert eff[3] > eff[15]
+
+    def test_split_height_override(self):
+        problem = random_problem(3, 5, seed=2)
+        truth = negamax(problem).value
+        assert pv_splitting(problem, 5, split_height=2).value == truth
+
+
+class TestMWF:
+    def test_speedup_plateaus(self):
+        """Akl et al.: speedup rises fast then plateaus; extra processors
+        past ~10 contribute almost nothing."""
+        problem = random_problem(8, 4, seed=5)
+        serial = alphabeta(problem, deep_cutoffs=False).stats.cost
+        speedups = {k: mwf(problem, k).speedup(serial) for k in (1, 4, 12, 24)}
+        assert speedups[4] > speedups[1]
+        assert speedups[24] < speedups[12] * 1.15  # the plateau
+
+    def test_speculative_task_accounting(self):
+        result = mwf(random_problem(4, 4, seed=1), 4)
+        assert result.extras["speculative_tasks"] >= 0
+
+    def test_single_leaf(self):
+        assert mwf(explicit_problem(9), 3).value == 9.0
+
+
+class TestNaiveSplit:
+    def test_searches_more_than_alphabeta(self):
+        problem = random_problem(4, 5, seed=6)
+        serial_nodes = alphabeta(problem).stats.nodes_generated
+        result = naive_split(problem, 4)
+        assert result.stats.nodes_generated > serial_nodes
+
+    def test_low_efficiency_on_many_processors(self):
+        problem = random_problem(4, 5, seed=6)
+        serial = alphabeta(problem).stats.cost
+        result = naive_split(problem, 16)
+        assert result.efficiency(serial) < 0.8

@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_figure_args(self):
+        args = build_parser().parse_args(["figure", "11", "--scale", "reduced"])
+        assert args.number == 11
+        assert args.scale == "reduced"
+
+    def test_figure_rejects_unknown_number(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "9"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_serial_command(self, capsys):
+        assert main(["serial", "--tree", "R3", "--scale", "reduced"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha-beta" in out and "serial ER" in out and "best serial" in out
+
+    def test_figure_command_small_sweep(self, capsys):
+        assert main(["figure", "11", "--processors", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "R1" in out and "efficiency" in out.lower()
+
+    def test_nodes_figure(self, capsys):
+        assert main(["figure", "13", "--processors", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "nodes generated" in out.lower()
+
+    def test_losses_command(self, capsys):
+        assert main(["losses", "--tree", "R3", "-P", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "speculative fraction" in out
+
+    def test_demo_command(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_gantt_command(self, capsys):
+        assert main(["gantt", "--tree", "R3", "-P", "4", "--width", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "P0" in out and "legend" in out
+
+    def test_baselines_command(self, capsys):
+        assert main(["baselines", "--processors", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "aspiration" in out and "MWF" in out

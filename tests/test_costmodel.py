@@ -1,0 +1,59 @@
+"""Unit tests for the shared cost model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.costmodel import DEFAULT_COST_MODEL, FRICTIONLESS_COST_MODEL, CostModel
+
+
+class TestValidation:
+    def test_default_is_valid(self):
+        assert DEFAULT_COST_MODEL.static_eval > 0
+
+    @pytest.mark.parametrize(
+        "field",
+        ["expand_base", "expand_per_child", "static_eval", "heap_op", "combine_step", "bookkeeping"],
+    )
+    def test_negative_cost_rejected(self, field):
+        with pytest.raises(ValueError):
+            CostModel(**{field: -1.0})
+
+    def test_zero_costs_allowed(self):
+        model = CostModel(heap_op=0.0, combine_step=0.0, bookkeeping=0.0)
+        assert model.heap_op == 0.0
+
+    def test_frictionless_has_free_synchronization(self):
+        assert FRICTIONLESS_COST_MODEL.heap_op == 0.0
+        assert FRICTIONLESS_COST_MODEL.combine_step == 0.0
+        assert FRICTIONLESS_COST_MODEL.bookkeeping == 0.0
+        # But real work still costs.
+        assert FRICTIONLESS_COST_MODEL.static_eval > 0
+
+
+class TestArithmetic:
+    def test_expansion_cost(self):
+        model = CostModel(expand_base=2.0, expand_per_child=1.5)
+        assert model.expansion(4) == 2.0 + 4 * 1.5
+
+    def test_expansion_of_zero_children_is_base(self):
+        assert DEFAULT_COST_MODEL.expansion(0) == DEFAULT_COST_MODEL.expand_base
+
+    def test_ordering_cost_is_per_child_evaluation(self):
+        model = CostModel(static_eval=10.0)
+        assert model.ordering(7) == 70.0
+
+    @given(st.floats(min_value=0.0, max_value=100.0))
+    def test_scaled_multiplies_every_field(self, factor):
+        scaled = DEFAULT_COST_MODEL.scaled(factor)
+        assert scaled.static_eval == pytest.approx(DEFAULT_COST_MODEL.static_eval * factor)
+        assert scaled.heap_op == pytest.approx(DEFAULT_COST_MODEL.heap_op * factor)
+        assert scaled.expand_base == pytest.approx(DEFAULT_COST_MODEL.expand_base * factor)
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DEFAULT_COST_MODEL.scaled(-0.5)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_COST_MODEL.static_eval = 5.0  # type: ignore[misc]

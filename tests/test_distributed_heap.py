@@ -1,0 +1,80 @@
+"""Tests for the Section 8 distributed work-queue extension."""
+
+import pytest
+
+from repro.core.er_parallel import ERConfig, parallel_er
+from repro.parallel.threaded import threaded_er
+from repro.search.negamax import negamax
+
+from conftest import random_problem
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16])
+    def test_matches_negamax(self, n):
+        for seed in range(3):
+            problem = random_problem(3, 5, seed)
+            truth = negamax(problem).value
+            config = ERConfig(serial_depth=3, distributed_heap=True)
+            assert parallel_er(problem, n, config=config).value == truth
+
+    def test_with_all_mechanism_ablations(self):
+        problem = random_problem(4, 4, seed=7)
+        truth = negamax(problem).value
+        for flags in (
+            dict(parallel_refutation=False),
+            dict(early_choice=False, multiple_e_children=False),
+            dict(max_e_children=1),
+        ):
+            config = ERConfig(serial_depth=2, distributed_heap=True, **flags)
+            assert parallel_er(problem, 6, config=config).value == truth
+
+    def test_threaded_distributed(self):
+        problem = random_problem(3, 4, seed=4)
+        truth = negamax(problem).value
+        config = ERConfig(serial_depth=2, distributed_heap=True)
+        for n in (2, 4):
+            value, _ = threaded_er(problem, n, config=config)
+            assert value == truth
+
+    def test_deterministic(self):
+        problem = random_problem(3, 5, seed=11)
+        config = ERConfig(serial_depth=3, distributed_heap=True)
+        a = parallel_er(problem, 8, config=config)
+        b = parallel_er(problem, 8, config=config)
+        assert a.sim_time == b.sim_time
+        assert a.extras == b.extras
+
+
+class TestBehaviour:
+    def test_steals_occur_with_many_processors(self):
+        problem = random_problem(4, 6, seed=42)
+        config = ERConfig(serial_depth=4, distributed_heap=True)
+        result = parallel_er(problem, 8, config=config)
+        assert result.extras["steals"] > 0
+
+    def test_no_steals_with_one_processor(self):
+        problem = random_problem(3, 4, seed=1)
+        config = ERConfig(serial_depth=2, distributed_heap=True)
+        result = parallel_er(problem, 1, config=config)
+        assert result.extras["steals"] == 0
+
+    def test_reduces_interference(self):
+        """The Section 8 prediction: distributing the work queues reduces
+        processor interaction (lock blocking)."""
+        problem = random_problem(4, 7, seed=9)
+        shared = parallel_er(problem, 16, config=ERConfig(serial_depth=4))
+        distributed = parallel_er(
+            problem, 16, config=ERConfig(serial_depth=4, distributed_heap=True)
+        )
+        assert (
+            distributed.report.total_lock_wait <= shared.report.total_lock_wait
+        )
+
+    def test_comparable_throughput(self):
+        problem = random_problem(4, 6, seed=3)
+        shared = parallel_er(problem, 8, config=ERConfig(serial_depth=4))
+        distributed = parallel_er(
+            problem, 8, config=ERConfig(serial_depth=4, distributed_heap=True)
+        )
+        assert distributed.sim_time < shared.sim_time * 1.5

@@ -1,0 +1,104 @@
+"""Tests for the game-playing engine layer."""
+
+import pytest
+
+from repro.engine import EngineConfig, GameEngine, play_match
+from repro.errors import SearchError
+from repro.games.base import SearchProblem
+from repro.games.explicit import ExplicitTree
+from repro.games.random_tree import RandomGameTree
+from repro.games.tictactoe import TicTacToe, winner
+from repro.search.negamax import negamax
+
+
+class TestConfig:
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SearchError):
+            EngineConfig(algorithm="mcts")
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(SearchError):
+            EngineConfig(max_depth=0)
+
+    def test_rejects_bad_processors(self):
+        with pytest.raises(SearchError):
+            EngineConfig(n_processors=0)
+
+
+class TestChoose:
+    def test_picks_the_obvious_best_move(self):
+        # Child 1 is clearly best for the mover (its value is lowest).
+        game = ExplicitTree([5, -9, 3])
+        engine = GameEngine(game, EngineConfig(max_depth=1))
+        choice = engine.choose(game.root())
+        assert choice.move_index == 1
+        assert choice.value == 9.0
+
+    def test_choice_matches_negamax(self):
+        game = RandomGameTree(3, 4, seed=5)
+        problem = SearchProblem(game, depth=4)
+        truth = negamax(problem)
+        engine = GameEngine(game, EngineConfig(max_depth=4, sort_below_root=0))
+        choice = engine.choose(game.root())
+        assert choice.value == truth.value
+        assert choice.move_index == truth.pv[0]
+
+    @pytest.mark.parametrize("algorithm", ["alphabeta", "er", "parallel-er"])
+    def test_algorithms_agree(self, algorithm):
+        game = RandomGameTree(3, 3, seed=2)
+        config = EngineConfig(algorithm=algorithm, max_depth=3, n_processors=3)
+        choice = GameEngine(game, config).choose(game.root())
+        truth = negamax(SearchProblem(game, depth=3))
+        assert choice.value == truth.value
+
+    def test_budget_limits_depth(self):
+        game = RandomGameTree(4, 6, seed=1)
+        cheap = GameEngine(game, EngineConfig(max_depth=6, budget=1.0))
+        choice = cheap.choose(game.root())
+        assert choice.depth_reached < 6
+
+    def test_no_moves_raises(self):
+        game = ExplicitTree(7)
+        engine = GameEngine(game)
+        with pytest.raises(SearchError):
+            engine.choose(game.root())
+
+    def test_per_move_values_reported(self):
+        game = ExplicitTree([1, 2, 3])
+        choice = GameEngine(game, EngineConfig(max_depth=1)).choose(game.root())
+        assert len(choice.per_move_values) == 3
+
+
+class TestPlayMatch:
+    def test_tictactoe_selfplay_is_a_draw(self):
+        """Two depth-9 engines play perfect tic-tac-toe: always a draw."""
+        game = TicTacToe()
+        strong = EngineConfig(max_depth=6, sort_below_root=0)
+        result = play_match(game, GameEngine(game, strong), GameEngine(game, strong))
+        cells, _ = result.final_position
+        assert winner(cells) == 0  # nobody wins under good play
+
+    def test_match_terminates_and_records_positions(self):
+        game = TicTacToe()
+        config = EngineConfig(max_depth=2)
+        result = play_match(game, GameEngine(game, config), GameEngine(game, config))
+        assert result.moves >= 5
+        assert len(result.positions) == result.moves + 1
+
+    def test_on_move_callback(self):
+        game = TicTacToe()
+        config = EngineConfig(max_depth=1)
+        seen = []
+        play_match(
+            game,
+            GameEngine(game, config),
+            GameEngine(game, config),
+            on_move=lambda n, p: seen.append(n),
+        )
+        assert seen == list(range(1, len(seen) + 1))
+
+    def test_max_moves_cap(self):
+        game = TicTacToe()
+        config = EngineConfig(max_depth=1)
+        result = play_match(game, GameEngine(game, config), GameEngine(game, config), max_moves=3)
+        assert result.moves == 3

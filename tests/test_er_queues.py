@@ -1,0 +1,85 @@
+"""Unit tests for the parallel ER priority queues."""
+
+from repro.core.er_parallel import E_NODE, PNode
+from repro.core.er_queues import PrimaryQueue, SpeculativeQueue, SpecOrder
+
+
+def make_node(ply: int, value: float = 0.0, e_children: int = 0) -> PNode:
+    node = PNode(position=None, path=(0,) * ply, ply=ply, parent=None, ntype=E_NODE)
+    node.value = value
+    node.e_children = e_children
+    return node
+
+
+class TestPrimaryQueue:
+    def test_deepest_first(self):
+        queue = PrimaryQueue()
+        shallow, deep, mid = make_node(1), make_node(5), make_node(3)
+        queue.push(shallow)
+        queue.push(deep)
+        queue.push(mid)
+        assert queue.pop() is deep
+        assert queue.pop() is mid
+        assert queue.pop() is shallow
+
+    def test_fifo_within_same_depth(self):
+        queue = PrimaryQueue()
+        a, b = make_node(2), make_node(2)
+        queue.push(a)
+        queue.push(b)
+        assert queue.pop() is a
+        assert queue.pop() is b
+
+    def test_empty_pop_returns_none(self):
+        assert PrimaryQueue().pop() is None
+
+    def test_len(self):
+        queue = PrimaryQueue()
+        queue.push(make_node(1))
+        assert len(queue) == 1
+        queue.pop()
+        assert len(queue) == 0
+
+
+class TestSpeculativeQueue:
+    def test_paper_order_prefers_fewer_e_children(self):
+        queue = SpeculativeQueue(SpecOrder.PAPER)
+        busy = make_node(1, e_children=3)
+        fresh = make_node(4, e_children=0)
+        queue.push(busy)
+        queue.push(fresh)
+        assert queue.pop() is fresh
+
+    def test_paper_order_breaks_ties_shallower_first(self):
+        queue = SpeculativeQueue(SpecOrder.PAPER)
+        deep = make_node(6, e_children=1)
+        shallow = make_node(2, e_children=1)
+        queue.push(deep)
+        queue.push(shallow)
+        assert queue.pop() is shallow
+
+    def test_fifo_order(self):
+        queue = SpeculativeQueue(SpecOrder.FIFO)
+        a = make_node(9, e_children=5)
+        b = make_node(1, e_children=0)
+        queue.push(a)
+        queue.push(b)
+        assert queue.pop() is a
+
+    def test_deepest_order(self):
+        queue = SpeculativeQueue(SpecOrder.DEEPEST)
+        a, b = make_node(2), make_node(7)
+        queue.push(a)
+        queue.push(b)
+        assert queue.pop() is b
+
+    def test_best_value_order(self):
+        queue = SpeculativeQueue(SpecOrder.BEST_VALUE)
+        worse = make_node(1, value=10.0)
+        better = make_node(1, value=-10.0)
+        queue.push(worse)
+        queue.push(better)
+        assert queue.pop() is better
+
+    def test_empty_pop_returns_none(self):
+        assert SpeculativeQueue().pop() is None

@@ -1,0 +1,88 @@
+"""Tests for the experiment runners (figure regeneration machinery)."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    cached_curve,
+    er_config_for,
+    er_scaling_curve,
+    format_efficiency_table,
+    format_nodes_table,
+    format_speedup_summary,
+    serial_baselines,
+)
+from repro.games.random_tree import RandomGameTree
+from repro.workloads.suite import TreeSpec
+
+
+def tiny_spec(name="T1", degree=3, depth=4, serial=2, seed=3) -> TreeSpec:
+    return TreeSpec(
+        name=name,
+        kind="random",
+        make_game=lambda: RandomGameTree(degree, depth, seed=seed),
+        search_depth=depth,
+        serial_depth=serial,
+        sort_below_root=0,
+        description="tiny test tree",
+    )
+
+
+class TestSerialBaselines:
+    def test_both_algorithms_agree(self):
+        base = serial_baselines(tiny_spec())
+        assert base.alphabeta.value == base.er.value
+        assert base.best_time == min(base.alphabeta.cost, base.er.cost)
+        assert base.best_name in ("alphabeta", "er")
+        assert 0 < base.alphabeta_efficiency <= 1.0
+
+
+class TestScalingCurve:
+    def test_curve_points(self):
+        curve = er_scaling_curve(tiny_spec(), processor_counts=(1, 2, 4))
+        assert [p.n_processors for p in curve.points] == [1, 2, 4]
+        for point in curve.points:
+            assert point.sim_time > 0
+            assert point.efficiency == pytest.approx(point.speedup / point.n_processors)
+            assert point.nodes_generated > 0
+
+    def test_parallel_faster_with_more_processors(self):
+        curve = er_scaling_curve(tiny_spec(depth=5, serial=3), processor_counts=(1, 8))
+        assert curve.points[1].sim_time < curve.points[0].sim_time
+
+    def test_series_accessors(self):
+        curve = er_scaling_curve(tiny_spec(), processor_counts=(1, 2))
+        assert curve.efficiency_series()[0][0] == 1
+        assert curve.nodes_series()[1][0] == 2
+
+    def test_er_config_for_uses_spec_serial_depth(self):
+        config = er_config_for(tiny_spec(serial=2))
+        assert config.serial_depth == 2
+
+
+class TestCaching:
+    def test_cached_curve_identity(self):
+        a = cached_curve("reduced", "R3", (1, 2))
+        b = cached_curve("reduced", "R3", (1, 2))
+        assert a is b
+
+    def test_different_counts_different_entries(self):
+        a = cached_curve("reduced", "R3", (1, 2))
+        b = cached_curve("reduced", "R3", (1, 4))
+        assert a is not b
+
+
+class TestFormatting:
+    def test_efficiency_table(self):
+        curves = {"T1": er_scaling_curve(tiny_spec(), processor_counts=(1, 2))}
+        text = format_efficiency_table(curves)
+        assert "T1" in text and "P=1" in text and "P=2" in text
+
+    def test_nodes_table(self):
+        curves = {"T1": er_scaling_curve(tiny_spec(), processor_counts=(1,))}
+        text = format_nodes_table(curves)
+        assert "AB-nodes" in text and "serialER-nodes" in text
+
+    def test_speedup_summary(self):
+        curves = {"T1": er_scaling_curve(tiny_spec(), processor_counts=(1, 4))}
+        text = format_speedup_summary(curves)
+        assert "speedup" in text and "P=4" in text

@@ -1,0 +1,93 @@
+"""Tests for the explicit hand-built tree game."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GameError
+from repro.games.explicit import FIGURE6, FIGURE7, ExplicitTree, negmax_of_spec
+
+leaf = st.integers(min_value=-20, max_value=20)
+tree_spec = st.recursive(leaf, lambda c: st.lists(c, min_size=1, max_size=3), max_leaves=15)
+
+
+class TestConstruction:
+    def test_single_leaf(self):
+        game = ExplicitTree(5)
+        assert game.children(game.root()) == ()
+        assert game.evaluate(game.root()) == 5.0
+        assert game.height == 0
+
+    def test_nested(self):
+        game = ExplicitTree([[1, 2], 3])
+        assert game.height == 2
+        assert len(game.children(())) == 2
+        assert game.children((0,)) == ((0, 0), (0, 1))
+        assert game.children((1,)) == ()
+
+    def test_rejects_empty_interior(self):
+        with pytest.raises(GameError):
+            ExplicitTree([1, []])
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(GameError):
+            ExplicitTree([1, "x"])
+
+    def test_descending_through_leaf_raises(self):
+        game = ExplicitTree([1, 2])
+        with pytest.raises(GameError):
+            game.children((0, 0))
+
+
+class TestEvaluation:
+    def test_leaf_values(self):
+        game = ExplicitTree([7, [2, 3]])
+        assert game.evaluate((0,)) == 7.0
+        assert game.evaluate((1, 1)) == 3.0
+
+    def test_perfect_interior_evaluator(self):
+        game = ExplicitTree([[4, 6], [1, 9]])
+        assert game.evaluate((0,)) == negmax_of_spec([4, 6])
+
+    def test_imperfect_interior_evaluator(self):
+        game = ExplicitTree([[4, 6], [1, 9]], perfect_interior_evaluator=False)
+        assert game.evaluate((0,)) == 0.0
+        assert game.evaluate((0, 1)) == 6.0  # leaves keep their values
+
+
+class TestNegmaxOfSpec:
+    def test_leaf(self):
+        assert negmax_of_spec(4) == 4.0
+
+    def test_one_level(self):
+        assert negmax_of_spec([3, -1, 2]) == 1.0
+
+    @given(tree_spec)
+    def test_matches_manual_recursion(self, spec):
+        def manual(node):
+            if isinstance(node, (int, float)):
+                return float(node)
+            return max(-manual(child) for child in node)
+
+        assert negmax_of_spec(spec) == manual(spec)
+
+
+class TestPaperFigures:
+    def test_figure6_value(self):
+        """Figure 6: the root's value is 9, determined by E."""
+        assert negmax_of_spec(FIGURE6) == 9.0
+
+    def test_figure6_prunes_m(self):
+        """Refuting K requires only L; the M subtree is never examined."""
+        from repro.search.alphabeta import alphabeta
+        from conftest import explicit_problem
+
+        result = alphabeta(explicit_problem(FIGURE6))
+        assert result.value == 9.0
+        # Leaves examined: E's three plus L — never M's poison leaves.
+        assert result.stats.leaf_evals == 4
+
+    def test_figure7_structure(self):
+        game = ExplicitTree(FIGURE7)
+        assert game.height == 3
+        assert len(game.children(())) == 3

@@ -1,0 +1,97 @@
+"""Unit tests for the game/search-problem abstractions."""
+
+import pytest
+
+from repro.errors import SearchError
+from repro.games.base import Line, RootedGame, SearchProblem, follow_path, subproblem
+from repro.games.explicit import ExplicitTree
+from repro.games.random_tree import RandomGameTree
+from repro.search.negamax import negamax
+
+
+class TestSearchProblem:
+    def test_rejects_negative_depth(self):
+        with pytest.raises(SearchError):
+            SearchProblem(RandomGameTree(2, 2), depth=-1)
+
+    def test_rejects_negative_sort(self):
+        with pytest.raises(SearchError):
+            SearchProblem(RandomGameTree(2, 2), depth=2, sort_below_root=-1)
+
+    def test_horizon(self):
+        problem = SearchProblem(RandomGameTree(2, 5), depth=3)
+        assert not problem.is_horizon(2)
+        assert problem.is_horizon(3)
+        assert problem.is_horizon(4)
+
+    def test_should_sort_window(self):
+        problem = SearchProblem(RandomGameTree(2, 5), depth=5, sort_below_root=2)
+        assert problem.should_sort(0)
+        assert problem.should_sort(1)
+        assert not problem.should_sort(2)
+
+    def test_sort_disabled_by_default(self):
+        problem = SearchProblem(RandomGameTree(2, 5), depth=5)
+        assert not problem.should_sort(0)
+
+
+class TestRootedGame:
+    def test_reroots(self):
+        game = ExplicitTree([[1, 2], [3, 4]])
+        child = game.children(game.root())[1]
+        rooted = RootedGame(game, child)
+        assert rooted.root() == child
+        assert len(rooted.children(rooted.root())) == 2
+        assert rooted.evaluate(rooted.children(child)[0]) == 3.0
+
+    def test_subproblem_depth_and_sort_shift(self):
+        problem = SearchProblem(RandomGameTree(2, 6), depth=6, sort_below_root=3)
+        child = problem.game.children(problem.game.root())[0]
+        sub = subproblem(problem, child, ply=2)
+        assert sub.depth == 4
+        assert sub.sort_below_root == 1
+
+    def test_subproblem_sort_floor(self):
+        problem = SearchProblem(RandomGameTree(2, 6), depth=6, sort_below_root=1)
+        child = problem.game.children(problem.game.root())[0]
+        assert subproblem(problem, child, ply=4).sort_below_root == 0
+
+    def test_subproblem_rejects_too_deep(self):
+        problem = SearchProblem(RandomGameTree(2, 3), depth=3)
+        with pytest.raises(SearchError):
+            subproblem(problem, problem.game.root(), ply=4)
+
+    def test_subproblem_value_consistency(self):
+        """Negmax of a subtree through the wrapper equals direct descent."""
+        game = RandomGameTree(3, 4, seed=9)
+        problem = SearchProblem(game, depth=4)
+        child = game.children(game.root())[2]
+        sub = subproblem(problem, child, ply=1)
+        direct = negamax(sub).value
+        # Recompute by hand from the explicit definition.
+        def nm(pos, remaining):
+            kids = game.children(pos) if remaining else ()
+            if not kids:
+                return game.evaluate(pos)
+            return max(-nm(k, remaining - 1) for k in kids)
+
+        assert direct == nm(child, 3)
+
+
+class TestFollowPath:
+    def test_follow(self):
+        game = ExplicitTree([[1, 2], [3, 4]])
+        pos = follow_path(game, (1, 0))
+        assert game.evaluate(pos) == 3.0
+
+    def test_bad_path(self):
+        game = ExplicitTree([[1, 2], [3, 4]])
+        with pytest.raises(SearchError):
+            follow_path(game, (5,))
+
+
+class TestLine:
+    def test_prepend(self):
+        line = Line([2, 3]).prepend(1)
+        assert list(line) == [1, 2, 3]
+        assert len(line) == 3

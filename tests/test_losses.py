@@ -1,0 +1,86 @@
+"""Tests for the Section 3.1 loss decomposition."""
+
+import pytest
+
+from repro.analysis.losses import classify_work, loss_report
+from repro.core.er_parallel import ERConfig, parallel_er
+from repro.search.alphabeta import alphabeta
+from repro.search.stats import SearchStats
+
+from conftest import random_problem
+
+
+class TestClassifyWork:
+    def test_disjoint_sets(self):
+        reference = {(0,), (1,)}
+        parallel = {(2,), (3,)}
+        work = classify_work(reference, parallel)
+        assert work.mandatory_examined == 0
+        assert work.speculative_examined == 2
+        assert work.mandatory_missed == 2
+        assert work.speculative_fraction == 1.0
+
+    def test_identical_sets(self):
+        nodes = {(0,), (0, 1), ()}
+        work = classify_work(nodes, set(nodes))
+        assert work.speculative_examined == 0
+        assert work.expansion_ratio == 1.0
+        assert work.speculative_fraction == 0.0
+
+    def test_superset(self):
+        reference = {(0,)}
+        parallel = {(0,), (1,), (2,)}
+        work = classify_work(reference, parallel)
+        assert work.mandatory_examined == 1
+        assert work.speculative_examined == 2
+        assert work.expansion_ratio == 3.0
+
+    def test_empty_parallel(self):
+        work = classify_work({(0,)}, set())
+        assert work.speculative_fraction == 0.0
+
+    def test_empty_reference(self):
+        work = classify_work(set(), {(0,)})
+        assert work.expansion_ratio == 1.0
+
+
+class TestLossReport:
+    def test_end_to_end(self):
+        problem = random_problem(3, 5, seed=3)
+        reference = SearchStats.with_trace()
+        serial = alphabeta(problem, stats=reference)
+        result = parallel_er(problem, 4, config=ERConfig(serial_depth=3), trace=True)
+        report = loss_report(result, serial.cost, reference)
+        assert report.n_processors == 4
+        assert 0.0 <= report.starvation_fraction <= 1.0
+        assert 0.0 <= report.interference_fraction <= 1.0
+        assert 0.0 <= report.speculative_fraction <= 1.0
+        assert report.work.parallel_total > 0
+        # The parallel run must have visited most of the mandatory work.
+        assert report.work.mandatory_examined > 0.5 * report.work.reference_total
+
+    def test_requires_traced_parallel_run(self):
+        problem = random_problem(3, 4, seed=1)
+        reference = SearchStats.with_trace()
+        serial = alphabeta(problem, stats=reference)
+        untraced = parallel_er(problem, 2, config=ERConfig(serial_depth=2))
+        with pytest.raises(ValueError):
+            loss_report(untraced, serial.cost, reference)
+
+    def test_requires_traced_reference(self):
+        problem = random_problem(3, 4, seed=1)
+        plain = SearchStats()
+        serial = alphabeta(problem, stats=plain)
+        traced = parallel_er(problem, 2, config=ERConfig(serial_depth=2), trace=True)
+        with pytest.raises(ValueError):
+            loss_report(traced, serial.cost, plain)
+
+    def test_more_processors_more_speculation(self):
+        problem = random_problem(4, 5, seed=9)
+        reference = SearchStats.with_trace()
+        serial = alphabeta(problem, stats=reference)
+        few = parallel_er(problem, 1, config=ERConfig(serial_depth=3), trace=True)
+        many = parallel_er(problem, 12, config=ERConfig(serial_depth=3), trace=True)
+        few_report = loss_report(few, serial.cost, reference)
+        many_report = loss_report(many, serial.cost, reference)
+        assert many_report.work.parallel_total >= few_report.work.parallel_total

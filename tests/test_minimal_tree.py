@@ -1,0 +1,103 @@
+"""Unit tests for Knuth-Moore critical-node analysis (paper Section 2.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SearchError
+from repro.search.minimal_tree import (
+    Rules,
+    count_critical_leaves,
+    count_critical_nodes,
+    is_critical,
+    minimal_leaf_count_formula,
+    minimal_tree_paths,
+    node_type,
+)
+
+
+class TestNodeTyping:
+    def test_root_is_type_one(self):
+        assert node_type(()) == 1
+
+    def test_first_child_of_one_is_one(self):
+        assert node_type((0,)) == 1
+        assert node_type((0, 0)) == 1
+
+    def test_right_child_of_one_is_two(self):
+        assert node_type((1,)) == 2
+        assert node_type((3,)) == 2
+
+    def test_first_child_of_two_is_three_deep(self):
+        assert node_type((1, 0)) == 3
+
+    def test_first_child_of_two_is_one_shallow(self):
+        assert node_type((1, 0), Rules.SHALLOW) == 1
+
+    def test_right_child_of_two_not_critical(self):
+        assert node_type((1, 1)) is None
+        assert node_type((1, 2), Rules.SHALLOW) is None
+
+    def test_all_children_of_three_are_two(self):
+        assert node_type((1, 0, 0)) == 2
+        assert node_type((1, 0, 5)) == 2
+
+    def test_descendant_of_noncritical_is_noncritical(self):
+        assert node_type((1, 1, 0)) is None
+
+    def test_is_critical_wrapper(self):
+        assert is_critical((0, 2))
+        assert not is_critical((2, 2))
+
+
+class TestClosedForm:
+    @given(st.integers(1, 8), st.integers(0, 8))
+    def test_formula_matches_recurrence(self, degree, height):
+        assert count_critical_leaves(degree, height) == minimal_leaf_count_formula(
+            degree, height
+        )
+
+    def test_paper_example_values(self):
+        # d^ceil(h/2) + d^floor(h/2) - 1
+        assert minimal_leaf_count_formula(4, 6) == 64 + 64 - 1
+        assert minimal_leaf_count_formula(4, 5) == 64 + 16 - 1
+        assert minimal_leaf_count_formula(2, 2) == 3
+
+    def test_degenerate_heights(self):
+        assert minimal_leaf_count_formula(5, 0) == 1
+        assert count_critical_leaves(5, 0, Rules.SHALLOW) == 1
+
+    def test_shallow_tree_is_larger(self):
+        """Skipping deep cutoffs enlarges the minimal tree (2nd-order)."""
+        for degree, height in ((2, 6), (4, 6), (8, 4)):
+            deep = count_critical_leaves(degree, height, Rules.DEEP)
+            shallow = count_critical_leaves(degree, height, Rules.SHALLOW)
+            assert shallow >= deep
+
+
+class TestEnumeration:
+    @given(st.integers(1, 4), st.integers(0, 5), st.sampled_from(list(Rules)))
+    def test_enumerated_leaves_match_count(self, degree, height, rules):
+        paths = list(minimal_tree_paths(degree, height, rules))
+        leaves = [p for p in paths if len(p) == height]
+        assert len(leaves) == count_critical_leaves(degree, height, rules)
+        assert len(paths) == count_critical_nodes(degree, height, rules)
+
+    @given(st.integers(1, 4), st.integers(0, 5))
+    def test_every_enumerated_path_is_critical(self, degree, height):
+        for path in minimal_tree_paths(degree, height):
+            assert is_critical(path)
+
+    def test_enumeration_has_no_duplicates(self):
+        paths = list(minimal_tree_paths(3, 4))
+        assert len(paths) == len(set(paths))
+
+
+class TestValidation:
+    def test_bad_degree(self):
+        with pytest.raises(SearchError):
+            count_critical_leaves(0, 3)
+
+    def test_bad_height(self):
+        with pytest.raises(SearchError):
+            minimal_leaf_count_formula(2, -1)

@@ -1,0 +1,64 @@
+"""Tests for NegaScout (minimal-window verification search)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.games.base import SearchProblem
+from repro.games.explicit import ExplicitTree, negmax_of_spec
+from repro.games.random_tree import IncrementalGameTree, SyntheticOrderedTree
+from repro.search.alphabeta import alphabeta
+from repro.search.negamax import negamax
+from repro.search.negascout import negascout
+
+from conftest import explicit_problem, random_problem
+
+leaf = st.integers(min_value=-50, max_value=50)
+tree_spec = st.recursive(leaf, lambda child: st.lists(child, min_size=1, max_size=3), max_leaves=25)
+
+
+class TestCorrectness:
+    @given(tree_spec)
+    def test_equals_negamax(self, spec):
+        assert negascout(explicit_problem(spec)).value == negmax_of_spec(spec)
+
+    def test_random_trees(self, small_random_problems):
+        for problem in small_random_problems:
+            assert negascout(problem).value == negamax(problem).value
+
+    def test_fractional_values_stay_exact(self):
+        """The +1 scout step assumes integral evaluators; fractional trees
+        must still come out exact via the re-search fallback."""
+        spec = [[1.5, 2.25], [1.75, [0.5, 3.125]], [2.0, 1.125]]
+        assert negascout(explicit_problem(spec)).value == negmax_of_spec(spec)
+
+    @given(tree_spec, st.integers(-60, 60), st.integers(1, 40))
+    def test_window_semantics(self, spec, low, width):
+        truth = negmax_of_spec(spec)
+        result = negascout(explicit_problem(spec), alpha=low, beta=low + width)
+        if low < truth < low + width:
+            assert result.value == truth
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(ValueError):
+            negascout(explicit_problem([1, 2]), alpha=2, beta=2)
+
+
+class TestEfficiency:
+    def test_beats_alphabeta_on_ordered_trees(self):
+        """Scout probes refute non-PV children cheaply when ordering is
+        good — NegaScout's raison d'etre."""
+        tree = SyntheticOrderedTree(4, 8, seed=5)
+        problem = SearchProblem(tree, depth=8)
+        ns = negascout(problem)
+        ab = alphabeta(problem)
+        assert ns.value == ab.value
+        assert ns.stats.leaf_evals <= ab.stats.leaf_evals
+
+    def test_competitive_on_strongly_ordered_random(self):
+        tree = IncrementalGameTree(4, 7, seed=2, noise=0.2)
+        problem = SearchProblem(tree, depth=7, sort_below_root=7)
+        ns = negascout(problem)
+        ab = alphabeta(problem)
+        assert ns.value == ab.value
+        assert ns.stats.leaf_evals < ab.stats.leaf_evals * 1.3

@@ -1,0 +1,92 @@
+"""Nim: every search algorithm versus Sprague-Grundy theory."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.er_parallel import ERConfig, parallel_er
+from repro.core.serial_er import er_search
+from repro.errors import GameError
+from repro.games.base import SearchProblem
+from repro.games.nim import (
+    Nim,
+    grundy_value,
+    max_game_length,
+    normalize,
+    theoretical_value,
+)
+from repro.parallel import mwf, tree_splitting
+from repro.search.alphabeta import alphabeta
+from repro.search.negamax import negamax
+from repro.search.negascout import negascout
+
+heap_lists = st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=3)
+
+
+def nim_problem(heaps) -> SearchProblem:
+    game = Nim(heaps)
+    return SearchProblem(game, depth=max_game_length(heaps) + 1)
+
+
+class TestRules:
+    def test_normalize_sorts_and_drops_zeros(self):
+        assert normalize([3, 0, 1]) == (1, 3)
+
+    def test_normalize_rejects_negative(self):
+        with pytest.raises(GameError):
+            normalize([-1, 2])
+
+    def test_children_dedupe(self):
+        game = Nim((2, 2))
+        kids = game.children((2, 2))
+        # (1,2) and (2) each reachable from either heap, but listed once.
+        assert len(kids) == len(set(kids)) == 2
+
+    def test_empty_position_terminal(self):
+        game = Nim((1,))
+        assert game.children(()) == ()
+        assert game.evaluate(()) == -1.0
+
+    def test_grundy_is_xor(self):
+        assert grundy_value((1, 2, 3)) == 0
+        assert grundy_value((3, 4, 5)) == 2
+
+
+class TestTheoryAgreement:
+    @given(heap_lists)
+    @settings(max_examples=30)
+    def test_negamax_matches_bouton(self, heaps):
+        """Bouton's theorem, verified by exhaustive search."""
+        problem = nim_problem(heaps)
+        assert negamax(problem).value == theoretical_value(normalize(heaps))
+
+    @given(heap_lists)
+    @settings(max_examples=30)
+    def test_all_serial_algorithms_match_theory(self, heaps):
+        problem = nim_problem(heaps)
+        truth = theoretical_value(normalize(heaps))
+        assert alphabeta(problem).value == truth
+        assert er_search(problem).value == truth
+        assert negascout(problem).value == truth
+
+    @given(heap_lists, st.integers(min_value=1, max_value=6))
+    @settings(max_examples=20)
+    def test_parallel_er_matches_theory(self, heaps, n):
+        problem = nim_problem(heaps)
+        truth = theoretical_value(normalize(heaps))
+        result = parallel_er(problem, n, config=ERConfig(serial_depth=2))
+        assert result.value == truth
+
+    def test_baselines_match_theory(self):
+        problem = nim_problem((2, 3, 4))
+        truth = theoretical_value((2, 3, 4))
+        assert mwf(problem, 4).value == truth
+        assert tree_splitting(problem, 7).value == truth
+
+    def test_classic_345_is_first_player_win(self):
+        assert theoretical_value((3, 4, 5)) == 1.0
+        assert alphabeta(nim_problem((3, 4, 5))).value == 1.0
+
+    def test_equal_pair_is_second_player_win(self):
+        assert theoretical_value((4, 4)) == -1.0
+        assert alphabeta(nim_problem((4, 4))).value == -1.0

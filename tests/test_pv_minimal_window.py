@@ -1,0 +1,56 @@
+"""Tests for enhanced pv-splitting with minimal-window verification
+(the paper's footnote 3: Marsland & Popowich's variant)."""
+
+import pytest
+
+from repro.games.base import SearchProblem
+from repro.games.random_tree import IncrementalGameTree, SyntheticOrderedTree
+from repro.parallel import pv_splitting
+from repro.search.alphabeta import alphabeta
+from repro.search.negamax import negamax
+
+from conftest import random_problem
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", [1, 3, 7])
+    def test_matches_negamax(self, k):
+        for seed in range(3):
+            problem = random_problem(3, 4, seed)
+            truth = negamax(problem).value
+            result = pv_splitting(problem, k, minimal_window=True)
+            assert result.value == truth
+
+    def test_ordered_trees(self):
+        tree = SyntheticOrderedTree(3, 5, seed=2, best_child="random")
+        problem = SearchProblem(tree, depth=5)
+        result = pv_splitting(problem, 7, minimal_window=True)
+        assert result.value == float(tree.root_value)
+
+    def test_extras_reported(self):
+        problem = random_problem(4, 4, seed=6)
+        result = pv_splitting(problem, 5, minimal_window=True)
+        assert result.extras["minimal_window"] is True
+        assert result.extras["scout_researches"] >= 0
+
+
+class TestBehaviour:
+    def test_scout_probes_cheaper_on_ordered_trees(self):
+        """On strongly ordered trees the scout windows refute siblings
+        with less work than real-window tree-splitting."""
+        tree = IncrementalGameTree(5, 6, seed=4, noise=0.2)
+        problem = SearchProblem(tree, depth=6, sort_below_root=6)
+        serial = alphabeta(problem).stats.cost
+        plain = pv_splitting(problem, 7)
+        scout = pv_splitting(problem, 7, minimal_window=True)
+        assert scout.value == plain.value
+        # The enhanced variant must not be meaningfully slower, and its
+        # total work (busy time) should not exceed the plain variant's.
+        assert scout.sim_time <= plain.sim_time * 1.2
+        assert scout.report.total_busy <= plain.report.total_busy * 1.1
+
+    def test_researches_happen_on_disordered_trees(self):
+        tree = SyntheticOrderedTree(4, 6, seed=1, best_child="last")
+        problem = SearchProblem(tree, depth=6)
+        result = pv_splitting(problem, 7, minimal_window=True)
+        assert result.extras["scout_researches"] > 0

@@ -1,0 +1,136 @@
+"""Unit tests for the synthetic tree generators."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GameError
+from repro.games.base import SearchProblem
+from repro.games.random_tree import (
+    IncrementalGameTree,
+    RandomGameTree,
+    SyntheticOrderedTree,
+    TreePosition,
+)
+from repro.search.alphabeta import alphabeta
+from repro.search.minimal_tree import minimal_leaf_count_formula
+from repro.search.negamax import negamax
+
+
+class TestRandomGameTree:
+    def test_shape(self):
+        tree = RandomGameTree(3, 2, seed=0)
+        root = tree.root()
+        kids = tree.children(root)
+        assert len(kids) == 3
+        grand = tree.children(kids[0])
+        assert len(grand) == 3
+        assert tree.children(grand[0]) == ()
+
+    def test_leaf_count(self):
+        assert RandomGameTree(4, 5).leaf_count() == 4**5
+
+    def test_determinism_across_instances(self):
+        a, b = RandomGameTree(3, 4, seed=7), RandomGameTree(3, 4, seed=7)
+        leaf = a.children(a.children(a.root())[1])[2]
+        # descend to an actual leaf
+        pos = a.root()
+        for _ in range(4):
+            pos = a.children(pos)[1]
+        assert a.evaluate(pos) == b.evaluate(pos)
+
+    def test_seed_changes_values(self):
+        a, b = RandomGameTree(2, 3, seed=1), RandomGameTree(2, 3, seed=2)
+        pos = TreePosition((0, 1, 0))
+        assert a.evaluate(pos) != b.evaluate(pos)
+
+    @given(st.integers(1, 6), st.integers(0, 4), st.integers(0, 50))
+    def test_leaf_values_in_range(self, degree, height, seed):
+        tree = RandomGameTree(degree, height, seed=seed, value_range=100)
+        pos = tree.root()
+        for _ in range(height):
+            pos = tree.children(pos)[0]
+        assert -100 <= tree.evaluate(pos) <= 100
+
+    @pytest.mark.parametrize(
+        "kwargs", [dict(degree=0, height=2), dict(degree=2, height=-1), dict(degree=2, height=2, value_range=0)]
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(GameError):
+            RandomGameTree(**kwargs)
+
+
+class TestIncrementalGameTree:
+    def test_interior_static_correlates_with_negamax(self):
+        """With zero noise, static ordering should often match true order."""
+        tree = IncrementalGameTree(3, 4, seed=3, noise=0.0)
+        problem = SearchProblem(tree, depth=4)
+        root_kids = tree.children(tree.root())
+        static_order = sorted(range(3), key=lambda i: tree.evaluate(root_kids[i]))
+
+        def true_value(pos, remaining):
+            kids = tree.children(pos) if remaining else ()
+            if not kids:
+                return tree.evaluate(pos)
+            return max(-true_value(k, remaining - 1) for k in kids)
+
+        true_order = sorted(range(3), key=lambda i: true_value(root_kids[i], 3))
+        # The statically best child should be among the top two truly best.
+        assert static_order[0] in true_order[:2]
+
+    def test_ordering_quality_improves_alphabeta(self):
+        """Sorted search on a strongly ordered tree prunes more."""
+        tree = IncrementalGameTree(4, 6, seed=5, noise=0.1)
+        unsorted = alphabeta(SearchProblem(tree, depth=6))
+        sorted_ = alphabeta(SearchProblem(tree, depth=6, sort_below_root=6))
+        assert sorted_.value == unsorted.value
+        assert sorted_.stats.leaf_evals < unsorted.stats.leaf_evals
+
+    def test_validation(self):
+        with pytest.raises(GameError):
+            IncrementalGameTree(2, 3, noise=-0.1)
+
+
+class TestSyntheticOrderedTree:
+    @given(st.integers(2, 4), st.integers(1, 5), st.integers(0, 20))
+    def test_negamax_equals_assigned_root_value(self, degree, height, seed):
+        tree = SyntheticOrderedTree(degree, height, seed=seed)
+        problem = SearchProblem(tree, depth=height)
+        assert negamax(problem).value == float(tree.root_value)
+
+    @given(st.integers(2, 4), st.integers(1, 4), st.integers(0, 10))
+    def test_random_placement_still_exact(self, degree, height, seed):
+        tree = SyntheticOrderedTree(degree, height, seed=seed, best_child="random")
+        problem = SearchProblem(tree, depth=height)
+        assert negamax(problem).value == float(tree.root_value)
+
+    def test_best_first_gives_minimal_tree(self):
+        """On a perfectly ordered tree alpha-beta visits exactly the
+        Knuth-Moore minimal tree (Section 2.2)."""
+        for degree, height in ((2, 6), (3, 5), (4, 6), (5, 4)):
+            tree = SyntheticOrderedTree(degree, height, seed=1)
+            result = alphabeta(SearchProblem(tree, depth=height))
+            assert result.stats.leaf_evals == minimal_leaf_count_formula(degree, height)
+
+    def test_worst_first_visits_everything(self):
+        tree = SyntheticOrderedTree(3, 4, seed=2, best_child="last")
+        result = alphabeta(SearchProblem(tree, depth=4))
+        best = alphabeta(SearchProblem(SyntheticOrderedTree(3, 4, seed=2), depth=4))
+        assert result.stats.leaf_evals > best.stats.leaf_evals
+
+    def test_invalid_placement(self):
+        with pytest.raises(GameError):
+            SyntheticOrderedTree(2, 2, best_child="middle")
+
+    def test_assigned_value_consistency(self):
+        """Every node's assigned value equals the negmax of its subtree."""
+        tree = SyntheticOrderedTree(3, 3, seed=4)
+
+        def nm(path):
+            kids = tree.children(TreePosition(path))
+            if not kids:
+                return tree.evaluate(TreePosition(path))
+            return max(-nm(k.path) for k in kids)
+
+        for path in [(), (0,), (1,), (2, 0), (1, 2)]:
+            assert nm(path) == tree.assigned_value(path)

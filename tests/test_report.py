@@ -1,0 +1,32 @@
+"""Tests for the consolidated reproduction report."""
+
+from repro.analysis.report import build_report
+
+
+class TestBuildReport:
+    def test_small_report(self):
+        report = build_report("reduced", trees=("R3",), processor_counts=(1, 4, 16))
+        assert "R3" in report.markdown
+        assert "speedup@16" in report.markdown
+        assert "Speculation ablation" in report.markdown
+        assert "R3" in report.curves
+
+    def test_report_tables_are_markdown(self):
+        report = build_report("reduced", trees=("R3",), processor_counts=(1, 4, 16))
+        header_rows = [l for l in report.markdown.splitlines() if l.startswith("|---")]
+        assert len(header_rows) >= 3
+
+    def test_curve_data_consistent_with_text(self):
+        report = build_report("reduced", trees=("R3",), processor_counts=(1, 16))
+        last = report.curves["R3"].points[-1]
+        assert f"{last.speedup:.1f}" in report.markdown
+
+
+class TestCLIReport:
+    def test_cli_report(self, capsys):
+        from repro.cli import main
+
+        assert main(["report", "--processors", "1", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "# Reproduction report" in out
+        assert "| R1 |" in out

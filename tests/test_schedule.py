@@ -1,0 +1,99 @@
+"""Unit tests for the fork/join list scheduler."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.parallel.schedule import ScheduledTask, list_schedule
+
+
+class StaticSource:
+    """Fixed set of independent tasks."""
+
+    def __init__(self, costs):
+        self.costs = costs
+        self.completed = []
+
+    def initial_tasks(self):
+        return [
+            ScheduledTask(key=i, cost_fn=lambda c=c: (c, None)) for i, c in enumerate(self.costs)
+        ]
+
+    def on_complete(self, task, payload, now):
+        self.completed.append((task.key, now))
+        return []
+
+
+class ChainSource:
+    """Each completion spawns the next task: a fully serial chain."""
+
+    def __init__(self, length, cost):
+        self.length = length
+        self.cost = cost
+        self.spawned = 0
+
+    def _task(self):
+        self.spawned += 1
+        return ScheduledTask(key=self.spawned, cost_fn=lambda: (self.cost, None))
+
+    def initial_tasks(self):
+        return [self._task()]
+
+    def on_complete(self, task, payload, now):
+        if self.spawned < self.length:
+            return [self._task()]
+        return []
+
+
+class TestBasics:
+    def test_single_processor_sums_costs(self):
+        report = list_schedule(1, StaticSource([3.0, 4.0, 5.0]))
+        assert report.makespan == 12.0
+
+    def test_two_processors_balance(self):
+        report = list_schedule(2, StaticSource([5.0, 5.0]))
+        assert report.makespan == 5.0
+        assert report.total_busy == 10.0
+
+    def test_more_processors_than_tasks(self):
+        report = list_schedule(8, StaticSource([7.0, 2.0]))
+        assert report.makespan == 7.0
+
+    def test_chain_never_parallelizes(self):
+        report = list_schedule(8, ChainSource(length=5, cost=2.0))
+        assert report.makespan == 10.0
+        assert report.starvation_fraction() > 0.5
+
+    def test_priority_orders_simultaneous_tasks(self):
+        order = []
+
+        class PrioritySource(StaticSource):
+            def initial_tasks(self):
+                def run(k):
+                    return lambda: (1.0, order.append(k))
+
+                return [
+                    ScheduledTask(key="low", cost_fn=run("low"), priority=(2,)),
+                    ScheduledTask(key="high", cost_fn=run("high"), priority=(1,)),
+                ]
+
+        list_schedule(1, PrioritySource([]))
+        assert order == ["high", "low"]
+
+    def test_cancelled_tasks_skipped(self):
+        class CancelSource(StaticSource):
+            def initial_tasks(self):
+                tasks = super().initial_tasks()
+                tasks[0].cancelled = True
+                return tasks
+
+        source = CancelSource([100.0, 1.0])
+        report = list_schedule(1, source)
+        assert report.makespan == 1.0
+
+    def test_rejects_zero_processors(self):
+        with pytest.raises(SimulationError):
+            list_schedule(0, StaticSource([1.0]))
+
+    def test_per_processor_accounting(self):
+        report = list_schedule(2, StaticSource([4.0, 4.0, 4.0, 4.0]))
+        assert [p.busy for p in report.processors] == [8.0, 8.0]

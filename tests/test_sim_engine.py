@@ -1,0 +1,203 @@
+"""Unit tests for the discrete-event multiprocessor engine."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError, WorkerProtocolError
+from repro.sim import (
+    Acquire,
+    Compute,
+    Engine,
+    Release,
+    SimLock,
+    WaitWork,
+    WorkSignal,
+    run_workers,
+)
+
+
+class TestCompute:
+    def test_single_worker_time(self):
+        def worker():
+            yield Compute(5.0)
+            yield Compute(7.0)
+
+        report = run_workers([worker()])
+        assert report.makespan == 12.0
+        assert report.processors[0].busy == 12.0
+
+    def test_parallel_workers_overlap(self):
+        def worker(units):
+            yield Compute(units)
+
+        report = run_workers([worker(10.0), worker(4.0)])
+        assert report.makespan == 10.0
+        assert report.total_busy == 14.0
+
+    def test_zero_cost_ok(self):
+        def worker():
+            yield Compute(0.0)
+
+        assert run_workers([worker()]).makespan == 0.0
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            Compute(-1.0)
+
+
+class TestLocks:
+    def test_contention_serializes(self):
+        lock = SimLock("l")
+
+        def worker():
+            yield Acquire(lock)
+            yield Compute(10.0)
+            yield Release(lock)
+
+        report = run_workers([worker(), worker()])
+        assert report.makespan == 20.0
+        assert report.total_lock_wait == 10.0
+
+    def test_fifo_grant_order(self):
+        lock = SimLock("l")
+        order = []
+
+        def worker(name, delay):
+            yield Compute(delay)
+            yield Acquire(lock)
+            order.append(name)
+            yield Compute(5.0)
+            yield Release(lock)
+
+        run_workers([worker("a", 0.0), worker("b", 1.0), worker("c", 2.0)])
+        assert order == ["a", "b", "c"]
+
+    def test_uncontended_lock_is_free(self):
+        lock = SimLock("l")
+
+        def worker():
+            yield Acquire(lock)
+            yield Compute(3.0)
+            yield Release(lock)
+
+        report = run_workers([worker()])
+        assert report.makespan == 3.0
+        assert report.total_lock_wait == 0.0
+
+    def test_reacquire_rejected(self):
+        lock = SimLock("l")
+
+        def worker():
+            yield Acquire(lock)
+            yield Acquire(lock)
+
+        with pytest.raises(WorkerProtocolError):
+            run_workers([worker()])
+
+    def test_release_foreign_lock_rejected(self):
+        lock = SimLock("l")
+
+        def worker():
+            yield Release(lock)
+
+        with pytest.raises(WorkerProtocolError):
+            run_workers([worker()])
+
+
+class TestWaitWork:
+    def test_signal_wakes_waiter(self):
+        signal = WorkSignal()
+        log = []
+
+        def waiter():
+            version = signal.version
+            yield WaitWork(signal, version)
+            log.append("woke")
+
+        def producer():
+            yield Compute(5.0)
+            signal.notify_all()
+
+        report = run_workers([waiter(), producer()])
+        assert log == ["woke"]
+        assert report.processors[0].starve_wait == 5.0
+
+    def test_lost_wakeup_prevented_by_version(self):
+        """If notify happens between the check and the wait, the waiter
+        must resume immediately instead of sleeping forever."""
+        signal = WorkSignal()
+
+        def racer():
+            version = signal.version
+            signal.notify_all()  # notify before the wait lands
+            yield WaitWork(signal, version)
+
+        report = run_workers([racer()])
+        assert report.makespan == 0.0
+
+    def test_unnotified_waiter_deadlocks(self):
+        signal = WorkSignal()
+
+        def waiter():
+            yield WaitWork(signal, signal.version)
+
+        with pytest.raises(DeadlockError):
+            run_workers([waiter()])
+
+
+class TestEngineDiscipline:
+    def test_single_use(self):
+        def worker():
+            yield Compute(1.0)
+
+        engine = Engine([worker()])
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_requires_workers(self):
+        with pytest.raises(SimulationError):
+            Engine([])
+
+    def test_event_budget(self):
+        def spinner():
+            while True:
+                yield Compute(0.0)
+
+        with pytest.raises(SimulationError):
+            run_workers([spinner()], max_events=100)
+
+    def test_determinism(self):
+        lock = SimLock("l")
+
+        def make_workers():
+            lock = SimLock("l")
+
+            def worker(units):
+                yield Acquire(lock)
+                yield Compute(units)
+                yield Release(lock)
+                yield Compute(units * 2)
+
+            return [worker(3.0), worker(5.0), worker(1.0)]
+
+        a = run_workers(make_workers())
+        b = run_workers(make_workers())
+        assert a.makespan == b.makespan
+        assert [p.busy for p in a.processors] == [p.busy for p in b.processors]
+
+
+class TestReportMath:
+    def test_utilization(self):
+        def worker(units):
+            yield Compute(units)
+
+        report = run_workers([worker(10.0), worker(5.0)])
+        assert report.utilization == pytest.approx(15.0 / 20.0)
+
+    def test_starvation_includes_tail_idle(self):
+        def worker(units):
+            yield Compute(units)
+
+        report = run_workers([worker(10.0), worker(2.0)])
+        # Worker 2 idles for 8 time units after finishing.
+        assert report.starvation_fraction() == pytest.approx(8.0 / 20.0)

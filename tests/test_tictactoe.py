@@ -1,0 +1,144 @@
+"""Unit tests for tic-tac-toe (the paper's Figure 1 substrate)."""
+
+import pytest
+
+from repro.errors import GameError, IllegalMoveError
+from repro.games.base import SearchProblem
+from repro.games.tictactoe import (
+    EMPTY_BOARD,
+    TicTacToe,
+    legal_moves,
+    play,
+    position_from_string,
+    winner,
+)
+from repro.search.alphabeta import alphabeta
+from repro.core.serial_er import er_search
+
+
+class TestRules:
+    def test_empty_board_no_winner(self):
+        assert winner(EMPTY_BOARD) == 0
+
+    def test_row_win(self):
+        cells = (1, 1, 1, 0, 2, 2, 0, 0, 0)
+        assert winner(cells) == 1
+
+    def test_column_win(self):
+        cells = (2, 1, 0, 2, 1, 0, 2, 0, 0)
+        assert winner(cells) == 2
+
+    def test_diagonal_win(self):
+        cells = (1, 2, 2, 0, 1, 0, 0, 0, 1)
+        assert winner(cells) == 1
+
+    def test_anti_diagonal_win(self):
+        cells = (0, 2, 1, 0, 1, 2, 1, 0, 0)
+        assert winner(cells) == 1
+
+    def test_legal_moves_excludes_occupied(self):
+        position = play((EMPTY_BOARD, 1), 4)
+        assert 4 not in legal_moves(position[0])
+        assert len(legal_moves(position[0])) == 8
+
+    def test_play_alternates(self):
+        position = (EMPTY_BOARD, 1)
+        position = play(position, 0)
+        assert position[1] == 2
+        position = play(position, 1)
+        assert position[1] == 1
+
+    def test_play_occupied_raises(self):
+        position = play((EMPTY_BOARD, 1), 0)
+        with pytest.raises(IllegalMoveError):
+            play(position, 0)
+
+    def test_play_out_of_range_raises(self):
+        with pytest.raises(IllegalMoveError):
+            play((EMPTY_BOARD, 1), 9)
+
+    def test_play_after_game_over_raises(self):
+        cells = (1, 1, 1, 2, 2, 0, 0, 0, 0)
+        with pytest.raises(IllegalMoveError):
+            play((cells, 2), 8)
+
+
+class TestGameAdapter:
+    def test_children_count_at_root(self):
+        game = TicTacToe()
+        assert len(game.children(game.root())) == 9
+
+    def test_no_children_after_win(self):
+        game = TicTacToe()
+        cells = (1, 1, 1, 2, 2, 0, 0, 0, 0)
+        assert game.children((cells, 2)) == ()
+
+    def test_terminal_loss_is_minus_one(self):
+        game = TicTacToe()
+        cells = (1, 1, 1, 2, 2, 0, 0, 0, 0)
+        assert game.evaluate((cells, 2)) == -1.0
+
+    def test_draw_is_zero(self):
+        game = TicTacToe()
+        cells = (1, 2, 1, 1, 2, 2, 2, 1, 1)
+        assert winner(cells) == 0
+        assert game.evaluate((cells, 2)) == 0.0
+
+    def test_heuristic_is_antisymmetric_at_root(self):
+        game = TicTacToe()
+        assert game.evaluate((EMPTY_BOARD, 1)) == -game.evaluate((EMPTY_BOARD, 2))
+
+    def test_render_contains_marks(self):
+        game = TicTacToe()
+        text = TicTacToe.render(play(game.root(), 4))
+        assert "X" in text and "O to move" in text
+
+
+class TestFigure1:
+    """The paper's Figure 1: tic-tac-toe is a draw under optimal play."""
+
+    def test_root_value_is_zero(self):
+        problem = SearchProblem(TicTacToe(), depth=9)
+        assert alphabeta(problem).value == 0.0
+
+    def test_er_agrees(self):
+        problem = SearchProblem(TicTacToe(), depth=9)
+        assert er_search(problem).value == 0.0
+
+    def test_win_in_one_found(self):
+        # X to move with two in a row: value must be a win (+1 for mover).
+        position = position_from_string("XX. OO. ...", to_move=1)
+        game = TicTacToe()
+
+        class Rooted:
+            def root(self):
+                return position
+
+            def children(self, p):
+                return game.children(p)
+
+            def evaluate(self, p):
+                return game.evaluate(p)
+
+        problem = SearchProblem(Rooted(), depth=7)
+        assert alphabeta(problem).value == 1.0
+
+
+class TestParsing:
+    def test_round_trip(self):
+        position = position_from_string("X.O .X. ..O", to_move=1)
+        assert position[0][0] == 1
+        assert position[0][2] == 2
+        assert position[0][4] == 1
+
+    def test_bad_length(self):
+        with pytest.raises(GameError):
+            position_from_string("X.O", to_move=1)
+
+    def test_bad_glyph(self):
+        with pytest.raises(GameError):
+            position_from_string("Z........", to_move=1)
+
+    def test_bad_mover(self):
+        with pytest.raises(GameError):
+            position_from_string(".........", to_move=3)

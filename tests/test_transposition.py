@@ -1,0 +1,126 @@
+"""Tests for transposition tables and table-driven search."""
+
+import pytest
+
+from repro.errors import SearchError
+from repro.games.base import SearchProblem
+from repro.games.othello import Othello
+from repro.games.random_tree import IncrementalGameTree, RandomGameTree
+from repro.games.tictactoe import TicTacToe
+from repro.search.alphabeta import alphabeta
+from repro.search.negamax import negamax
+from repro.search.transposition import (
+    Bound,
+    TranspositionTable,
+    TTEntry,
+    alphabeta_tt,
+    iterative_deepening,
+)
+
+from conftest import explicit_problem, random_problem
+
+
+class TestTable:
+    def test_probe_miss_then_hit(self):
+        table = TranspositionTable()
+        assert table.probe("pos") is None
+        table.store("pos", TTEntry(5.0, 3, Bound.EXACT, 1))
+        entry = table.probe("pos")
+        assert entry is not None and entry.value == 5.0
+        assert table.hits == 1 and table.misses == 1
+
+    def test_deeper_entry_not_overwritten(self):
+        table = TranspositionTable()
+        table.store("pos", TTEntry(5.0, 4, Bound.EXACT, None))
+        table.store("pos", TTEntry(9.0, 2, Bound.EXACT, None))
+        assert table.probe("pos").value == 5.0
+
+    def test_equal_depth_overwrites(self):
+        table = TranspositionTable()
+        table.store("pos", TTEntry(5.0, 2, Bound.UPPER, None))
+        table.store("pos", TTEntry(9.0, 2, Bound.EXACT, None))
+        assert table.probe("pos").value == 9.0
+
+    def test_lru_eviction(self):
+        table = TranspositionTable(capacity=2)
+        table.store("a", TTEntry(1.0, 1, Bound.EXACT, None))
+        table.store("b", TTEntry(2.0, 1, Bound.EXACT, None))
+        table.probe("a")  # refresh a
+        table.store("c", TTEntry(3.0, 1, Bound.EXACT, None))
+        assert table.probe("b") is None  # b was least recently used
+        assert table.probe("a") is not None
+        assert table.evictions == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(SearchError):
+            TranspositionTable(capacity=0)
+
+    def test_clear(self):
+        table = TranspositionTable()
+        table.store("a", TTEntry(1.0, 1, Bound.EXACT, None))
+        table.clear()
+        assert len(table) == 0
+
+
+class TestAlphabetaTT:
+    def test_exact_on_tictactoe(self):
+        """Tic-tac-toe transposes heavily and always at equal ply, so the
+        table-driven search must match plain alpha-beta exactly."""
+        problem = SearchProblem(TicTacToe(), depth=6)
+        plain = alphabeta(problem)
+        tt = alphabeta_tt(problem, TranspositionTable())
+        assert tt.value == plain.value
+
+    def test_transpositions_cut_work_on_tictactoe(self):
+        problem = SearchProblem(TicTacToe(), depth=7)
+        plain = alphabeta(problem)
+        table = TranspositionTable()
+        tt = alphabeta_tt(problem, table)
+        assert tt.value == plain.value
+        assert tt.stats.nodes_generated < plain.stats.nodes_generated
+        assert table.hits > 0
+
+    def test_exact_on_random_trees(self, small_random_problems):
+        for problem in small_random_problems:
+            truth = negamax(problem).value
+            assert alphabeta_tt(problem, TranspositionTable()).value == truth
+
+    def test_exact_on_early_othello(self):
+        problem = SearchProblem(Othello(), depth=4, sort_below_root=2)
+        plain = alphabeta(problem)
+        tt = alphabeta_tt(problem, TranspositionTable())
+        assert tt.value == plain.value
+
+    def test_warm_table_is_nearly_free(self):
+        problem = SearchProblem(TicTacToe(), depth=6)
+        table = TranspositionTable()
+        alphabeta_tt(problem, table)
+        warm = alphabeta_tt(problem, table)
+        assert warm.stats.nodes_generated == 0  # root answered from the table
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(ValueError):
+            alphabeta_tt(explicit_problem([1, 2]), TranspositionTable(), alpha=1, beta=1)
+
+
+class TestIterativeDeepening:
+    def test_matches_direct_search(self):
+        problem = random_problem(3, 5, seed=4)
+        truth = negamax(problem).value
+        assert iterative_deepening(problem).value == truth
+
+    def test_depth_zero(self):
+        game = RandomGameTree(3, 3, seed=0)
+        problem = SearchProblem(game, depth=0)
+        assert iterative_deepening(problem).value == game.evaluate(game.root())
+
+    def test_hash_moves_help_on_ordered_game(self):
+        """On a strongly ordered game, deepening with hash moves beats a
+        cold full-depth search in total evaluations — the classic
+        iterative-deepening paradox."""
+        game = IncrementalGameTree(5, 6, seed=8, noise=0.6)
+        problem = SearchProblem(game, depth=6)
+        cold = alphabeta(problem)
+        deepened = iterative_deepening(problem)
+        assert deepened.value == cold.value
+        assert deepened.stats.leaf_evals < cold.stats.leaf_evals * 1.5

@@ -1,0 +1,76 @@
+"""Tests for workload characterization (ordering quality, branching)."""
+
+from repro.analysis.tree_stats import branching_profile, ordering_quality
+from repro.games.base import SearchProblem
+from repro.games.othello import Othello
+from repro.games.random_tree import (
+    IncrementalGameTree,
+    RandomGameTree,
+    SyntheticOrderedTree,
+)
+
+
+class TestOrderingQuality:
+    def test_perfectly_ordered_tree_scores_one(self):
+        tree = SyntheticOrderedTree(4, 5, seed=0)
+        problem = SearchProblem(tree, depth=5)
+        quality = ordering_quality(problem, sample_plies=2)
+        assert quality.first_is_best == 1.0
+        assert quality.best_in_first_quarter == 1.0
+        assert quality.strongly_ordered
+
+    def test_worst_first_tree_scores_zero(self):
+        tree = SyntheticOrderedTree(4, 5, seed=0, best_child="last")
+        problem = SearchProblem(tree, depth=5)
+        quality = ordering_quality(problem, sample_plies=2)
+        assert quality.first_is_best == 0.0
+        assert not quality.strongly_ordered
+
+    def test_random_tree_is_not_strongly_ordered(self):
+        tree = RandomGameTree(4, 5, seed=3)
+        problem = SearchProblem(tree, depth=5)
+        quality = ordering_quality(problem, sample_plies=2)
+        assert not quality.strongly_ordered
+        # Uninformative ordering: first-is-best around 1/degree.
+        assert quality.first_is_best < 0.7
+
+    def test_incremental_tree_beats_uniform_random_after_sorting(self):
+        """The incremental model exists to produce partially ordered
+        trees: once children are sorted by the static evaluator, its
+        ordering quality must dominate the uniform model's (whose
+        evaluator is pure noise)."""
+        uniform = SearchProblem(RandomGameTree(4, 5, seed=3), depth=5)
+        incremental = SearchProblem(
+            IncrementalGameTree(4, 5, seed=3, noise=0.0), depth=5
+        )
+        q_uniform = ordering_quality(uniform, sample_plies=3, static_sort=True)
+        q_incremental = ordering_quality(incremental, sample_plies=3, static_sort=True)
+        assert q_incremental.first_is_best > q_uniform.first_is_best
+
+    def test_leafless_sample_is_trivially_ordered(self):
+        problem = SearchProblem(RandomGameTree(3, 2, seed=0), depth=0)
+        quality = ordering_quality(problem, sample_plies=2)
+        assert quality.nodes_sampled == 0
+        assert quality.strongly_ordered
+
+
+class TestBranchingProfile:
+    def test_uniform_tree(self):
+        problem = SearchProblem(RandomGameTree(5, 4, seed=0), depth=4)
+        profile = branching_profile(problem, sample_plies=2)
+        assert profile.min_branching == profile.max_branching == 5
+        assert profile.mean_branching == 5.0
+        assert profile.interior_nodes == 1 + 5
+
+    def test_othello_varying_branching(self):
+        """Table 3 lists Othello's degree as 'varying'."""
+        problem = SearchProblem(Othello(), depth=4)
+        profile = branching_profile(problem, sample_plies=3)
+        assert profile.min_branching >= 1
+        assert profile.max_branching > profile.min_branching
+        assert profile.interior_nodes > 1
+
+    def test_empty_sample(self):
+        problem = SearchProblem(RandomGameTree(3, 3, seed=0), depth=0)
+        profile = branching_profile(problem)
+        assert profile.interior_nodes == 0

@@ -1,0 +1,59 @@
+"""Stateful property test for the transposition table's LRU semantics."""
+
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.search.transposition import Bound, TranspositionTable, TTEntry
+
+KEYS = st.integers(min_value=0, max_value=19)
+
+
+class TranspositionMachine(RuleBasedStateMachine):
+    """Drives the table against a simple dict+list reference model."""
+
+    def __init__(self):
+        super().__init__()
+        self.table = TranspositionTable(capacity=8)
+        self.model: dict[int, TTEntry] = {}
+        self.recency: list[int] = []  # least recent first
+
+    def _touch(self, key: int) -> None:
+        if key in self.recency:
+            self.recency.remove(key)
+        self.recency.append(key)
+
+    @rule(key=KEYS, value=st.integers(-50, 50), depth=st.integers(0, 5))
+    def store(self, key, value, depth):
+        entry = TTEntry(float(value), depth, Bound.EXACT, None)
+        self.table.store(key, entry)
+        existing = self.model.get(key)
+        if existing is not None and existing.depth > depth:
+            return  # deeper entries are kept; no recency change either
+        self.model[key] = entry
+        self._touch(key)
+        if len(self.model) > 8:
+            evicted = self.recency.pop(0)
+            del self.model[evicted]
+
+    @rule(key=KEYS)
+    def probe(self, key):
+        got = self.table.probe(key)
+        expected = self.model.get(key)
+        if expected is None:
+            assert got is None
+        else:
+            assert got is not None
+            assert got.value == expected.value
+            assert got.depth == expected.depth
+            self._touch(key)
+
+    @invariant()
+    def sizes_agree(self):
+        assert len(self.table) == len(self.model)
+
+    @invariant()
+    def capacity_respected(self):
+        assert len(self.table) <= 8
+
+
+TestTranspositionMachine = TranspositionMachine.TestCase

@@ -1,0 +1,64 @@
+"""Tests for the Table 3 workload suite."""
+
+import pytest
+
+from repro.errors import SearchError
+from repro.workloads import FULL_SCALE_ENV, PROCESSOR_COUNTS, bench_scale, table3_suite
+
+
+class TestTable3:
+    def test_paper_scale_matches_table3(self):
+        suite = table3_suite("paper")
+        assert set(suite) == {"R1", "R2", "R3", "O1", "O2", "O3"}
+        assert suite["R1"].search_depth == 10 and suite["R1"].serial_depth == 7
+        assert suite["R2"].search_depth == 11 and suite["R2"].serial_depth == 7
+        assert suite["R3"].search_depth == 7 and suite["R3"].serial_depth == 5
+        for name in ("O1", "O2", "O3"):
+            assert suite[name].search_depth == 7
+            assert suite[name].serial_depth == 5
+            assert suite[name].sort_below_root == 5
+
+    def test_random_degrees(self):
+        suite = table3_suite("paper")
+        assert suite["R1"].make_game().degree == 4
+        assert suite["R2"].make_game().degree == 4
+        assert suite["R3"].make_game().degree == 8
+
+    def test_reduced_scale_preserves_structure(self):
+        paper = table3_suite("paper")
+        reduced = table3_suite("reduced")
+        for name in paper:
+            assert paper[name].kind == reduced[name].kind
+            assert reduced[name].search_depth <= paper[name].search_depth
+            assert reduced[name].serial_depth < reduced[name].search_depth
+
+    def test_problem_construction(self):
+        problem = table3_suite("reduced")["R3"].problem()
+        assert problem.depth == 5
+        assert len(problem.game.children(problem.game.root())) == 8
+
+    def test_specs_are_reusable(self):
+        spec = table3_suite("reduced")["R1"]
+        a, b = spec.problem(), spec.problem()
+        pos = a.game.root()
+        for _ in range(spec.search_depth):
+            pos = a.game.children(pos)[0]
+        assert a.game.evaluate(pos) == b.game.evaluate(pos)
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SearchError):
+            table3_suite("huge")
+
+    def test_processor_counts_cover_paper_sweep(self):
+        assert PROCESSOR_COUNTS[0] == 1
+        assert PROCESSOR_COUNTS[-1] == 16
+
+
+class TestBenchScale:
+    def test_default_reduced(self, monkeypatch):
+        monkeypatch.delenv(FULL_SCALE_ENV, raising=False)
+        assert bench_scale() == "reduced"
+
+    def test_env_switches_to_paper(self, monkeypatch):
+        monkeypatch.setenv(FULL_SCALE_ENV, "1")
+        assert bench_scale() == "paper"
