@@ -6,9 +6,10 @@ Benchmarks run the *reduced* workload scale by default; set
 ``REPRO_FULL=1`` for the paper-scale trees (minutes instead of seconds).
 
 Each benchmark stores the regenerated rows in ``benchmark.extra_info``
-(visible in ``--benchmark-verbose``/JSON output) and appends them to
+(visible in ``--benchmark-verbose``/JSON output) and rewrites them to
 ``benchmarks/results/<name>.txt`` so the numbers that back EXPERIMENTS.md
-are regenerated on every run.
+are regenerated on every run (one file per exhibit, overwritten in
+place — the files are committed, so history lives in git).
 """
 
 from __future__ import annotations
@@ -32,7 +33,23 @@ def record_table():
     """Write a rendered table to benchmarks/results/<name>.txt."""
 
     def write(name: str, text: str) -> None:
-        RESULTS_DIR.mkdir(exist_ok=True)
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return write
+
+
+@pytest.fixture()
+def record_scaling(record_table):
+    """Write a wall-clock scaling run as one fig10-13-format file per
+    processor count: ``benchmarks/results/<prefix>_P{n}.txt``."""
+    from repro.parallel.multiproc import format_scaling_table
+
+    def write(prefix: str, tree_name: str, serial_seconds: float, points) -> None:
+        for point in points:
+            record_table(
+                f"{prefix}_P{point.n_workers}",
+                format_scaling_table(tree_name, serial_seconds, [point]),
+            )
 
     return write

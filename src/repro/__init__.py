@@ -49,6 +49,7 @@ from .parallel import (
     pv_splitting,
     tree_splitting,
 )
+from .parallel.multiproc import MultiprocResult, multiproc_er
 from .parallel.threaded import threaded_er
 from .engine import EngineConfig, GameEngine, play_match
 from .search.alphabeta import alphabeta
@@ -91,6 +92,8 @@ __all__ = [
     # parallel algorithms
     "parallel_er",
     "threaded_er",
+    "multiproc_er",
+    "MultiprocResult",
     "parallel_aspiration",
     "mwf",
     "tree_splitting",

@@ -125,6 +125,50 @@ def _cmd_losses(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_speedup(args: argparse.Namespace) -> int:
+    """Compare one tree's parallel backends against serial ER.
+
+    ``--backend sim`` reports simulated-time speedup (the paper's
+    exhibits); ``--backend threaded`` and ``--backend multiproc`` report
+    real wall-clock, of which only multiproc can beat 1.0 under CPython.
+    """
+    import time as _time
+
+    from .parallel.multiproc import (
+        format_scaling_table,
+        measure_serial_seconds,
+        scaling_run,
+    )
+    from .parallel.threaded import threaded_er
+
+    spec = table3_suite(args.scale)[args.tree]
+    counts = tuple(args.processors) if args.processors else (1, 2, 4, 8)
+    if args.backend == "sim":
+        curve = cached_curve(args.scale, args.tree, counts)
+        print(f"{spec.name} — simulated backend (discrete-event engine)")
+        print(format_efficiency_table({args.tree: curve}))
+        print(format_speedup_summary({args.tree: curve}))
+        return 0
+    problem = spec.problem()
+    config = er_config_for(spec)
+    serial_seconds = measure_serial_seconds(problem)
+    print(f"{spec.name} — serial ER wall time {serial_seconds:.3f}s")
+    if args.backend == "threaded":
+        print("threaded backend (protocol check; the GIL forbids speedup):")
+        for count in counts:
+            t0 = _time.perf_counter()
+            threaded_er(problem, count, config=config)
+            wall = _time.perf_counter() - t0
+            print(f"  P={count:2d}  wall={wall:.3f}s  speedup={serial_seconds / wall:5.2f}")
+        return 0
+    _, points = scaling_run(
+        problem, counts, config=config, serial_seconds=serial_seconds
+    )
+    print("multiproc backend (worker processes; real parallelism):")
+    print(format_scaling_table(spec.name, serial_seconds, points))
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .analysis.report import build_report
 
@@ -193,6 +237,19 @@ def build_parser() -> argparse.ArgumentParser:
     loss.add_argument("--scale", choices=("reduced", "paper"), default="reduced")
     loss.add_argument("-P", "--processors", dest="processors_single", type=int, default=8)
     loss.set_defaults(func=_cmd_losses)
+
+    speed = sub.add_parser(
+        "speedup", help="compare backends (sim / threaded / multiproc) on one tree"
+    )
+    speed.add_argument(
+        "--backend", choices=("sim", "threaded", "multiproc"), default="multiproc"
+    )
+    speed.add_argument(
+        "--tree", choices=("R1", "R2", "R3", "O1", "O2", "O3"), default="R1"
+    )
+    speed.add_argument("--scale", choices=("reduced", "paper"), default="reduced")
+    speed.add_argument("--processors", type=int, nargs="*", default=None)
+    speed.set_defaults(func=_cmd_speedup)
 
     report = sub.add_parser("report", help="regenerate the headline exhibits as markdown")
     report.add_argument("--scale", choices=("reduced", "paper"), default="reduced")

@@ -18,6 +18,7 @@ from typing import Callable, Optional, Sequence
 
 from .core.er_parallel import ERConfig, parallel_er
 from .core.serial_er import er_search
+from .parallel.multiproc import multiproc_er
 from .costmodel import DEFAULT_COST_MODEL, CostModel
 from .errors import SearchError
 from .games.base import Game, Position, RootedGame, SearchProblem
@@ -41,8 +42,10 @@ class EngineConfig:
     """How the engine searches.
 
     Attributes:
-        algorithm: ``"alphabeta"``, ``"er"``, or ``"parallel-er"``.
-        n_processors: simulated processors for ``"parallel-er"``.
+        algorithm: ``"alphabeta"``, ``"er"``, ``"parallel-er"`` (simulated
+            processors), or ``"multiproc-er"`` (real worker processes).
+        n_processors: simulated processors for ``"parallel-er"``; worker
+            processes for ``"multiproc-er"``.
         max_depth: deepest iteration of iterative deepening.
         budget: stop deepening once this much simulated time is spent
             (``None`` = always reach ``max_depth``).
@@ -62,7 +65,7 @@ class EngineConfig:
     cost_model: CostModel = DEFAULT_COST_MODEL
 
     def __post_init__(self) -> None:
-        if self.algorithm not in ("alphabeta", "er", "parallel-er"):
+        if self.algorithm not in ("alphabeta", "er", "parallel-er", "multiproc-er"):
             raise SearchError(f"unknown engine algorithm {self.algorithm!r}")
         if self.max_depth < 1:
             raise SearchError("max_depth must be at least 1")
@@ -93,6 +96,18 @@ class GameEngine:
         if cfg.algorithm == "er":
             result = er_search(problem, cost_model=cfg.cost_model)
             return result.value, result.cost
+        if cfg.algorithm == "multiproc-er":
+            # Budgets stay in simulated units: the merged stats are charged
+            # through the same cost model as every other backend, so a
+            # time budget means the same amount of work regardless of how
+            # many real cores happened to be available.
+            mp_result = multiproc_er(
+                problem,
+                cfg.n_processors,
+                config=ERConfig(serial_depth=cfg.er_serial_depth),
+                cost_model=cfg.cost_model,
+            )
+            return mp_result.value, mp_result.stats.cost
         parallel = parallel_er(
             problem,
             cfg.n_processors,

@@ -11,6 +11,8 @@ from .tree_splitting import processor_tree_height, tree_splitting
 
 __all__ = [
     "ParallelResult",
+    "MultiprocResult",
+    "multiproc_er",
     "parallel_aspiration",
     "aspiration_windows",
     "mwf",
@@ -21,3 +23,13 @@ __all__ = [
     "ScheduledTask",
     "list_schedule",
 ]
+
+
+def __getattr__(name: str):
+    # Imported lazily: multiproc depends on core.er_parallel, which itself
+    # imports parallel.base — an eager import here would be circular.
+    if name in ("MultiprocResult", "multiproc_er"):
+        from . import multiproc
+
+        return getattr(multiproc, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

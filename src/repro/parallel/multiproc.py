@@ -1,0 +1,579 @@
+"""True-parallel multiprocess execution of the ER problem heap.
+
+The simulator (:mod:`repro.core.er_parallel`) answers the paper's
+*algorithmic* questions and the threaded driver answers the
+*protocol-correctness* ones; this module answers the remaining question —
+"is it actually faster on real hardware?" — by running ER on a pool of
+worker **processes**, which bypasses CPython's GIL.
+
+Division of labour (mirroring the paper's Sequent implementation, where
+the shared problem heap was cheap and the static evaluator dominated):
+
+* The **coordinator** process hosts the problem heap — the very same
+  :class:`~repro.core.er_queues.PrimaryQueue` and
+  :class:`~repro.core.er_queues.SpeculativeQueue`, inside the very same
+  :class:`~repro.core.er_parallel._Context` the simulator uses — and runs
+  the Table 1/Table 2 node-generation and combine rules inline.  Because
+  a single process serves the heap, no locks are needed; the coordinator
+  plays the role a ``multiprocessing.Manager`` would, without paying one
+  IPC round-trip per queue operation.
+* **Worker processes** execute the expensive part: whole serial-ER
+  subtree searches below ``config.serial_depth`` (Table 3's "Serial
+  Depth" cutover), exactly as the simulator's ``_serial_evaluate`` /
+  ``_serial_refute_remaining`` do.  Tasks and results cross the process
+  boundary by pickling :class:`~repro.games.base.SearchProblem` slices,
+  which every bundled game (random trees, explicit trees, tic-tac-toe,
+  Connect-4, Othello) supports because positions are plain immutable
+  dataclasses over ints and tuples.
+
+Semantics match the simulator's documented deviations: subtree searches
+run against the window captured at dispatch, results of subtrees
+orphaned by a cutoff are discarded on arrival (their node counts are
+still merged — the work *was* performed), and the combine procedure is
+byte-for-byte the simulator's (it is literally the same code).
+
+Loss accounting (paper Section 3.1), from per-worker counters: over the
+run's ``n_workers * wall_time`` processor-seconds,
+
+* **speculative loss** is worker time spent on subtree tasks whose
+  results were moot on arrival (an ancestor had combined or been cut
+  off) — completed work a serial search would not have needed;
+* **starvation loss** is worker time during which fewer tasks were in
+  flight than workers (the heap had nothing at serial depth to hand
+  out), integrated from the coordinator's submit/receive event log;
+* **interference loss** is the remainder: pickling, queue IPC, and
+  coordinator occupancy — the multiprocess analogue of the paper's
+  lock contention.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional, Sequence
+
+from ..core.er_parallel import E_NODE, R_NODE, UNDECIDED, ERConfig, PNode, _Context
+from ..core.serial_er import er_search
+from ..costmodel import DEFAULT_COST_MODEL, CostModel
+from ..errors import SearchError, SimulationError
+from ..games.base import RootedGame, SearchProblem, subproblem
+from ..search.stats import SearchStats
+
+__all__ = [
+    "MultiprocResult",
+    "ScalingPoint",
+    "default_serial_depth",
+    "multiproc_er",
+    "scaling_run",
+    "format_scaling_table",
+    "preferred_start_method",
+]
+
+
+def preferred_start_method() -> str:
+    """``fork`` where available (cheap workers), else the platform default."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else methods[0]
+
+
+def default_serial_depth(depth: int) -> int:
+    """Serial-depth cutover used when the caller does not specify one.
+
+    Subtrees of height ~3 are large enough to amortize one task's pickle
+    and IPC cost while leaving enough tasks to keep the pool busy.
+    """
+    return max(1, depth - 3)
+
+
+# ---------------------------------------------------------------------------
+# Worker side: top-level functions so they pickle under any start method.
+# ---------------------------------------------------------------------------
+
+
+def _pack_stats(stats: SearchStats) -> tuple:
+    return (
+        stats.interior_visits,
+        stats.leaf_evals,
+        stats.ordering_evals,
+        stats.nodes_generated,
+        stats.cutoffs,
+        stats.cost,
+    )
+
+
+def _unpack_stats(packed: tuple) -> SearchStats:
+    interior, leaves, ordering, generated, cutoffs, cost = packed
+    return SearchStats(
+        interior_visits=interior,
+        leaf_evals=leaves,
+        ordering_evals=ordering,
+        nodes_generated=generated,
+        cutoffs=cutoffs,
+        cost=cost,
+    )
+
+
+def _run_task(payload: tuple) -> tuple:
+    """Execute one serial subtree task; runs inside a worker process.
+
+    Returns ``(kind, value, packed_stats, t_start, t_end, pid,
+    children_done)`` with ``perf_counter`` timestamps, which on Linux are
+    CLOCK_MONOTONIC and therefore comparable across processes.
+    """
+    kind = payload[0]
+    t_start = time.perf_counter()
+    stats = SearchStats()
+    children_done = 0
+    if kind == "eval":
+        _, problem, alpha, beta = payload
+        value = er_search(problem, alpha, beta, stats=stats).value
+    else:  # "refute": remaining children, sequentially, tightening bound
+        _, game, positions, child_depth, child_sort, value, beta = payload
+        for position in positions:
+            sub = SearchProblem(
+                game=RootedGame(game, position), depth=child_depth, sort_below_root=child_sort
+            )
+            result = er_search(sub, -beta, -value, stats=stats)
+            children_done += 1
+            if -result.value > value:
+                value = -result.value
+            if value >= beta:
+                stats.on_cutoff()
+                break
+    return kind, value, _pack_stats(stats), t_start, time.perf_counter(), os.getpid(), children_done
+
+
+# ---------------------------------------------------------------------------
+# Coordinator side.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Pending:
+    """Bookkeeping for one in-flight subtree task."""
+
+    node: PNode
+    kind: str
+    submitted_at: float
+
+
+class _IdleMeter:
+    """Integrates worker idleness from the coordinator's event log.
+
+    Between consecutive submit/receive events, ``max(0, workers -
+    in_flight)`` workers had nothing to do; the accumulated integral is
+    the run's starvation processor-seconds.
+    """
+
+    def __init__(self, n_workers: int, start: float):
+        self.n_workers = n_workers
+        self._last = start
+        self._in_flight = 0
+        self.starved_seconds = 0.0
+
+    def record(self, now: float, delta: int) -> None:
+        gap = max(0.0, now - self._last)
+        self.starved_seconds += max(0, self.n_workers - self._in_flight) * gap
+        self._last = now
+        self._in_flight += delta
+
+
+@dataclass(frozen=True)
+class MultiprocResult:
+    """Outcome of one multiprocess ER run, with real-time loss accounting.
+
+    Attributes:
+        value: root negmax value (equal to serial ER's; asserted by the
+            cross-backend parity harness).
+        n_workers: worker-process count.
+        wall_time: coordinator wall-clock seconds from start to root
+            combine.
+        stats: merged work accounting — coordinator expansions plus every
+            worker subtree search whose result arrived (applied or moot).
+        extras: protocol counters (primary/speculative pops, stale and
+            cutoff discards, serial searches, task counts, ...).
+        busy_applied_seconds: worker seconds on tasks whose results were
+            used.
+        busy_wasted_seconds: worker seconds on tasks moot on arrival
+            (the run's speculative loss).
+        starvation_seconds: integrated worker idleness while the heap had
+            nothing to hand out.
+        interference_seconds: residual processor-seconds (IPC, pickling,
+            coordinator occupancy).
+    """
+
+    value: float
+    n_workers: int
+    wall_time: float
+    stats: SearchStats
+    extras: dict[str, Any] = field(default_factory=dict)
+    busy_applied_seconds: float = 0.0
+    busy_wasted_seconds: float = 0.0
+    starvation_seconds: float = 0.0
+    interference_seconds: float = 0.0
+
+    @property
+    def processor_seconds(self) -> float:
+        return self.n_workers * self.wall_time
+
+    def speedup(self, serial_seconds: float) -> float:
+        """Fishburn's speedup against a measured serial wall time."""
+        if self.wall_time <= 0:
+            return float("inf")
+        return serial_seconds / self.wall_time
+
+    def efficiency(self, serial_seconds: float) -> float:
+        return self.speedup(serial_seconds) / max(1, self.n_workers)
+
+    def _fraction(self, seconds: float) -> float:
+        total = self.processor_seconds
+        return seconds / total if total > 0 else 0.0
+
+    @property
+    def speculative_fraction(self) -> float:
+        return self._fraction(self.busy_wasted_seconds)
+
+    @property
+    def starvation_fraction(self) -> float:
+        return self._fraction(self.starvation_seconds)
+
+    @property
+    def interference_fraction(self) -> float:
+        return self._fraction(self.interference_seconds)
+
+
+def multiproc_er(
+    problem: SearchProblem,
+    n_workers: int,
+    *,
+    config: Optional[ERConfig] = None,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    executor: Optional[ProcessPoolExecutor] = None,
+    start_method: Optional[str] = None,
+    timeout: float = 300.0,
+) -> MultiprocResult:
+    """Run ER with a coordinator-hosted problem heap and worker processes.
+
+    Args:
+        problem: the game and horizon to search.
+        n_workers: worker-process count (the real-hardware analogue of
+            the paper's processor count).
+        config: ER tunables; defaults to every speculative mechanism on
+            with ``serial_depth`` set by :func:`default_serial_depth`
+            (the simulator's no-cutover default would leave the pool with
+            nothing to do).  ``distributed_heap`` is ignored — the heap
+            is coordinator-hosted by construction.
+        cost_model: charged to the merged stats so node accounting stays
+            comparable with the serial and simulated backends; wall time
+            is measured, not simulated.
+        executor: optional existing pool to reuse (it is not shut down);
+            must have at least ``n_workers`` workers for the loss
+            accounting to be meaningful.
+        start_method: multiprocessing start method; default prefers
+            ``fork``.
+        timeout: seconds to wait for any single in-flight task batch
+            before declaring the run wedged.
+
+    Raises:
+        SimulationError: on a worker crash, a wedged pool, or a protocol
+            deadlock (empty heap with nothing in flight before the root
+            combines).
+    """
+    if n_workers < 1:
+        raise SearchError("need at least one worker process")
+    if config is None:
+        config = ERConfig(serial_depth=default_serial_depth(problem.depth))
+    if config.distributed_heap:
+        config = replace(config, distributed_heap=False)
+
+    ctx = _Context(problem, cost_model, config, trace=False, n_processors=n_workers)
+    coord_stats = SearchStats()
+    merged_workers = SearchStats()
+
+    own_pool = executor is None
+    if own_pool:
+        method = start_method or preferred_start_method()
+        executor = ProcessPoolExecutor(
+            max_workers=n_workers, mp_context=multiprocessing.get_context(method)
+        )
+
+    pending: dict[Future, _Pending] = {}
+    counters = {
+        "tasks_submitted": 0,
+        "tasks_applied": 0,
+        "tasks_discarded": 0,
+        "tasks_orphaned": 0,
+    }
+    busy_applied = 0.0
+    busy_wasted = 0.0
+    start = time.perf_counter()
+    idle = _IdleMeter(n_workers, start)
+
+    def publish(pushes: list[tuple[str, PNode]]) -> None:
+        for queue_name, pushed in pushes:
+            if queue_name == "primary":
+                ctx.primary.push(pushed)
+            else:
+                ctx.speculative.push(pushed)
+
+    def finish(node: PNode) -> None:
+        node.done = True
+        pushes: list[tuple[str, PNode]] = []
+        ctx.combine(node, pushes)
+        publish(pushes)
+
+    def submit(node: PNode, alpha: float, beta: float) -> None:
+        ctx.counters["serial_searches"] += 1
+        if node.next_child > 0:
+            # Remaining-children refutation, as _serial_refute_remaining.
+            value = max(node.value, alpha)
+            if value >= beta:
+                if value > node.value:
+                    node.value = value
+                finish(node)
+                return
+            assert node.child_positions is not None
+            positions = list(node.child_positions[node.next_child :])
+            if not positions:
+                if value > node.value:
+                    node.value = value
+                finish(node)
+                return
+            payload = (
+                "refute",
+                problem.game,
+                positions,
+                problem.depth - node.ply - 1,
+                max(0, problem.sort_below_root - node.ply - 1),
+                value,
+                beta,
+            )
+        else:
+            payload = ("eval", subproblem(problem, node.position, node.ply), alpha, beta)
+        future = executor.submit(_run_task, payload)
+        counters["tasks_submitted"] += 1
+        pending[future] = _Pending(node, payload[0], time.perf_counter())
+        idle.record(time.perf_counter(), +1)
+
+    def process_primary(node: PNode) -> None:
+        """Table 1 node generation, mirroring the simulator's worker."""
+        if node.done or ctx.has_finished_ancestor(node):
+            ctx.counters["stale_discards"] += 1
+            return
+        if ctx.is_cut_off(node):
+            _, beta = ctx.window(node)
+            if beta > node.value:
+                node.value = beta
+            ctx.counters["cutoff_discards"] += 1
+            finish(node)
+            return
+        alpha, beta = ctx.window(node)
+        ctx.expand_positions(node, coord_stats)
+        if node.is_leaf:
+            coord_stats.on_leaf(node.path, cost_model)
+            node.value = problem.game.evaluate(node.position)
+            finish(node)
+            return
+        if node.ntype in (E_NODE, R_NODE) and node.ply >= config.serial_depth:
+            submit(node, alpha, beta)
+            return
+        pushes: list[tuple[str, PNode]] = []
+        if node.ntype == E_NODE:
+            assert node.children is not None
+            for index in range(node.n_children):
+                if node.children[index] is None:
+                    pushes.append(("primary", ctx.make_child(node, index, UNDECIDED)))
+            node.next_child = node.n_children
+        elif node.ntype == UNDECIDED:
+            if node.next_child == 0:
+                pushes.append(("primary", ctx.make_child(node, 0, E_NODE)))
+                node.next_child = 1
+        else:  # R_NODE above serial depth
+            if node.next_child < node.n_children:
+                ntype = E_NODE if node.next_child == 0 else R_NODE
+                pushes.append(("primary", ctx.make_child(node, node.next_child, ntype)))
+                node.next_child += 1
+        publish(pushes)
+
+    def process_speculative(node: PNode) -> None:
+        pushes: list[tuple[str, PNode]] = []
+        if (
+            not node.done
+            and not ctx.has_finished_ancestor(node)
+            and not ctx.is_cut_off(node)
+            and ctx._active_e_children(node) < config.max_e_children
+        ):
+            if ctx.select_e_child(node, pushes, mandatory=False):
+                ctx.maybe_push_spec(node, pushes)
+        else:
+            ctx.counters["stale_discards"] += 1
+        publish(pushes)
+
+    def apply_result(record: _Pending, outcome: tuple) -> None:
+        nonlocal busy_applied, busy_wasted
+        _, value, packed, t_start, t_end, _pid, children_done = outcome
+        idle.record(time.perf_counter(), -1)
+        duration = max(0.0, t_end - t_start)
+        merged_workers.merge(_unpack_stats(packed))
+        node = record.node
+        if node.done or ctx.has_finished_ancestor(node):
+            busy_wasted += duration
+            counters["tasks_discarded"] += 1
+            ctx.counters["stale_discards"] += 1
+            return
+        busy_applied += duration
+        counters["tasks_applied"] += 1
+        if record.kind == "refute":
+            node.next_child += children_done
+        if value > node.value:
+            node.value = value
+        finish(node)
+
+    def drain(block: bool) -> None:
+        if not pending:
+            return
+        if block:
+            done, _ = wait(pending, timeout=timeout, return_when=FIRST_COMPLETED)
+            if not done:
+                raise SimulationError(
+                    f"multiproc ER wedged: no task completed in {timeout:.0f}s"
+                )
+        else:
+            done = [future for future in pending if future.done()]
+        for future in done:
+            record = pending.pop(future)
+            error = future.exception()
+            if error is not None:
+                raise SimulationError(f"worker process failed: {error!r}") from error
+            apply_result(record, future.result())
+
+    try:
+        while not ctx.done:
+            drain(block=False)
+            if ctx.done:
+                break
+            node, from_spec = ctx.pop_work()
+            if node is None:
+                if not pending:
+                    raise SimulationError(
+                        "multiproc ER deadlocked: empty heap with no tasks in flight"
+                    )
+                drain(block=True)
+                continue
+            if from_spec:
+                process_speculative(node)
+            else:
+                process_primary(node)
+        wall = time.perf_counter() - start
+        idle.record(time.perf_counter(), 0)
+        counters["tasks_orphaned"] = len(pending)
+        for future in pending:
+            future.cancel()
+    finally:
+        if own_pool:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    if not ctx.done:
+        raise SimulationError("multiproc ER finished without combining the root")
+
+    merged = SearchStats()
+    merged.merge(coord_stats)
+    merged.merge(merged_workers)
+    extras: dict[str, Any] = dict(ctx.counters)
+    extras.update(counters)
+    busy = busy_applied + busy_wasted
+    starvation = min(idle.starved_seconds, max(0.0, n_workers * wall - busy))
+    interference = max(0.0, n_workers * wall - busy - starvation)
+    return MultiprocResult(
+        value=ctx.root.value,
+        n_workers=n_workers,
+        wall_time=wall,
+        stats=merged,
+        extras=extras,
+        busy_applied_seconds=busy_applied,
+        busy_wasted_seconds=busy_wasted,
+        starvation_seconds=starvation,
+        interference_seconds=interference,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Scaling study helpers (shared by the CLI and the benchmark suite).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One processor count of a wall-clock scaling run."""
+
+    n_workers: int
+    wall_time: float
+    speedup: float
+    efficiency: float
+    result: MultiprocResult
+
+
+def measure_serial_seconds(problem: SearchProblem, *, repeats: int = 2) -> float:
+    """Best-of-``repeats`` wall-clock seconds of serial ER on ``problem``."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        er_search(problem)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def scaling_run(
+    problem: SearchProblem,
+    counts: Sequence[int],
+    *,
+    config: Optional[ERConfig] = None,
+    serial_seconds: Optional[float] = None,
+    start_method: Optional[str] = None,
+) -> tuple[float, list[ScalingPoint]]:
+    """Serial baseline plus one multiproc run per worker count."""
+    if serial_seconds is None:
+        serial_seconds = measure_serial_seconds(problem)
+    points = []
+    for count in counts:
+        result = multiproc_er(
+            problem, count, config=config, start_method=start_method
+        )
+        points.append(
+            ScalingPoint(
+                n_workers=count,
+                wall_time=result.wall_time,
+                speedup=result.speedup(serial_seconds),
+                efficiency=result.efficiency(serial_seconds),
+                result=result,
+            )
+        )
+    return serial_seconds, points
+
+
+def format_scaling_table(
+    tree_name: str, serial_seconds: float, points: Sequence[ScalingPoint]
+) -> str:
+    """Render a scaling run in the fig10-13 results-file format."""
+    header = "tree  serial-ER-s  " + "".join(
+        f"P={p.n_workers:<6d}" for p in points
+    )
+    row = f"{tree_name:<4s}  {serial_seconds:11.3f}  " + "".join(
+        f"{p.efficiency:7.3f}" for p in points
+    )
+    best = max(points, key=lambda p: p.speedup)
+    summary = (
+        f"{tree_name}: speedup {best.speedup:.1f} at P={best.n_workers} "
+        f"(efficiency {best.efficiency:.2f}; best serial: er)"
+    )
+    losses = "\n".join(
+        f"{tree_name} P={p.n_workers}: wall={p.wall_time:.3f}s "
+        f"starvation={p.result.starvation_fraction:.3f} "
+        f"interference={p.result.interference_fraction:.3f} "
+        f"speculative={p.result.speculative_fraction:.3f}"
+        for p in points
+    )
+    return "\n".join((header, row, summary, losses))

@@ -1,0 +1,219 @@
+"""Tests for the multiprocess ER backend (correctness and accounting)."""
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.core.er_parallel import ERConfig
+from repro.core.serial_er import er_search
+from repro.engine import EngineConfig, GameEngine
+from repro.errors import SearchError
+from repro.games.base import SearchProblem
+from repro.games.connect4 import ConnectFour
+from repro.games.explicit import FIGURE6, FIGURE7, ExplicitTree
+from repro.games.othello.game import O1_ROOT, Othello
+from repro.games.tictactoe import TicTacToe
+from repro.parallel.multiproc import (
+    MultiprocResult,
+    default_serial_depth,
+    format_scaling_table,
+    multiproc_er,
+    preferred_start_method,
+    scaling_run,
+)
+from repro.search.negamax import negamax
+from repro.search.stats import SearchStats
+
+from conftest import random_problem
+
+
+@pytest.fixture(scope="module")
+def pool():
+    """One shared worker pool so each test does not pay process startup."""
+    context = multiprocessing.get_context(preferred_start_method())
+    executor = ProcessPoolExecutor(max_workers=3, mp_context=context)
+    yield executor
+    executor.shutdown(wait=True, cancel_futures=True)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n_workers", [1, 2, 3])
+    def test_matches_negamax_on_random_trees(self, pool, n_workers):
+        for seed in range(3):
+            problem = random_problem(3, 4, seed)
+            truth = negamax(problem).value
+            result = multiproc_er(
+                problem, n_workers, config=ERConfig(serial_depth=2), executor=pool
+            )
+            assert result.value == truth
+            assert result.stats.nodes_generated > 0
+
+    def test_default_config_offloads_subtrees(self, pool):
+        problem = random_problem(3, 5, seed=1)
+        truth = negamax(problem).value
+        result = multiproc_er(problem, 2, executor=pool)
+        assert result.value == truth
+        assert result.extras["tasks_submitted"] > 0
+
+    def test_serial_depth_zero_ships_the_root(self, pool):
+        """The root itself is a serial task: one worker does everything."""
+        problem = random_problem(2, 4, seed=3)
+        result = multiproc_er(
+            problem, 2, config=ERConfig(serial_depth=0), executor=pool
+        )
+        assert result.value == negamax(problem).value
+        assert result.extras["tasks_submitted"] == 1
+
+    def test_no_cutover_runs_in_coordinator(self, pool):
+        """With the simulator's no-cutover default every node is processed
+        by the coordinator; the pool is never used but values still agree."""
+        problem = random_problem(2, 3, seed=0)
+        result = multiproc_er(
+            problem, 2, config=ERConfig(serial_depth=1_000_000), executor=pool
+        )
+        assert result.value == negamax(problem).value
+        assert result.extras["tasks_submitted"] == 0
+
+    def test_refutation_tasks_exercised(self, pool):
+        """Deep trees with a mid cutover hit the remaining-children path."""
+        exercised = 0
+        for seed in range(4):
+            problem = random_problem(3, 5, seed)
+            truth = negamax(problem).value
+            result = multiproc_er(
+                problem,
+                2,
+                config=ERConfig(serial_depth=2, max_e_children=2),
+                executor=pool,
+            )
+            assert result.value == truth
+            exercised += result.extras["refutation_conversions"]
+        assert exercised > 0
+
+    def test_explicit_paper_trees(self, pool):
+        for spec, expected in ((FIGURE6, 9.0), (FIGURE7, -11.0)):
+            game = ExplicitTree(spec)
+            problem = SearchProblem(game, depth=game.height)
+            result = multiproc_er(
+                problem, 2, config=ERConfig(serial_depth=1), executor=pool
+            )
+            assert result.value == expected
+
+    def test_real_games(self, pool):
+        for problem in (
+            SearchProblem(TicTacToe(), depth=4),
+            SearchProblem(ConnectFour(5, 4), depth=4),
+            SearchProblem(Othello(O1_ROOT), depth=3, sort_below_root=2),
+        ):
+            truth = negamax(problem).value
+            result = multiproc_er(
+                problem, 2, config=ERConfig(serial_depth=2), executor=pool
+            )
+            assert result.value == truth
+
+    def test_agrees_with_serial_er_stats_scale(self, pool):
+        """Merged node accounting lands in the same ballpark as serial ER
+        (same cost model, so the numbers are directly comparable)."""
+        problem = random_problem(3, 5, seed=7)
+        serial = er_search(problem)
+        result = multiproc_er(
+            problem,
+            2,
+            config=ERConfig(serial_depth=2, max_e_children=1),
+            executor=pool,
+        )
+        assert result.value == serial.value
+        assert result.stats.leaf_evals >= serial.stats.leaf_evals * 0.5
+
+
+class TestAccounting:
+    def test_loss_fractions_partition_processor_time(self, pool):
+        problem = random_problem(3, 5, seed=2)
+        result = multiproc_er(
+            problem, 2, config=ERConfig(serial_depth=2), executor=pool
+        )
+        assert result.wall_time > 0
+        for fraction in (
+            result.starvation_fraction,
+            result.interference_fraction,
+            result.speculative_fraction,
+        ):
+            assert 0.0 <= fraction <= 1.0
+        busy_fraction = result.busy_applied_seconds / result.processor_seconds
+        total = (
+            busy_fraction
+            + result.speculative_fraction
+            + result.starvation_fraction
+            + result.interference_fraction
+        )
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_task_counters_close(self, pool):
+        problem = random_problem(3, 4, seed=5)
+        result = multiproc_er(
+            problem, 2, config=ERConfig(serial_depth=2), executor=pool
+        )
+        extras = result.extras
+        assert extras["tasks_submitted"] == (
+            extras["tasks_applied"]
+            + extras["tasks_discarded"]
+            + extras["tasks_orphaned"]
+        )
+        assert extras["tasks_applied"] > 0
+
+    def test_speedup_and_efficiency_math(self):
+        result = MultiprocResult(
+            value=0.0, n_workers=4, wall_time=2.0, stats=SearchStats()
+        )
+        assert result.speedup(4.0) == pytest.approx(2.0)
+        assert result.efficiency(4.0) == pytest.approx(0.5)
+
+
+class TestScalingHelpers:
+    def test_scaling_run_and_table(self, pool):
+        problem = random_problem(3, 4, seed=0)
+        serial_seconds, points = scaling_run(
+            problem, (1, 2), config=ERConfig(serial_depth=2)
+        )
+        assert serial_seconds > 0
+        assert [p.n_workers for p in points] == [1, 2]
+        truth = negamax(problem).value
+        assert all(p.result.value == truth for p in points)
+        table = format_scaling_table("T1", serial_seconds, points)
+        assert "T1" in table and "P=1" in table and "speedup" in table
+        assert "starvation=" in table and "speculative=" in table
+
+    def test_default_serial_depth_bounds(self):
+        assert default_serial_depth(9) == 6
+        assert default_serial_depth(2) == 1
+        assert default_serial_depth(0) == 1
+
+
+class TestEngineBackend:
+    def test_engine_multiproc_matches_er(self):
+        game = ConnectFour(4, 4)
+        base = EngineConfig(algorithm="er", max_depth=3)
+        multi = EngineConfig(algorithm="multiproc-er", n_processors=2, max_depth=3)
+        choice_er = GameEngine(game, base).choose(game.root())
+        choice_mp = GameEngine(game, multi).choose(game.root())
+        assert choice_mp.move_index == choice_er.move_index
+        assert choice_mp.per_move_values == choice_er.per_move_values
+
+
+class TestValidation:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(SearchError):
+            multiproc_er(random_problem(2, 2, 0), 0)
+
+    def test_distributed_heap_is_coordinator_hosted(self, pool):
+        """The distributed_heap flag is ignored, not an error."""
+        problem = random_problem(2, 4, seed=1)
+        result = multiproc_er(
+            problem,
+            2,
+            config=ERConfig(serial_depth=2, distributed_heap=True),
+            executor=pool,
+        )
+        assert result.value == negamax(problem).value
+        assert result.extras["steals"] == 0

@@ -15,6 +15,8 @@ from repro.core.serial_er import er_search
 from repro.costmodel import CostModel
 from repro.games.explicit import negmax_of_spec
 from repro.search.alphabeta import alphabeta
+from repro.search.minimal_tree import minimal_leaf_count_formula
+from repro.search.negamax import negamax
 from repro.search.negascout import negascout
 from repro.search.transposition import TranspositionTable, alphabeta_tt
 
@@ -85,6 +87,49 @@ class TestParallelERFuzz:
         b = parallel_er(problem, 5, config=config)
         assert a.sim_time == b.sim_time
         assert a.stats.nodes_generated == b.stats.nodes_generated
+
+
+def _nest(values, degree):
+    """Fold a flat leaf list into a complete ``degree``-ary tree spec."""
+    nodes = list(values)
+    while len(nodes) > 1:
+        nodes = [nodes[i : i + degree] for i in range(0, len(nodes), degree)]
+    return nodes[0]
+
+
+@st.composite
+def uniform_trees(draw):
+    """Complete d-ary trees — the shape the minimal-tree bound is stated for."""
+    degree = draw(st.integers(min_value=2, max_value=3))
+    height = draw(st.integers(min_value=1, max_value=3))
+    count = degree**height
+    values = draw(st.lists(leaf, min_size=count, max_size=count))
+    return degree, height, _nest(values, degree)
+
+
+class TestMinimalTreeBoundFuzz:
+    """No correct algorithm can examine fewer leaves than the minimal tree
+    (paper Section 2.2), and parallelism must never change the value."""
+
+    @given(uniform_trees(), er_configs, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=50)
+    def test_parallel_er_matches_negamax_above_the_bound(self, tree, config, n):
+        degree, height, spec = tree
+        problem = explicit_problem(spec)
+        result = parallel_er(problem, n, config=config)
+        assert result.value == negamax(problem).value
+        assert result.stats.leaf_evals >= minimal_leaf_count_formula(degree, height)
+
+    @given(uniform_trees())
+    @settings(max_examples=30)
+    def test_serial_searches_respect_the_bound(self, tree):
+        degree, height, spec = tree
+        problem = explicit_problem(spec)
+        bound = minimal_leaf_count_formula(degree, height)
+        truth = negamax(problem).value
+        for result in (alphabeta(problem), er_search(problem)):
+            assert result.value == truth
+            assert result.stats.leaf_evals >= bound
 
 
 class TestAccountingInvariantsFuzz:

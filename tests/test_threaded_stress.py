@@ -1,0 +1,68 @@
+"""Stress tests for the threaded ER driver.
+
+The ordinary threaded tests run a handful of threads at the default wait
+slice; races that need a tight interleaving window rarely fire there.
+These tests crank both knobs — thread counts well above the core count
+and a wait slice shrunk two orders of magnitude (so workers re-check the
+heap almost continuously, maximizing pop/push overlap) — across many
+seeds.  A protocol race shows up as a wrong root value, a double-combine
+assertion, or a hang (caught by ``threaded_er``'s own timeout).
+"""
+
+import pytest
+
+import repro.parallel.threaded as threaded_module
+from repro.core.er_parallel import ERConfig
+from repro.games.base import SearchProblem
+from repro.games.connect4 import ConnectFour
+from repro.parallel.threaded import threaded_er
+from repro.search.negamax import negamax
+
+from conftest import random_problem
+
+
+@pytest.fixture
+def tiny_wait_slice(monkeypatch):
+    monkeypatch.setattr(threaded_module, "_WAIT_SLICE_SECONDS", 0.00005)
+
+
+@pytest.mark.slow
+class TestThreadedStress:
+    @pytest.mark.parametrize("n_threads", [8, 16, 32])
+    def test_oversubscribed_random_trees(self, tiny_wait_slice, n_threads):
+        for seed in range(6):
+            problem = random_problem(2, 5, seed)
+            truth = negamax(problem).value
+            value, stats = threaded_er(
+                problem, n_threads, config=ERConfig(serial_depth=3), timeout=60.0
+            )
+            assert value == truth, f"seed={seed} n_threads={n_threads}"
+            assert stats.nodes_generated > 0
+
+    def test_wide_trees_all_speculation_on(self, tiny_wait_slice):
+        """Wide trees put many siblings in the speculative queue at once —
+        the worst case for concurrent select/promote."""
+        config = ERConfig(serial_depth=2, max_e_children=4)
+        for seed in range(4):
+            problem = random_problem(5, 3, seed)
+            truth = negamax(problem).value
+            value, _ = threaded_er(problem, 16, config=config, timeout=60.0)
+            assert value == truth, f"seed={seed}"
+
+    def test_no_cutover_contends_on_every_node(self, tiny_wait_slice):
+        """serial_depth beyond the horizon keeps every node on the shared
+        heap, so every expansion races every other through the locks."""
+        for seed in range(4):
+            problem = random_problem(3, 4, seed)
+            truth = negamax(problem).value
+            value, _ = threaded_er(problem, 12, timeout=60.0)
+            assert value == truth, f"seed={seed}"
+
+    def test_real_game_repeated(self, tiny_wait_slice):
+        problem = SearchProblem(ConnectFour(5, 4), depth=4)
+        truth = negamax(problem).value
+        for _ in range(3):
+            value, _ = threaded_er(
+                problem, 16, config=ERConfig(serial_depth=2), timeout=60.0
+            )
+            assert value == truth
