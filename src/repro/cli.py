@@ -14,7 +14,8 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from pathlib import Path
+from typing import Callable, Sequence
 
 from .analysis.experiments import (
     cached_curve,
@@ -210,6 +211,82 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Run the concurrency-correctness toolkit end to end.
+
+    Four gates, in increasing cost: the invariant lint, the detector's
+    mutation-mode self-test, race analysis of fresh fixed-seed traces
+    from every backend, and (when mypy is importable) the strict typing
+    gate.  Exit status 0 means every gate passed.
+    """
+    from .errors import VerificationError
+    from .verify import harness
+    from .verify.racedetect import analyze, self_test
+    from .verify.staticcheck import check_repo
+    from .verify.trace import Event
+
+    failed = False
+
+    print("== invariant lint (repro.verify.staticcheck) ==")
+    findings = check_repo()
+    for finding in findings:
+        print(f"  {finding}")
+    if findings:
+        failed = True
+    else:
+        print("  OK: all invariants hold")
+
+    print("== race detector self-test (mutation mode) ==")
+    try:
+        self_test()
+    except VerificationError as exc:
+        failed = True
+        print(f"  {exc}")
+    else:
+        print("  OK: every seeded race is caught, clean trace passes")
+
+    print("== clean-trace gates (fresh captures, fixed seeds) ==")
+    captures: list[tuple[str, Callable[[], list[Event]]]] = [
+        ("sim", harness.capture_sim_trace),
+        ("sim-serial-depth", harness.capture_sim_serial_depth_trace),
+        ("threaded", harness.capture_threaded_trace),
+    ]
+    if not args.fast:
+        captures.append(("multiproc", harness.capture_multiproc_trace))
+    for name, capture in captures:
+        report = analyze(capture())
+        if report.ok:
+            print(f"  {name}: {report.events} events -> OK")
+        else:
+            failed = True
+            print(f"  {name}: {report.summary()}")
+
+    print("== strict typing gate (mypy) ==")
+    try:
+        from mypy import api as mypy_api
+    except ImportError:
+        print("  mypy not installed; skipped (the CI verify job enforces it)")
+    else:
+        root = Path(__file__).resolve().parents[2]
+        stdout, stderr, status = mypy_api.run(
+            [
+                "--strict",
+                "--config-file",
+                str(root / "pyproject.toml"),
+                str(root / "src" / "repro"),
+            ]
+        )
+        if stdout:
+            print("  " + "\n  ".join(stdout.rstrip().splitlines()))
+        if stderr:
+            print("  " + "\n  ".join(stderr.rstrip().splitlines()), file=sys.stderr)
+        if status != 0:
+            failed = True
+
+    print("verify: FAILED" if failed else "verify: OK")
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-gametree",
@@ -265,12 +342,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="30-second tour")
     demo.set_defaults(func=_cmd_demo)
+
+    verify = sub.add_parser(
+        "verify", help="lint concurrency invariants and race-check all backends"
+    )
+    verify.add_argument(
+        "--fast",
+        action="store_true",
+        help="skip the multiproc capture (spawns worker processes)",
+    )
+    verify.set_defaults(func=_cmd_verify)
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    handler: Callable[[argparse.Namespace], int] = args.func
+    return handler(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

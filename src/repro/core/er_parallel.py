@@ -33,7 +33,7 @@ Faithfulness notes (deviations are deliberate and documented):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import Generator, Optional
 
 from ..costmodel import DEFAULT_COST_MODEL, CostModel
 from ..errors import SearchError, SimulationError
@@ -42,7 +42,8 @@ from ..parallel.base import ParallelResult
 from ..search.stats import SearchStats
 from ..sim.engine import Engine
 from ..sim.locks import SimLock, WorkSignal
-from ..sim.ops import Acquire, Compute, Release, WaitWork
+from ..sim.ops import Acquire, Compute, Op, Release, WaitWork
+from ..verify import trace as _trace
 from .er_queues import PrimaryQueue, SpeculativeQueue, SpecOrder
 from .serial_er import er_search
 
@@ -141,7 +142,7 @@ class PNode:
         ply: int,
         parent: Optional["PNode"],
         ntype: str,
-    ):
+    ) -> None:
         self.position = position
         self.path = path
         self.ply = ply
@@ -188,7 +189,7 @@ class _Context:
         config: ERConfig,
         trace: bool,
         n_processors: int = 1,
-    ):
+    ) -> None:
         self.problem = problem
         self.cost_model = cost_model
         self.config = config
@@ -200,7 +201,9 @@ class _Context:
         self.primary = PrimaryQueue()
         self.speculative = SpeculativeQueue(config.spec_order)
         if config.distributed_heap:
-            self.local_queues = [PrimaryQueue() for _ in range(n_processors)]
+            self.local_queues = [
+                PrimaryQueue(name=f"heap.local-{i}") for i in range(n_processors)
+            ]
             self.local_locks = [SimLock(f"heap-{i}") for i in range(n_processors)]
         else:
             self.local_queues = []
@@ -223,6 +226,33 @@ class _Context:
             self.local_queues[0].push(self.root)
         else:
             self.primary.push(self.root)
+
+    # -- shared-state instrumentation --------------------------------------
+
+    def _bump(self, key: str, amount: int = 1) -> None:
+        """Increment a protocol counter, reporting the write to the tracer.
+
+        Each counter key is its own trace location (``counters.<key>``);
+        the race detector checks that every key is bumped under one
+        consistent lock (pops under the heap lock, tree bookkeeping under
+        the tree lock).
+        """
+        if _trace.CURRENT is not None:
+            _trace.on_access(f"counters.{key}", _trace.WRITE)
+        self.counters[key] += amount
+
+    @staticmethod
+    def _note(node: PNode, kind: str) -> None:
+        """Report an access to ``node``'s shared state to the tracer.
+
+        Node locations are checked by happens-before only: ownership of a
+        node legitimately transfers between workers through the locked
+        problem heap (push under one critical section, pop under another),
+        which a pure lockset analysis would misreport.
+        """
+        if _trace.CURRENT is not None:
+            path = "/".join(map(str, node.path)) or "root"
+            _trace.on_access(f"node:{path}", kind)
 
     # -- window / cutoff machinery ----------------------------------------
 
@@ -256,12 +286,14 @@ class _Context:
     def pop_work(self) -> tuple[Optional[PNode], bool]:
         node = self.primary.pop()
         if node is not None:
-            self.counters["pops_primary"] += 1
+            self._bump("pops_primary")
             return node, False
         node = self.speculative.pop()
         if node is not None:
-            node.on_spec = False
-            self.counters["pops_speculative"] += 1
+            # ``on_spec`` stays True until _process_speculative clears it
+            # under the tree lock: every access to node state is tree-locked,
+            # and a concurrent maybe_push_spec cannot double-push meanwhile.
+            self._bump("pops_speculative")
             return node, True
         return None, False
 
@@ -283,6 +315,11 @@ class _Context:
             else list(game.children(node.position))
         )
         cost = 0.0
+        # Written without a lock: between pop and publish the popping
+        # worker owns the node, and a first expansion cannot overlap any
+        # other worker's access (children do not exist yet, so no combine
+        # can reach it); the handoff itself is ordered by the heap lock.
+        self._note(node, _trace.WRITE)
         if not successors:
             node.is_leaf = True
             node.child_positions = []
@@ -300,6 +337,7 @@ class _Context:
 
     def make_child(self, node: PNode, index: int, ntype: str) -> PNode:
         assert node.child_positions is not None and node.children is not None
+        self._note(node, _trace.WRITE)
         child = PNode(
             node.child_positions[index],
             node.path + (index,),
@@ -324,6 +362,7 @@ class _Context:
             return
         if self._best_candidate(node) is None:
             return
+        self._note(node, _trace.WRITE)
         node.on_spec = True
         pushes.append(("spec", node))
 
@@ -375,16 +414,18 @@ class _Context:
             candidate = self._best_candidate(node, include_refutable=True)
         if candidate is None:
             return False
+        self._note(candidate, _trace.WRITE)
+        self._note(node, _trace.WRITE)
         candidate.ntype = E_NODE
         node.e_children += 1
         node.e_child_selected = True
-        key = "mandatory_selections" if mandatory else "spec_selections"
-        self.counters[key] += 1
+        self._bump("mandatory_selections" if mandatory else "spec_selections")
         pushes.append(("primary", candidate))
         return True
 
     def start_refutation(self, node: PNode, pushes: list[tuple[str, PNode]]) -> None:
         """Table 2, row 3: convert remaining children to r-nodes."""
+        self._note(node, _trace.WRITE)
         node.refutation_started = True
         assert node.children is not None
         # Only children whose Eval_first has completed are released now; a
@@ -411,10 +452,11 @@ class _Context:
             self._convert_to_r(child, pushes)
 
     def _convert_to_r(self, child: PNode, pushes: list[tuple[str, PNode]]) -> None:
+        self._note(child, _trace.WRITE)
         child.ntype = R_NODE
         if child.child_positions is not None and not child.is_leaf:
             child.next_child = max(child.next_child, 1)
-        self.counters["refutation_conversions"] += 1
+        self._bump("refutation_conversions")
         pushes.append(("primary", child))
 
     # -- the combine procedure (Section 6) ----------------------------------
@@ -437,6 +479,8 @@ class _Context:
             if parent.done:
                 return levels  # orphaned subtree; results are moot
             levels += 1
+            self._note(current, _trace.WRITE)
+            self._note(parent, _trace.WRITE)
             if current.done:
                 if not current.counted:
                     current.counted = True
@@ -462,7 +506,7 @@ class _Context:
                 if beta > parent.value:
                     parent.value = beta  # fail-hard: "at least beta"
                 parent.done = True
-                self.counters["cutoff_discards"] += 1
+                self._bump("cutoff_discards")
                 current = parent
                 continue
             # Parent lives on with remaining work: Table 2 actions.
@@ -476,8 +520,10 @@ class _Context:
             # elder grandchild of the grandparent is evaluated.
             grand = parent.parent
             if not parent.elder_counted:
+                self._note(parent, _trace.WRITE)
                 parent.elder_counted = True
                 if grand is not None and not grand.done:
+                    self._note(grand, _trace.WRITE)
                     grand.elder_done += 1
             if grand is not None and not grand.done and grand.ntype == E_NODE:
                 if grand.refutation_started:
@@ -522,7 +568,7 @@ class _Context:
         self.maybe_push_spec(node, pushes)
 
 
-def _worker(ctx: _Context, stats: SearchStats, pid: int = 0) -> Iterator:
+def _worker(ctx: _Context, stats: SearchStats, pid: int = 0) -> Generator[Op, None, None]:
     """The per-processor loop of Section 6."""
     cm = ctx.cost_model
     while not ctx.done:
@@ -546,7 +592,9 @@ def _worker(ctx: _Context, stats: SearchStats, pid: int = 0) -> Iterator:
     return
 
 
-def _pop_distributed(ctx: _Context, pid: int) -> Iterator:
+def _pop_distributed(
+    ctx: _Context, pid: int
+) -> Generator[Op, None, tuple[Optional[PNode], bool, int]]:
     """Pop under per-processor queues: own queue, then steal, then spec.
 
     The Section 8 "distribute work to reduce processor interaction"
@@ -561,9 +609,10 @@ def _pop_distributed(ctx: _Context, pid: int) -> Iterator:
     yield Acquire(own_lock)
     yield Compute(cm.heap_op)
     node = ctx.local_queues[pid].pop()
+    if node is not None:
+        ctx._bump("pops_primary")
     yield Release(own_lock)
     if node is not None:
-        ctx.counters["pops_primary"] += 1
         return node, False, seen_version
     for offset in range(1, ctx.n_processors):
         victim = (pid + offset) % ctx.n_processors
@@ -572,22 +621,25 @@ def _pop_distributed(ctx: _Context, pid: int) -> Iterator:
         yield Acquire(ctx.local_locks[victim])
         yield Compute(cm.heap_op)
         node = ctx.local_queues[victim].pop()
+        if node is not None:
+            ctx._bump("pops_primary")
+            ctx._bump("steals")
         yield Release(ctx.local_locks[victim])
         if node is not None:
-            ctx.counters["pops_primary"] += 1
-            ctx.counters["steals"] += 1
             return node, False, seen_version
     yield Acquire(ctx.heap_lock)
     yield Compute(cm.heap_op)
     spec = ctx.speculative.pop()
     if spec is not None:
-        spec.on_spec = False
-        ctx.counters["pops_speculative"] += 1
+        # on_spec is cleared by _process_speculative under the tree lock.
+        ctx._bump("pops_speculative")
     yield Release(ctx.heap_lock)
     return spec, spec is not None, seen_version
 
 
-def _push_all(ctx: _Context, pushes: list[tuple[str, PNode]], pid: int = 0) -> Iterator:
+def _push_all(
+    ctx: _Context, pushes: list[tuple[str, PNode]], pid: int = 0
+) -> Generator[Op, None, None]:
     """Publish queued work under the appropriate heap lock(s)."""
     if not pushes:
         return
@@ -619,9 +671,30 @@ def _push_all(ctx: _Context, pushes: list[tuple[str, PNode]], pid: int = 0) -> I
     yield Release(ctx.heap_lock)
 
 
-def _finish_node(ctx: _Context, node: PNode, stats: SearchStats, pid: int = 0) -> Iterator:
-    """Mark ``node`` done and run combine under the tree lock."""
+def _finish_node(
+    ctx: _Context,
+    node: PNode,
+    stats: SearchStats,
+    pid: int = 0,
+    *,
+    value: Optional[float] = None,
+    refute_if_cut: bool = False,
+) -> Generator[Op, None, None]:
+    """Mark ``node`` done and run combine under the tree lock.
+
+    ``value`` is a search result to fold into ``node.value`` before the
+    combine; it is applied here, under the tree lock, so no worker ever
+    writes tree state unlocked (publishing the value and marking the node
+    done are one critical section).  ``refute_if_cut`` applies
+    :func:`_mark_refuted_if_cut` for abandoned serial searches, likewise
+    inside the lock.
+    """
     yield Acquire(ctx.tree_lock)
+    ctx._note(node, _trace.WRITE)
+    if value is not None and value > node.value:
+        node.value = value
+    if refute_if_cut:
+        _mark_refuted_if_cut(ctx, node)
     node.done = True
     pushes: list[tuple[str, PNode]] = []
     levels = ctx.combine(node, pushes)
@@ -632,12 +705,16 @@ def _finish_node(ctx: _Context, node: PNode, stats: SearchStats, pid: int = 0) -
     yield from _push_all(ctx, pushes, pid)
 
 
-def _process_speculative(ctx: _Context, node: PNode, stats: SearchStats, pid: int = 0) -> Iterator:
+def _process_speculative(
+    ctx: _Context, node: PNode, stats: SearchStats, pid: int = 0
+) -> Generator[Op, None, None]:
     """Pop from the speculative queue: select one more e-child."""
     cm = ctx.cost_model
     yield Acquire(ctx.tree_lock)
     yield Compute(cm.bookkeeping)
     pushes: list[tuple[str, PNode]] = []
+    ctx._note(node, _trace.WRITE)
+    node.on_spec = False
     if (
         not node.done
         and not ctx.has_finished_ancestor(node)
@@ -648,12 +725,14 @@ def _process_speculative(ctx: _Context, node: PNode, stats: SearchStats, pid: in
             # Leave the node eligible for yet another e-child.
             ctx.maybe_push_spec(node, pushes)
     else:
-        ctx.counters["stale_discards"] += 1
+        ctx._bump("stale_discards")
     yield Release(ctx.tree_lock)
     yield from _push_all(ctx, pushes, pid)
 
 
-def _process_primary(ctx: _Context, node: PNode, stats: SearchStats, pid: int = 0) -> Iterator:
+def _process_primary(
+    ctx: _Context, node: PNode, stats: SearchStats, pid: int = 0
+) -> Generator[Op, None, None]:
     """Pop from the primary queue: Table 1 node generation."""
     cm = ctx.cost_model
     cfg = ctx.config
@@ -661,15 +740,17 @@ def _process_primary(ctx: _Context, node: PNode, stats: SearchStats, pid: int = 
     # Staleness and cutoff screening against the live tree.
     yield Acquire(ctx.tree_lock)
     yield Compute(cm.bookkeeping)
+    ctx._note(node, _trace.READ)
     if node.done or ctx.has_finished_ancestor(node):
-        ctx.counters["stale_discards"] += 1
+        ctx._bump("stale_discards")
         yield Release(ctx.tree_lock)
         return
     if ctx.is_cut_off(node):
         _, beta = ctx.window(node)
+        ctx._note(node, _trace.WRITE)
         if beta > node.value:
             node.value = beta
-        ctx.counters["cutoff_discards"] += 1
+        ctx._bump("cutoff_discards")
         yield Release(ctx.tree_lock)
         yield from _finish_node(ctx, node, stats, pid)
         return
@@ -683,8 +764,8 @@ def _process_primary(ctx: _Context, node: PNode, stats: SearchStats, pid: int = 
 
     if node.is_leaf:
         yield Compute(stats.on_leaf(node.path, cm))
-        node.value = ctx.problem.game.evaluate(node.position)
-        yield from _finish_node(ctx, node, stats, pid)
+        leaf_value = ctx.problem.game.evaluate(node.position)
+        yield from _finish_node(ctx, node, stats, pid, value=leaf_value)
         return
 
     if node.ntype in (E_NODE, R_NODE) and node.ply >= cfg.serial_depth:
@@ -699,6 +780,7 @@ def _process_primary(ctx: _Context, node: PNode, stats: SearchStats, pid: int = 
     pushes: list[tuple[str, PNode]] = []
     yield Acquire(ctx.tree_lock)
     yield Compute(cm.bookkeeping)
+    ctx._note(node, _trace.WRITE)
     if node.ntype == E_NODE:
         # Table 1: generate all (remaining) children as undecided nodes.
         # A promoted e-child arrives here with its first child already
@@ -722,12 +804,16 @@ def _process_primary(ctx: _Context, node: PNode, stats: SearchStats, pid: int = 
     yield from _push_all(ctx, pushes, pid)
 
 
-def _charge_serial(ctx: _Context, node: PNode, cost: float, stats: SearchStats) -> Iterator:
+def _charge_serial(
+    ctx: _Context, node: PNode, cost: float, stats: SearchStats
+) -> Generator[Op, None, bool]:
     """Charge a serial search's time in abandonable chunks.
 
     Yields chunks of at most ``chunk_units``; between chunks the worker
-    re-checks the live tree and abandons the remainder if the subtree is
-    now moot.  Returns via StopIteration-value whether the work survived.
+    re-checks the live tree — under the tree lock, since other workers
+    mutate ancestor state under it — and abandons the remainder if the
+    subtree is now moot.  Returns via StopIteration-value whether the
+    work survived.
     """
     cfg = ctx.config
     charged = 0.0
@@ -736,8 +822,13 @@ def _charge_serial(ctx: _Context, node: PNode, cost: float, stats: SearchStats) 
         yield Compute(chunk)
         charged += chunk
         if charged < cost:
-            if node.done or ctx.has_finished_ancestor(node) or ctx.is_cut_off(node):
-                ctx.counters["serial_aborts"] += 1
+            yield Acquire(ctx.tree_lock)
+            ctx._note(node, _trace.READ)
+            moot = node.done or ctx.has_finished_ancestor(node) or ctx.is_cut_off(node)
+            if moot:
+                ctx._bump("serial_aborts")
+            yield Release(ctx.tree_lock)
+            if moot:
                 return False
     return True
 
@@ -757,23 +848,30 @@ def _merge_substats(ctx: _Context, stats: SearchStats, sub: SearchStats, prefix:
 
 def _serial_evaluate(
     ctx: _Context, node: PNode, stats: SearchStats, window: tuple[float, float], pid: int = 0
-) -> Iterator:
+) -> Generator[Op, None, None]:
     """Search the whole subtree under ``node`` with serial ER."""
     alpha, beta = window
-    if node.done:
-        return  # finished concurrently
+    yield Acquire(ctx.tree_lock)
+    ctx._note(node, _trace.READ)
+    moot = node.done  # finished concurrently
+    if not moot:
+        ctx._bump("serial_searches")
+    yield Release(ctx.tree_lock)
+    if moot:
+        return
     sub = subproblem(ctx.problem, node.position, node.ply)
     substats = SearchStats.with_trace() if ctx.trace else SearchStats()
-    ctx.counters["serial_searches"] += 1
     result = er_search(sub, alpha, beta, cost_model=ctx.cost_model, stats=substats)
     _merge_substats(ctx, stats, substats, node.path)
     survived = yield from _charge_serial(ctx, node, substats.cost, stats)
-    if survived:
-        if result.value > node.value:
-            node.value = result.value
-    else:
-        _mark_refuted_if_cut(ctx, node)
-    yield from _finish_node(ctx, node, stats, pid)
+    yield from _finish_node(
+        ctx,
+        node,
+        stats,
+        pid,
+        value=result.value if survived else None,
+        refute_if_cut=not survived,
+    )
 
 
 def _mark_refuted_if_cut(ctx: _Context, node: PNode) -> None:
@@ -794,7 +892,7 @@ def _mark_refuted_if_cut(ctx: _Context, node: PNode) -> None:
 
 def _serial_refute_remaining(
     ctx: _Context, node: PNode, stats: SearchStats, window: tuple[float, float], pid: int = 0
-) -> Iterator:
+) -> Generator[Op, None, None]:
     """Serially refute children[next_child:] of an r-node at serial depth.
 
     This happens when an undecided node whose first child was already
@@ -803,37 +901,42 @@ def _serial_refute_remaining(
     exactly as serial ER's Refute_rest would.
     """
     alpha, beta = window
-    if node.done:
-        return  # finished concurrently (e.g. cut off by a late combine)
+    yield Acquire(ctx.tree_lock)
+    ctx._note(node, _trace.READ)
+    moot = node.done  # finished concurrently (e.g. cut off by a late combine)
     value = max(node.value, alpha)
+    start = node.next_child
+    yield Release(ctx.tree_lock)
+    if moot:
+        return
     if value >= beta:
         # Refuted between the pop-time screen and now (a sibling's result
         # tightened the window): record and combine without searching.
-        if value > node.value:
-            node.value = value
-        yield from _finish_node(ctx, node, stats, pid)
+        yield from _finish_node(ctx, node, stats, pid, value=value)
         return
     assert node.child_positions is not None
-    for index in range(node.next_child, node.n_children):
+    for index in range(start, node.n_children):
         sub = subproblem(ctx.problem, node.child_positions[index], node.ply + 1)
         substats = SearchStats.with_trace() if ctx.trace else SearchStats()
-        ctx.counters["serial_searches"] += 1
         result = er_search(
             sub, -beta, -value, cost_model=ctx.cost_model, stats=substats
         )
         _merge_substats(ctx, stats, substats, node.path + (index,))
         survived = yield from _charge_serial(ctx, node, substats.cost, stats)
+        yield Acquire(ctx.tree_lock)
+        ctx._bump("serial_searches")
+        if survived:
+            ctx._note(node, _trace.WRITE)
+            node.next_child = index + 1
+        yield Release(ctx.tree_lock)
         if not survived:
             break
         if -result.value > value:
             value = -result.value
-        node.next_child = index + 1
         if value >= beta:
             stats.on_cutoff()
             break
-    if value > node.value:
-        node.value = value
-    yield from _finish_node(ctx, node, stats, pid)
+    yield from _finish_node(ctx, node, stats, pid, value=value)
 
 
 def parallel_er(

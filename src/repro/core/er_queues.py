@@ -12,6 +12,13 @@
 Entries are never removed eagerly: nodes invalidated by cutoffs are
 discarded lazily when popped, matching a realistic lock-based
 implementation and keeping queue operations O(log n).
+
+Each queue carries a location ``name`` and reports every push/pop to
+:mod:`repro.verify.trace` when a recorder is installed, so the offline
+race detector can check that no queue is ever touched outside its lock.
+``__len__`` is reported as a *relaxed* read: the distributed-heap
+work-stealing pop deliberately peeks victim queue lengths without the
+lock (emptiness races are benign; the popper re-checks under the lock).
 """
 
 from __future__ import annotations
@@ -19,6 +26,8 @@ from __future__ import annotations
 import heapq
 from enum import Enum
 from typing import TYPE_CHECKING, Optional
+
+from ..verify import trace as _trace
 
 if TYPE_CHECKING:  # pragma: no cover
     from .er_parallel import PNode
@@ -41,32 +50,42 @@ class SpecOrder(Enum):
 class PrimaryQueue:
     """Scheduled work, deepest node first."""
 
-    def __init__(self) -> None:
+    def __init__(self, name: str = "heap.primary") -> None:
+        self.name = name
         self._heap: list[tuple[int, int, "PNode"]] = []
         self._seq = 0
 
     def push(self, node: "PNode") -> None:
+        if _trace.CURRENT is not None:
+            _trace.on_access(self.name, _trace.WRITE)
         self._seq += 1
         heapq.heappush(self._heap, (-node.ply, self._seq, node))
 
     def pop(self) -> Optional["PNode"]:
+        if _trace.CURRENT is not None:
+            _trace.on_access(self.name, _trace.WRITE)
         if not self._heap:
             return None
         return heapq.heappop(self._heap)[2]
 
     def __len__(self) -> int:
+        if _trace.CURRENT is not None:
+            _trace.on_access(self.name, _trace.READ, relaxed=True)
         return len(self._heap)
 
 
 class SpeculativeQueue:
     """Potential speculative work (e-nodes awaiting extra e-children)."""
 
-    def __init__(self, order: SpecOrder = SpecOrder.PAPER) -> None:
-        self._heap: list[tuple[tuple, int, "PNode"]] = []
+    def __init__(
+        self, order: SpecOrder = SpecOrder.PAPER, name: str = "heap.speculative"
+    ) -> None:
+        self.name = name
+        self._heap: list[tuple[tuple[float, ...], int, "PNode"]] = []
         self._seq = 0
         self._order = order
 
-    def _key(self, node: "PNode") -> tuple:
+    def _key(self, node: "PNode") -> tuple[float, ...]:
         if self._order is SpecOrder.PAPER:
             return (node.e_children, node.ply)
         if self._order is SpecOrder.FIFO:
@@ -77,13 +96,19 @@ class SpeculativeQueue:
         return (node.value,)
 
     def push(self, node: "PNode") -> None:
+        if _trace.CURRENT is not None:
+            _trace.on_access(self.name, _trace.WRITE)
         self._seq += 1
         heapq.heappush(self._heap, (self._key(node), self._seq, node))
 
     def pop(self) -> Optional["PNode"]:
+        if _trace.CURRENT is not None:
+            _trace.on_access(self.name, _trace.WRITE)
         if not self._heap:
             return None
         return heapq.heappop(self._heap)[2]
 
     def __len__(self) -> int:
+        if _trace.CURRENT is not None:
+            _trace.on_access(self.name, _trace.READ, relaxed=True)
         return len(self._heap)

@@ -76,7 +76,7 @@ class EngineConfig:
 class GameEngine:
     """Chooses moves for any :class:`~repro.games.base.Game`."""
 
-    def __init__(self, game: Game, config: EngineConfig = EngineConfig()):
+    def __init__(self, game: Game, config: EngineConfig = EngineConfig()) -> None:
         self.game = game
         self.config = config
 

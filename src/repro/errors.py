@@ -29,3 +29,11 @@ class DeadlockError(SimulationError):
 
 class WorkerProtocolError(SimulationError):
     """A worker coroutine yielded an operation the engine cannot honor."""
+
+
+class LockOrderError(SimulationError):
+    """Two locks were acquired in both nesting orders (potential deadlock)."""
+
+
+class VerificationError(ReproError):
+    """A :mod:`repro.verify` pass found a violated invariant."""

@@ -11,12 +11,17 @@ algorithms.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Protocol, Sequence, runtime_checkable
+from typing import Any, Iterator, Protocol, Sequence, runtime_checkable
 
 from ..errors import SearchError
 
-#: A position is any hashable object a game defines.
-Position = Hashable
+#: A position is any hashable object a game defines.  Typed as ``Any``
+#: rather than ``Hashable`` as a deliberate gradual-typing seam: each
+#: game implements :class:`Game` with its own concrete position class,
+#: and search code treats positions as opaque tokens — a union of every
+#: game's position type would buy no safety and force casts at each
+#: ``children``/``evaluate`` call site.
+Position = Any
 
 #: A node's identity: the sequence of child indices from the root.
 Path = tuple[int, ...]
@@ -92,7 +97,7 @@ class Line:
     def prepend(self, move: int) -> "Line":
         return Line([move, *self.moves])
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[int]:
         return iter(self.moves)
 
     def __len__(self) -> int:
@@ -107,7 +112,7 @@ class RootedGame:
     run unchanged on the subtree.
     """
 
-    def __init__(self, game: Game, root_position: Position):
+    def __init__(self, game: Game, root_position: Position) -> None:
         self._game = game
         self._root = root_position
 

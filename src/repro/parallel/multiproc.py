@@ -93,7 +93,10 @@ def default_serial_depth(depth: int) -> int:
 # ---------------------------------------------------------------------------
 
 
-def _pack_stats(stats: SearchStats) -> tuple:
+_PackedStats = tuple[int, int, int, int, int, float]
+
+
+def _pack_stats(stats: SearchStats) -> _PackedStats:
     return (
         stats.interior_visits,
         stats.leaf_evals,
@@ -104,7 +107,7 @@ def _pack_stats(stats: SearchStats) -> tuple:
     )
 
 
-def _unpack_stats(packed: tuple) -> SearchStats:
+def _unpack_stats(packed: _PackedStats) -> SearchStats:
     interior, leaves, ordering, generated, cutoffs, cost = packed
     return SearchStats(
         interior_visits=interior,
@@ -116,7 +119,10 @@ def _unpack_stats(packed: tuple) -> SearchStats:
     )
 
 
-def _run_task(payload: tuple) -> tuple:
+_TaskOutcome = tuple[str, float, _PackedStats, float, float, int, int]
+
+
+def _run_task(payload: tuple[Any, ...]) -> _TaskOutcome:
     """Execute one serial subtree task; runs inside a worker process.
 
     Returns ``(kind, value, packed_stats, t_start, t_end, pid,
@@ -168,7 +174,7 @@ class _IdleMeter:
     the run's starvation processor-seconds.
     """
 
-    def __init__(self, n_workers: int, start: float):
+    def __init__(self, n_workers: int, start: float) -> None:
         self.n_workers = n_workers
         self._last = start
         self._in_flight = 0
@@ -293,14 +299,17 @@ def multiproc_er(
     coord_stats = SearchStats()
     merged_workers = SearchStats()
 
-    own_pool = executor is None
-    if own_pool:
+    if executor is None:
+        own_pool = True
         method = start_method or preferred_start_method()
-        executor = ProcessPoolExecutor(
+        pool = ProcessPoolExecutor(
             max_workers=n_workers, mp_context=multiprocessing.get_context(method)
         )
+    else:
+        own_pool = False
+        pool = executor
 
-    pending: dict[Future, _Pending] = {}
+    pending: dict[Future[_TaskOutcome], _Pending] = {}
     counters = {
         "tasks_submitted": 0,
         "tasks_applied": 0,
@@ -326,7 +335,8 @@ def multiproc_er(
         publish(pushes)
 
     def submit(node: PNode, alpha: float, beta: float) -> None:
-        ctx.counters["serial_searches"] += 1
+        ctx._bump("serial_searches")
+        payload: tuple[Any, ...]
         if node.next_child > 0:
             # Remaining-children refutation, as _serial_refute_remaining.
             value = max(node.value, alpha)
@@ -353,7 +363,7 @@ def multiproc_er(
             )
         else:
             payload = ("eval", subproblem(problem, node.position, node.ply), alpha, beta)
-        future = executor.submit(_run_task, payload)
+        future = pool.submit(_run_task, payload)
         counters["tasks_submitted"] += 1
         pending[future] = _Pending(node, payload[0], time.perf_counter())
         idle.record(time.perf_counter(), +1)
@@ -361,13 +371,13 @@ def multiproc_er(
     def process_primary(node: PNode) -> None:
         """Table 1 node generation, mirroring the simulator's worker."""
         if node.done or ctx.has_finished_ancestor(node):
-            ctx.counters["stale_discards"] += 1
+            ctx._bump("stale_discards")
             return
         if ctx.is_cut_off(node):
             _, beta = ctx.window(node)
             if beta > node.value:
                 node.value = beta
-            ctx.counters["cutoff_discards"] += 1
+            ctx._bump("cutoff_discards")
             finish(node)
             return
         alpha, beta = ctx.window(node)
@@ -400,6 +410,7 @@ def multiproc_er(
 
     def process_speculative(node: PNode) -> None:
         pushes: list[tuple[str, PNode]] = []
+        node.on_spec = False
         if (
             not node.done
             and not ctx.has_finished_ancestor(node)
@@ -409,10 +420,10 @@ def multiproc_er(
             if ctx.select_e_child(node, pushes, mandatory=False):
                 ctx.maybe_push_spec(node, pushes)
         else:
-            ctx.counters["stale_discards"] += 1
+            ctx._bump("stale_discards")
         publish(pushes)
 
-    def apply_result(record: _Pending, outcome: tuple) -> None:
+    def apply_result(record: _Pending, outcome: _TaskOutcome) -> None:
         nonlocal busy_applied, busy_wasted
         _, value, packed, t_start, t_end, _pid, children_done = outcome
         idle.record(time.perf_counter(), -1)
@@ -422,7 +433,7 @@ def multiproc_er(
         if node.done or ctx.has_finished_ancestor(node):
             busy_wasted += duration
             counters["tasks_discarded"] += 1
-            ctx.counters["stale_discards"] += 1
+            ctx._bump("stale_discards")
             return
         busy_applied += duration
         counters["tasks_applied"] += 1
@@ -442,7 +453,7 @@ def multiproc_er(
                     f"multiproc ER wedged: no task completed in {timeout:.0f}s"
                 )
         else:
-            done = [future for future in pending if future.done()]
+            done = {future for future in pending if future.done()}
         for future in done:
             record = pending.pop(future)
             error = future.exception()
@@ -474,7 +485,7 @@ def multiproc_er(
             future.cancel()
     finally:
         if own_pool:
-            executor.shutdown(wait=True, cancel_futures=True)
+            pool.shutdown(wait=True, cancel_futures=True)
 
     if not ctx.done:
         raise SimulationError("multiproc ER finished without combining the root")
@@ -537,7 +548,7 @@ def scaling_run(
     """Serial baseline plus one multiproc run per worker count."""
     if serial_seconds is None:
         serial_seconds = measure_serial_seconds(problem)
-    points = []
+    points: list[ScalingPoint] = []
     for count in counts:
         result = multiproc_er(
             problem, count, config=config, start_method=start_method

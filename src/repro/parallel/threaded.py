@@ -15,19 +15,40 @@ Because CPython's GIL serializes bytecode, no speedup is expected or
 measured — this exists to demonstrate that the heap/tree protocol is
 correct under genuinely nondeterministic interleavings, which the test
 suite exercises with many thread counts and seeds.
+
+Two verification features mirror the simulator's (DESIGN.md
+"Verification"):
+
+* the driver records every nested acquisition in a shared
+  :class:`~repro.sim.locks.LockOrderGraph` (under its own meta-lock) and
+  raises :class:`~repro.errors.LockOrderError` *before* taking a lock
+  that inverts an observed order — failing fast beats deadlocking a test
+  run;
+* with a :mod:`repro.verify.trace` recorder installed, the driver emits
+  acquire/release events attributed to the OS thread id — ``ACQUIRE``
+  after the real acquire and ``RELEASE`` before the real release, so the
+  recorded critical sections nest properly in the linearized event list
+  (``list.append`` is atomic under the GIL).  Wait/wake events are *not*
+  emitted: a timed-out ``Condition.wait`` resumes without any notify, so
+  a wake edge would claim happens-before ordering that never happened;
+  all real data handoffs are ordered by the locks.  A ``task-init``
+  notify/wake pair orders each worker's first step after the setup code
+  that built the shared state.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Optional
+from typing import Generator, Optional
 
 from ..core.er_parallel import ERConfig, _Context, _worker
 from ..costmodel import DEFAULT_COST_MODEL, CostModel
-from ..errors import SearchError, SimulationError
+from ..errors import LockOrderError, SearchError, SimulationError
 from ..games.base import SearchProblem
 from ..search.stats import SearchStats
-from ..sim.ops import Acquire, Compute, Release, WaitWork
+from ..sim.locks import LockOrderGraph, SimLock
+from ..sim.ops import Acquire, Compute, Op, Release, WaitWork
+from ..verify import trace as _trace
 
 #: Upper bound on a single WaitWork nap; keeps lost wakeups harmless.
 _WAIT_SLICE_SECONDS = 0.002
@@ -36,32 +57,54 @@ _WAIT_SLICE_SECONDS = 0.002
 class _ThreadedDriver:
     """Interprets one worker generator against real primitives."""
 
-    def __init__(self, ctx: _Context, deadline: float):
+    def __init__(self, ctx: _Context, deadline: float) -> None:
         self.ctx = ctx
         self.deadline = deadline
         # Lazily populated: the distributed-heap variant creates one lock
         # per processor.  dict.setdefault is atomic under the GIL, so two
         # threads racing to create the same entry agree on the winner.
-        self.locks: dict = {}
+        self.locks: dict[SimLock, threading.Lock] = {}
         self.condition = threading.Condition()
         self.errors: list[BaseException] = []
+        self._order = LockOrderGraph()
+        self._order_lock = threading.Lock()
 
-    def _real_lock(self, sim_lock) -> threading.Lock:
+    def _real_lock(self, sim_lock: SimLock) -> threading.Lock:
         return self.locks.setdefault(sim_lock, threading.Lock())
 
     def wake_all(self) -> None:
         with self.condition:
             self.condition.notify_all()
 
-    def drive(self, worker) -> None:
+    def _check_order(self, held: list[str], acquiring: str) -> None:
+        with self._order_lock:
+            conflict = self._order.record(held, acquiring)
+        if conflict is not None:
+            raise LockOrderError(
+                f"thread {threading.current_thread().name} acquired "
+                f"{acquiring!r} while holding {conflict!r}, but the opposite "
+                "nesting also occurs"
+            )
+
+    def drive(self, worker: Generator[Op, None, None]) -> None:
+        held: list[str] = []
+        if _trace.CURRENT is not None:
+            _trace.on_wake("task-init")
         try:
             for op in worker:
                 if isinstance(op, Compute):
                     continue
                 if isinstance(op, Acquire):
+                    self._check_order(held, op.lock.name)
                     self._real_lock(op.lock).acquire()
+                    held.append(op.lock.name)
+                    if _trace.CURRENT is not None:
+                        _trace.on_acquire(op.lock.name)
                 elif isinstance(op, Release):
                     lock = self._real_lock(op.lock)
+                    if _trace.CURRENT is not None:
+                        _trace.on_release(op.lock.name)
+                    held.remove(op.lock.name)
                     lock.release()
                     # Work may have been published: give sleepers a poke.
                     self.wake_all()
@@ -74,6 +117,12 @@ class _ThreadedDriver:
         except BaseException as exc:  # noqa: BLE001 - surfaced to the caller
             self.errors.append(exc)
             self.ctx.done = True
+            while held:  # do not wedge peers on an abandoned lock
+                name = held.pop()
+                for sim_lock, real in self.locks.items():
+                    if sim_lock.name == name:
+                        real.release()
+                        break
             self.wake_all()
 
 
@@ -93,6 +142,7 @@ def threaded_er(
 
     Raises:
         SimulationError: if a worker thread raised or the run timed out.
+        LockOrderError: if workers nested two locks in opposite orders.
     """
     if n_threads < 1:
         raise SearchError("need at least one thread")
@@ -101,6 +151,11 @@ def threaded_er(
     ctx = _Context(problem, cost_model, config, trace=False, n_processors=n_threads)
     driver = _ThreadedDriver(ctx, timeout)
     stats = [SearchStats() for _ in range(n_threads)]
+    if _trace.CURRENT is not None:
+        # Happens-before edge from the setup above (root pushed, queues
+        # built) to every worker's first step; each drive() emits the
+        # matching wake.
+        _trace.on_notify("task-init", 0)
     threads = [
         threading.Thread(
             target=driver.drive,

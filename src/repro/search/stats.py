@@ -10,10 +10,10 @@ means the same thing everywhere (see DESIGN.md §4).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..costmodel import CostModel
-from ..games.base import Path
+from ..games.base import Game, Path, Position
 
 
 @dataclass
@@ -124,13 +124,13 @@ class OrderingPolicy:
     cost_model: CostModel
     stats: SearchStats
 
-    def argsort(self, game, children) -> list[int]:
+    def argsort(self, game: "Game", children: Sequence["Position"]) -> list[int]:
         self.stats.on_ordering(len(children), self.cost_model)
         values = [game.evaluate(child) for child in children]
         return sorted(range(len(children)), key=values.__getitem__)
 
 
-def argsort_by_static_value(game, children) -> list[int]:
+def argsort_by_static_value(game: "Game", children: Sequence["Position"]) -> list[int]:
     """Uncharged ascending argsort by static value (for tests/utilities)."""
     values = [game.evaluate(child) for child in children]
     return sorted(range(len(children)), key=values.__getitem__)

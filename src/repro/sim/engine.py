@@ -6,17 +6,26 @@ every run is exactly reproducible — the substitution for the paper's
 Sequent Symmetry (DESIGN.md §1).  Python executed between two yields is
 atomic in simulated time; locks exist to *charge* contention, and blocked
 time is split into interference (lock waits) and starvation (work waits).
+
+The engine also polices the synchronization protocol as it runs: it
+tracks each processor's held locks, aborts with
+:class:`~repro.errors.LockOrderError` on the first acquisition-order
+inversion (see :class:`~repro.sim.locks.LockOrderGraph`), and — when a
+:mod:`repro.verify.trace` recorder is installed — emits the
+acquire/release/wait/wake event stream the offline race detector
+consumes.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
-from typing import Generator, Iterable, Optional
+from typing import Generator, Iterable
 
-from ..errors import DeadlockError, SimulationError, WorkerProtocolError
-from .locks import SimLock, WorkSignal
+from ..errors import DeadlockError, LockOrderError, SimulationError, WorkerProtocolError
+from ..verify import trace as _trace
+from .locks import LockOrderGraph, SimLock, WorkSignal
 from .metrics import ProcessorMetrics, SimReport
 from .ops import Acquire, Compute, Op, Release, WaitWork
 
@@ -35,10 +44,8 @@ class _Proc:
     worker: Worker
     state: _State = _State.READY
     blocked_since: float = 0.0
-    metrics: ProcessorMetrics = None  # type: ignore[assignment]
-
-    def __post_init__(self) -> None:
-        self.metrics = ProcessorMetrics()
+    metrics: ProcessorMetrics = field(default_factory=ProcessorMetrics)
+    held: list[str] = field(default_factory=list)
 
 
 class Engine:
@@ -54,7 +61,7 @@ class Engine:
         workers: Iterable[Worker],
         max_events: int = 50_000_000,
         record_timeline: bool = False,
-    ):
+    ) -> None:
         self._procs = [_Proc(worker=w) for w in workers]
         if not self._procs:
             raise SimulationError("engine needs at least one worker")
@@ -67,6 +74,7 @@ class Engine:
         self._queue: list[tuple[float, int, int]] = []
         self._events = 0
         self._running = False
+        self._lock_order = LockOrderGraph()
 
     # -- scheduling primitives -------------------------------------------
 
@@ -81,15 +89,20 @@ class Engine:
         proc.metrics.starve_wait += self.now - proc.blocked_since
         if proc.metrics.timeline is not None and self.now > proc.blocked_since:
             proc.metrics.timeline.append(("starve", proc.blocked_since, self.now))
+        if _trace.CURRENT is not None:
+            _trace.on_wake(signal.name, task=wid)
         proc.state = _State.READY
         self._schedule(wid, self.now)
 
     def _grant_lock(self, lock: SimLock, wid: int) -> None:
         lock.holder = wid
         proc = self._procs[wid]
+        proc.held.append(lock.name)
         proc.metrics.lock_wait += self.now - proc.blocked_since
         if proc.metrics.timeline is not None and self.now > proc.blocked_since:
             proc.metrics.timeline.append(("lock", proc.blocked_since, self.now))
+        if _trace.CURRENT is not None:
+            _trace.on_acquire(lock.name, task=wid)
         proc.state = _State.READY
         self._schedule(wid, self.now)
 
@@ -104,13 +117,22 @@ class Engine:
             self._schedule(wid, self.now + op.units)
         elif isinstance(op, Acquire):
             lock = op.lock
-            if lock.holder is None and not lock.waiters:
-                lock.holder = wid
-                self._schedule(wid, self.now)
-            elif lock.holder == wid:
+            if lock.holder == wid:
                 raise WorkerProtocolError(
                     f"worker {wid} re-acquired {lock.name!r} (non-reentrant)"
                 )
+            inverted = self._lock_order.record(proc.held, lock.name)
+            if inverted is not None:
+                raise LockOrderError(
+                    f"worker {wid} acquired {lock.name!r} while holding "
+                    f"{inverted!r}, but the opposite nesting also occurs"
+                )
+            if lock.holder is None and not lock.waiters:
+                lock.holder = wid
+                proc.held.append(lock.name)
+                if _trace.CURRENT is not None:
+                    _trace.on_acquire(lock.name, task=wid)
+                self._schedule(wid, self.now)
             else:
                 lock.waiters.append(wid)
                 proc.state = _State.BLOCKED_LOCK
@@ -122,6 +144,9 @@ class Engine:
                     f"worker {wid} released {lock.name!r} held by {lock.holder}"
                 )
             lock.holder = None
+            proc.held.remove(lock.name)
+            if _trace.CURRENT is not None:
+                _trace.on_release(lock.name, task=wid)
             if lock.waiters:
                 self._grant_lock(lock, lock.waiters.popleft())
             self._schedule(wid, self.now)
@@ -130,8 +155,14 @@ class Engine:
             if op.signal.version != op.seen_version:
                 # Notified between the worker's check and its wait: resume
                 # immediately rather than sleeping through the wakeup.
+                if _trace.CURRENT is not None:
+                    _trace.on_wake(op.signal.name, task=wid)
                 self._schedule(wid, self.now)
             else:
+                if _trace.CURRENT is not None:
+                    _trace.on_wait(
+                        op.signal.name, op.seen_version, op.signal.version, task=wid
+                    )
                 op.signal.waiters.append(wid)
                 proc.state = _State.BLOCKED_WORK
                 proc.blocked_since = self.now
@@ -145,29 +176,41 @@ class Engine:
 
         Raises:
             DeadlockError: if every unfinished worker is blocked forever.
+            LockOrderError: on an acquisition-order inversion.
             SimulationError: if the event budget is exhausted.
         """
         if self._running:
             raise SimulationError("engine instances are single-use")
         self._running = True
+        if _trace.CURRENT is not None:
+            # Order every worker's first step after the setup code that
+            # built the shared state (the happens-before edge a thread
+            # start would provide).
+            _trace.on_notify("task-init", 0)
+            for wid in range(len(self._procs)):
+                _trace.on_wake("task-init", task=wid)
         for wid in range(len(self._procs)):
             self._schedule(wid, 0.0)
 
-        while self._queue:
-            self._events += 1
-            if self._events > self._max_events:
-                raise SimulationError(f"exceeded event budget of {self._max_events}")
-            self.now, _, wid = heapq.heappop(self._queue)
-            proc = self._procs[wid]
-            if proc.state is _State.FINISHED:
-                continue
-            try:
-                op = proc.worker.send(None)
-            except StopIteration:
-                proc.state = _State.FINISHED
-                proc.metrics.finish_time = self.now
-                continue
-            self._handle(wid, op)
+        try:
+            while self._queue:
+                self._events += 1
+                if self._events > self._max_events:
+                    raise SimulationError(f"exceeded event budget of {self._max_events}")
+                self.now, _, wid = heapq.heappop(self._queue)
+                proc = self._procs[wid]
+                if proc.state is _State.FINISHED:
+                    continue
+                _trace.set_task(wid)
+                try:
+                    op = proc.worker.send(None)
+                except StopIteration:
+                    proc.state = _State.FINISHED
+                    proc.metrics.finish_time = self.now
+                    continue
+                self._handle(wid, op)
+        finally:
+            _trace.set_task(None)
 
         unfinished = [i for i, p in enumerate(self._procs) if p.state is not _State.FINISHED]
         if unfinished:

@@ -5,14 +5,23 @@ atomic by construction, but the paper's efficiency losses include real
 contention for the shared problem heap and tree (Section 7), so workers
 hold these locks across the simulated duration of their critical sections
 and the engine accounts the blocked time as interference loss.
+
+:class:`LockOrderGraph` is the deadlock-prevention side of the story: the
+engine (and the threaded driver) record every nested acquisition in one
+global order graph and abort the run on the first inversion — the same
+rule :mod:`repro.verify.racedetect` applies offline to recorded traces.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional
+from typing import TYPE_CHECKING, Iterable, Optional
 
 from ..errors import SimulationError
+from ..verify import trace as _trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from .engine import Engine
 
 
 class SimLock:
@@ -22,7 +31,7 @@ class SimLock:
     touches the lock.  ``holder`` is a worker id or ``None``.
     """
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.holder: Optional[int] = None
         self.waiters: deque[int] = deque()
@@ -41,13 +50,13 @@ class WorkSignal:
     so spurious wakeups are harmless.
     """
 
-    def __init__(self, name: str = "work"):
+    def __init__(self, name: str = "work") -> None:
         self.name = name
         self.waiters: deque[int] = deque()
         self.version = 0
-        self._engine = None
+        self._engine: Optional["Engine"] = None
 
-    def _bind(self, engine) -> None:
+    def _bind(self, engine: "Engine") -> None:
         if self._engine is None:
             self._engine = engine
         elif self._engine is not engine:
@@ -56,7 +65,47 @@ class WorkSignal:
     def notify_all(self) -> None:
         """Wake every blocked waiter at the engine's current time."""
         self.version += 1
+        if _trace.CURRENT is not None:
+            _trace.on_notify(self.name, self.version)
         if self._engine is None:
             return  # nothing ever waited
         while self.waiters:
             self._engine._wake_from_signal(self.waiters.popleft(), self)
+
+
+class LockOrderGraph:
+    """Global record of nested lock acquisitions.
+
+    ``record(held, acquiring)`` adds one edge ``prior -> acquiring`` per
+    lock currently held and returns the name of a held lock that has
+    already been observed nested the *other* way round, or ``None`` when
+    the acquisition is consistent.  Two locks ever taken in both orders
+    can deadlock under some interleaving even if this run got away with
+    it, so callers abort (the engine raises
+    :class:`~repro.errors.LockOrderError`) rather than merely warn.
+    """
+
+    def __init__(self) -> None:
+        self._after: dict[str, set[str]] = {}
+
+    def _reaches(self, start: str, goal: str) -> bool:
+        stack, seen = [start], {start}
+        while stack:
+            current = stack.pop()
+            if current == goal:
+                return True
+            for nxt in self._after.get(current, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return False
+
+    def record(self, held: Iterable[str], acquiring: str) -> Optional[str]:
+        conflict: Optional[str] = None
+        for prior in held:
+            if prior == acquiring:
+                continue
+            if conflict is None and self._reaches(acquiring, prior):
+                conflict = prior
+            self._after.setdefault(prior, set()).add(acquiring)
+        return conflict

@@ -1,0 +1,80 @@
+"""Fixed-seed trace capture over all three execution backends.
+
+The race detector is only as good as the traces it sees; this module
+produces them reproducibly, for the CLI's ``repro-gametree verify``, the
+clean-trace gates in ``tests/test_verify_racedetect.py``, and the CI
+``verify`` job:
+
+* :func:`capture_sim_trace` — a discrete-event run; fully deterministic,
+  so one seed is one interleaving.
+* :func:`capture_threaded_trace` — a real OS-thread run; every capture
+  is a genuinely different interleaving, which is the point.
+* :func:`capture_multiproc_trace` — the coordinator-hosted heap.  Only
+  the single-threaded coordinator runs in-process, so the trace has one
+  task and trivially orders; the gate checks the instrumentation itself
+  (every hook fires, nothing crashes, no unheld releases).
+
+The distributed-heap sim variant is deliberately not part of the clean
+gates: its per-processor counters are bumped under different locks by
+design (a documented relaxation, see DESIGN.md "Verification").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.er_parallel import ERConfig, parallel_er
+from ..games.base import SearchProblem
+from ..games.random_tree import RandomGameTree
+from . import trace as _trace
+
+#: Default shape of the capture problem: degree-3, height-6 random tree.
+_DEGREE = 3
+_HEIGHT = 6
+
+
+def capture_problem(seed: int = 7, height: int = _HEIGHT) -> SearchProblem:
+    """The fixed-seed problem all capture functions search."""
+    return SearchProblem(RandomGameTree(_DEGREE, height, seed=seed), depth=height)
+
+
+def capture_sim_trace(
+    seed: int = 7,
+    n_processors: int = 4,
+    config: Optional[ERConfig] = None,
+) -> list[_trace.Event]:
+    """Trace one deterministic simulated run (default: all mechanisms on)."""
+    problem = capture_problem(seed)
+    with _trace.tracing() as recorder:
+        parallel_er(problem, n_processors, config=config or ERConfig())
+    return recorder.events
+
+
+def capture_sim_serial_depth_trace(
+    seed: int = 11, n_processors: int = 4, serial_depth: int = 4
+) -> list[_trace.Event]:
+    """Trace a simulated run exercising the serial-depth cutover paths."""
+    problem = capture_problem(seed, height=7)
+    with _trace.tracing() as recorder:
+        parallel_er(problem, n_processors, config=ERConfig(serial_depth=serial_depth))
+    return recorder.events
+
+
+def capture_threaded_trace(seed: int = 7, n_threads: int = 4) -> list[_trace.Event]:
+    """Trace one real-thread run — a fresh nondeterministic interleaving."""
+    from ..parallel.threaded import threaded_er  # lazy: avoids import cycle
+
+    problem = capture_problem(seed)
+    with _trace.tracing() as recorder:
+        threaded_er(problem, n_threads)
+    return recorder.events
+
+
+def capture_multiproc_trace(seed: int = 7, n_workers: int = 2) -> list[_trace.Event]:
+    """Trace the multiproc coordinator (workers are separate processes)."""
+    from ..parallel.multiproc import multiproc_er  # lazy: avoids import cycle
+
+    problem = capture_problem(seed)
+    with _trace.tracing() as recorder:
+        multiproc_er(problem, n_workers, timeout=120.0)
+    return recorder.events

@@ -1,0 +1,173 @@
+"""Shared-state access instrumentation for the race detector.
+
+The execution substrates (the discrete-event engine, the threaded
+driver, and the worker generators they both drive) call the hook
+functions below at every synchronization operation and at every access
+to instrumented shared state.  With no recorder installed each hook is a
+module-global ``is None`` test, so the instrumentation is free on the
+hot path; under :func:`tracing` the hooks append :class:`Event` records
+that :mod:`repro.verify.racedetect` analyzes offline.
+
+Task attribution: the simulator sets the current task id explicitly
+(:func:`set_task`) before resuming each worker, because every simulated
+processor runs on one OS thread.  The threaded backend leaves it unset
+and events fall back to ``threading.get_ident()``.  ``list.append`` is
+atomic under the GIL, so threads may share one recorder.
+
+Two access disciplines are distinguished (see ``racedetect``):
+
+* plain accesses participate in both the lockset and the happens-before
+  analysis;
+* ``relaxed`` accesses are deliberate, documented benign races (e.g. the
+  lock-free queue-length peek of the work-stealing pop) and are recorded
+  for the report but exempt from race checking.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+ACQUIRE = "acquire"
+RELEASE = "release"
+READ = "read"
+WRITE = "write"
+WAIT = "wait"
+NOTIFY = "notify"
+WAKE = "wake"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One synchronization operation or shared-state access.
+
+    Attributes:
+        kind: one of :data:`ACQUIRE`, :data:`RELEASE`, :data:`READ`,
+            :data:`WRITE`, :data:`WAIT`, :data:`NOTIFY`, :data:`WAKE`.
+        task: simulated worker id or OS thread id.
+        obj: lock name, signal name, or shared-state location.
+        seen_version: for :data:`WAIT` — the signal version the waiter
+            observed when it decided to block.
+        version: for :data:`WAIT`/:data:`NOTIFY` — the signal version at
+            the instant of the event.
+        relaxed: deliberate benign race; exempt from race checking.
+    """
+
+    kind: str
+    task: int
+    obj: str
+    seen_version: int = -1
+    version: int = -1
+    relaxed: bool = False
+
+
+class TraceRecorder:
+    """Accumulates events; install with :func:`tracing` or :func:`install`."""
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+        #: Explicit task id (simulated worker); ``None`` = use thread id.
+        self.task: Optional[int] = None
+
+    def task_id(self) -> int:
+        return self.task if self.task is not None else threading.get_ident()
+
+
+#: The active recorder; ``None`` disables all hooks.  Read directly by
+#: instrumented modules (``trace.CURRENT is not None``) to skip hook
+#: calls entirely on hot paths.
+CURRENT: Optional[TraceRecorder] = None
+
+
+def install(recorder: TraceRecorder) -> None:
+    global CURRENT
+    CURRENT = recorder
+
+
+def uninstall() -> None:
+    global CURRENT
+    CURRENT = None
+
+
+@contextmanager
+def tracing() -> Iterator[TraceRecorder]:
+    """Record all instrumented activity within the block.
+
+    Yields:
+        The recorder; read ``recorder.events`` after the block.
+    """
+    recorder = TraceRecorder()
+    install(recorder)
+    try:
+        yield recorder
+    finally:
+        uninstall()
+
+
+def set_task(task: Optional[int]) -> None:
+    """Attribute subsequent events to ``task`` (simulator use)."""
+    if CURRENT is not None:
+        CURRENT.task = task
+
+
+def on_acquire(obj: str, task: Optional[int] = None) -> None:
+    """A lock named ``obj`` was granted to the current (or given) task."""
+    r = CURRENT
+    if r is None:
+        return
+    r.events.append(Event(ACQUIRE, task if task is not None else r.task_id(), obj))
+
+
+def on_release(obj: str, task: Optional[int] = None) -> None:
+    """A lock named ``obj`` was released by the current (or given) task."""
+    r = CURRENT
+    if r is None:
+        return
+    r.events.append(Event(RELEASE, task if task is not None else r.task_id(), obj))
+
+
+def on_access(obj: str, kind: str, relaxed: bool = False) -> None:
+    """The current task read or wrote the shared location ``obj``."""
+    r = CURRENT
+    if r is None:
+        return
+    r.events.append(Event(kind, r.task_id(), obj, relaxed=relaxed))
+
+
+def on_wait(
+    obj: str, seen_version: int, version: int, task: Optional[int] = None
+) -> None:
+    """The task blocked on signal ``obj``.
+
+    ``seen_version`` is the version observed when the task decided to
+    wait; ``version`` is the signal's version at the instant of
+    blocking.  A mismatch is a lost-wakeup window — the detector flags
+    it (the real engine never blocks on a stale version; see
+    ``sim.ops.WaitWork``).
+    """
+    r = CURRENT
+    if r is None:
+        return
+    r.events.append(
+        Event(WAIT, task if task is not None else r.task_id(), obj, seen_version, version)
+    )
+
+
+def on_notify(obj: str, version: int, task: Optional[int] = None) -> None:
+    """The task notified signal ``obj``, moving it to ``version``."""
+    r = CURRENT
+    if r is None:
+        return
+    r.events.append(
+        Event(NOTIFY, task if task is not None else r.task_id(), obj, version=version)
+    )
+
+
+def on_wake(obj: str, task: Optional[int] = None) -> None:
+    """The task resumed from a wait on signal ``obj``."""
+    r = CURRENT
+    if r is None:
+        return
+    r.events.append(Event(WAKE, task if task is not None else r.task_id(), obj))

@@ -55,3 +55,16 @@ class TestCommands:
         assert main(["baselines", "--processors", "1", "2"]) == 0
         out = capsys.readouterr().out
         assert "aspiration" in out and "MWF" in out
+
+
+class TestVerify:
+    def test_verify_args(self):
+        args = build_parser().parse_args(["verify", "--fast"])
+        assert args.fast is True
+
+    def test_verify_command_fast(self, capsys):
+        assert main(["verify", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "all invariants hold" in out
+        assert "every seeded race is caught" in out
+        assert "verify: OK" in out

@@ -1,0 +1,227 @@
+"""Invariant lint: the repo passes, and seeded violations are caught.
+
+``check_repo`` gating the real tree is only trustworthy if the rules
+actually fire, so each rule is also exercised on a synthetic source with
+a planted violation.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.verify.staticcheck import (
+    LintFinding,
+    check_file,
+    check_lock_discipline,
+    check_repo,
+)
+
+
+def _src(body: str) -> str:
+    return textwrap.dedent(body).lstrip("\n")
+
+
+# ---------------------------------------------------------------------------
+# The real repository satisfies every invariant.
+# ---------------------------------------------------------------------------
+
+
+def test_repo_is_clean() -> None:
+    findings = check_repo()
+    assert findings == [], "\n".join(str(f) for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# VER001: lock discipline in worker generators.
+# ---------------------------------------------------------------------------
+
+
+def test_ver001_unlocked_attribute_store() -> None:
+    source = _src(
+        """
+        def _worker(ctx, node):
+            yield Compute(1.0)
+            node.done = True
+        """
+    )
+    findings = check_lock_discipline("er_parallel.py", source)
+    assert any("no lock held" in f.message for f in findings)
+
+
+def test_ver001_locked_store_is_fine() -> None:
+    source = _src(
+        """
+        def _worker(ctx, node):
+            yield Acquire(ctx.tree_lock)
+            node.done = True
+            yield Release(ctx.tree_lock)
+        """
+    )
+    assert check_lock_discipline("er_parallel.py", source) == []
+
+
+def test_ver001_generator_exits_holding_lock() -> None:
+    source = _src(
+        """
+        def _worker(ctx):
+            yield Acquire(ctx.tree_lock)
+            yield Compute(1.0)
+        """
+    )
+    findings = check_lock_discipline("er_parallel.py", source)
+    assert any("can finish still holding" in f.message for f in findings)
+
+
+def test_ver001_release_without_acquire() -> None:
+    source = _src(
+        """
+        def _worker(ctx):
+            yield Release(ctx.tree_lock)
+        """
+    )
+    findings = check_lock_discipline("er_parallel.py", source)
+    assert any("without acquiring" in f.message for f in findings)
+
+
+def test_ver001_wait_while_holding_lock() -> None:
+    source = _src(
+        """
+        def _worker(ctx):
+            yield Acquire(ctx.heap_lock)
+            yield WaitWork(ctx.signal)
+            yield Release(ctx.heap_lock)
+        """
+    )
+    findings = check_lock_discipline("er_parallel.py", source)
+    assert any("deadlock" in f.message for f in findings)
+
+
+def test_ver001_branches_must_agree_on_held_locks() -> None:
+    source = _src(
+        """
+        def _worker(ctx, flag):
+            if flag:
+                yield Acquire(ctx.tree_lock)
+            else:
+                yield Compute(1.0)
+            yield Compute(1.0)
+        """
+    )
+    findings = check_lock_discipline("er_parallel.py", source)
+    assert any("branches disagree" in f.message for f in findings)
+
+
+def test_ver001_tree_method_needs_tree_lock() -> None:
+    source = _src(
+        """
+        def _worker(ctx, node, stats):
+            yield Acquire(ctx.heap_lock)
+            ctx.combine(node, stats)
+            yield Release(ctx.heap_lock)
+        """
+    )
+    findings = check_lock_discipline("er_parallel.py", source)
+    assert any("without the tree lock" in f.message for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# VER003: determinism (no wall clock, no unseeded randomness).
+# ---------------------------------------------------------------------------
+
+
+def test_ver003_wall_clock_flagged() -> None:
+    source = _src(
+        """
+        import time
+
+        def cost():
+            return time.time()
+        """
+    )
+    findings = check_file("sim/fake.py", source=source, rules={"VER003"})
+    assert any(f.rule == "VER003" and "wall-clock" in f.message for f in findings)
+
+
+def test_ver003_unseeded_randomness_flagged_seeded_allowed() -> None:
+    source = _src(
+        """
+        import random
+
+        def jitter():
+            return random.random()
+
+        def rng(seed):
+            return random.Random(seed)
+        """
+    )
+    findings = check_file("core/fake.py", source=source, rules={"VER003"})
+    assert len(findings) == 1 and "unseeded" in findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# VER004: multiproc boundary picklable-by-construction.
+# ---------------------------------------------------------------------------
+
+
+def test_ver004_lambda_submission_flagged() -> None:
+    source = _src(
+        """
+        def run(pool, payload):
+            return pool.submit(lambda: payload)
+        """
+    )
+    findings = check_file("parallel/multiproc_fake.py", source=source, rules={"VER004"})
+    assert any(f.rule == "VER004" for f in findings)
+
+
+def test_ver004_module_function_submission_allowed() -> None:
+    source = _src(
+        """
+        def _run_task(payload):
+            return payload
+
+        def run(pool, payload):
+            return pool.submit(_run_task, payload)
+        """
+    )
+    assert check_file("parallel/multiproc_fake.py", source=source, rules={"VER004"}) == []
+
+
+# ---------------------------------------------------------------------------
+# Pragmas and rule inference.
+# ---------------------------------------------------------------------------
+
+
+def test_pragma_suppresses_a_finding() -> None:
+    source = _src(
+        """
+        import time
+
+        def cost():
+            return time.time()  # verify: ok
+        """
+    )
+    assert check_file("sim/fake.py", source=source, rules={"VER003"}) == []
+
+
+def test_rules_inferred_from_filename() -> None:
+    source = _src(
+        """
+        import time
+
+        def _worker(ctx, node):
+            yield Compute(1.0)
+            node.done = time.time()
+        """
+    )
+    # er_parallel.py gets VER001 + VER003 by inference.
+    rules = {f.rule for f in check_file("er_parallel.py", source=source)}
+    assert rules == {"VER001", "VER003"}
+    # multiproc files get VER004 and shed VER003 (coordinator measures wall time).
+    mp = check_file("multiproc.py", source=source)
+    assert all(f.rule != "VER003" for f in mp)
+
+
+def test_finding_str_is_tool_style() -> None:
+    finding = LintFinding("VER001", "er_parallel.py", 12, "boom")
+    assert str(finding) == "er_parallel.py:12: VER001: boom"

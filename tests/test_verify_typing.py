@@ -1,0 +1,28 @@
+"""Strict typing gate, runnable wherever mypy is installed.
+
+The container this repo grows in does not ship mypy, so the gate is
+skipped locally; the CI ``verify`` job installs mypy and runs both this
+test and ``mypy --strict src/repro`` directly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+mypy_api = pytest.importorskip("mypy.api")
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_mypy_strict_is_clean() -> None:
+    stdout, stderr, status = mypy_api.run(
+        [
+            "--strict",
+            "--config-file",
+            str(REPO_ROOT / "pyproject.toml"),
+            str(REPO_ROOT / "src" / "repro"),
+        ]
+    )
+    assert status == 0, f"mypy --strict failed:\n{stdout}\n{stderr}"
