@@ -40,6 +40,34 @@ def record_table():
 
 
 @pytest.fixture()
+def record_ledger():
+    """Write a run-ledger record and refresh the top-level BENCH_obs.json.
+
+    Benchmarks hand in the :class:`repro.obs.snapshot.Snapshot` of a run
+    they already made; the fixture validates it, appends it to
+    ``results/ledger/`` (named by backend/workload/P/git SHA, so reruns
+    at the same SHA overwrite in place), and re-aggregates the whole
+    ledger into ``BENCH_obs.json`` at the repo root.
+    """
+    from repro.obs import ledger
+
+    root = RESULTS_DIR.parent.parent
+    directory = root / "results" / "ledger"
+
+    def write(snap, *, workload, scale, seed=None, config=None):
+        record = ledger.make_record(
+            snap, workload=workload, scale=scale, seed=seed, config=config
+        )
+        problems = ledger.validate_record(record)
+        assert problems == [], "\n".join(problems)
+        path = ledger.write_record(record, directory)
+        ledger.aggregate(directory, out_path=root / "BENCH_obs.json")
+        return path
+
+    return write
+
+
+@pytest.fixture()
 def record_scaling(record_table):
     """Write a wall-clock scaling run as one fig10-13-format file per
     processor count: ``benchmarks/results/<prefix>_P{n}.txt``."""

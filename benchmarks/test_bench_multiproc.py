@@ -44,7 +44,7 @@ def _workload(scale: str) -> tuple[SearchProblem, ERConfig]:
     return problem, config
 
 
-def test_multiproc_scaling(benchmark, scale, record_scaling):
+def test_multiproc_scaling(benchmark, scale, record_scaling, record_ledger):
     problem, config = _workload(scale)
     truth = er_search(problem).value
     serial_seconds = measure_serial_seconds(problem)
@@ -57,6 +57,22 @@ def test_multiproc_scaling(benchmark, scale, record_scaling):
         iterations=1,
     )
     record_scaling("scaling_multiproc", "M1", serial_seconds, points)
+
+    # Freeze the widest run into the observability ledger (and the
+    # aggregated BENCH_obs.json) alongside the table files.
+    from repro.obs.snapshot import snapshot_from_multiproc
+
+    widest = max(points, key=lambda p: p.n_workers)
+    snap = snapshot_from_multiproc(widest.result, workload="M1")
+    violations = snap.check_accounting()
+    assert violations == [], "\n".join(violations)
+    record_ledger(
+        snap,
+        workload="M1",
+        scale=scale,
+        seed=101,
+        config={"serial_depth": config.serial_depth, "max_e_children": 1},
+    )
 
     cores = _available_cores()
     benchmark.extra_info["cores"] = cores

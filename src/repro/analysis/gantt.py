@@ -7,6 +7,11 @@ combine, the idle processors before speculation kicks in.
 
 Legend: ``#`` busy · ``.`` starving (empty heap) · ``!`` blocked on a
 lock · `` `` (space) idle after the processor's last event.
+
+For an interactive, zoomable view of the same schedule — plus queue
+depths and node-lifecycle instants — export a Chrome trace with
+``repro-gametree trace`` (:mod:`repro.obs.export`) and load it in
+Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
 """
 
 from __future__ import annotations

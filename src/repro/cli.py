@@ -15,7 +15,12 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from .obs.events import EventBus
+    from .obs.snapshot import Snapshot
+    from .sim.metrics import SimReport
 
 from .analysis.experiments import (
     cached_curve,
@@ -29,12 +34,13 @@ from .analysis.experiments import (
 )
 from .analysis.losses import loss_report
 from .core.er_parallel import parallel_er
+from .costmodel import DEFAULT_COST_MODEL
 from .games.base import SearchProblem
 from .games.random_tree import IncrementalGameTree, RandomGameTree, SyntheticOrderedTree
 from .parallel import mwf, parallel_aspiration, pv_splitting, tree_splitting
 from .search.alphabeta import alphabeta
 from .search.stats import SearchStats
-from .workloads.suite import PROCESSOR_COUNTS, table3_suite
+from .workloads.suite import PROCESSOR_COUNTS, TreeSpec, table3_suite
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -126,12 +132,140 @@ def _cmd_losses(args: argparse.Namespace) -> int:
     return 0
 
 
+def _config_json(config: object) -> dict[str, object]:
+    """Flatten a config/cost-model dataclass to JSON-safe values."""
+    import dataclasses
+
+    out: dict[str, object] = {}
+    if not dataclasses.is_dataclass(config) or isinstance(config, type):
+        return out
+    for field_info in dataclasses.fields(config):
+        value = getattr(config, field_info.name)
+        if isinstance(value, (bool, int, float, str)) or value is None:
+            out[field_info.name] = value
+        else:
+            out[field_info.name] = str(value)
+    return out
+
+
+def _observed_run(
+    spec: TreeSpec, backend: str, count: int
+) -> "tuple[EventBus, Snapshot, SimReport | None]":
+    """Run one tree on one backend under a telemetry bus.
+
+    Returns ``(bus, snapshot, sim_report_or_None)`` — the report carries
+    the per-processor timelines the Perfetto exporter renders as tracks
+    (only the simulated backend has exact timelines).
+    """
+    from .obs import observing
+    from .obs import snapshot as obs_snapshot
+
+    problem = spec.problem()
+    config = er_config_for(spec)
+    with observing() as bus:
+        if backend == "sim":
+            result = parallel_er(problem, count, config=config)
+            snap = obs_snapshot.snapshot_from_sim(result, workload=spec.name, bus=bus)
+            return bus, snap, result.report
+        if backend == "threaded":
+            from .parallel.threaded import threaded_er_observed
+
+            run = threaded_er_observed(problem, count, config=config)
+            snap = obs_snapshot.snapshot_from_threaded(run, workload=spec.name, bus=bus)
+            return bus, snap, None
+        from .parallel.multiproc import multiproc_er
+
+        mp_result = multiproc_er(problem, count, config=config)
+        snap = obs_snapshot.snapshot_from_multiproc(mp_result, workload=spec.name, bus=bus)
+        return bus, snap, None
+
+
+def _write_ledger_record(spec: TreeSpec, snap: "Snapshot", directory: str, scale: str) -> Path:
+    from .obs import ledger
+
+    record = ledger.make_record(
+        snap,
+        workload=spec.name,
+        scale=scale,
+        seed=spec.seed,
+        config={"serial_depth": spec.serial_depth, "sort_below_root": spec.sort_below_root},
+        cost_model=_config_json(DEFAULT_COST_MODEL),
+    )
+    problems = ledger.validate_record(record)
+    if problems:
+        raise SystemExit("ledger record invalid: " + "; ".join(problems))
+    return ledger.write_record(record, directory)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Emit a Perfetto-loadable Chrome trace (and optional ledger record)."""
+    from .obs import export
+
+    spec = table3_suite(args.scale)[args.tree]
+    count = args.processors_single
+    bus, snap, report = _observed_run(spec, args.backend, count)
+    problems = snap.check_accounting()
+    if problems:
+        for problem in problems:
+            print(f"accounting violation: {problem}", file=sys.stderr)
+        return 1
+    out = args.output or (
+        f"results/traces/{args.tree}_{args.backend}_P{count}.trace.json"
+    )
+    path = export.write_chrome_trace(
+        out,
+        bus.events,
+        report=report,
+        time_unit=snap.time_unit,
+        metadata={
+            "workload": spec.name,
+            "backend": args.backend,
+            "n_processors": count,
+            "scale": args.scale,
+            "seed": spec.seed,
+        },
+    )
+    print(f"{spec.name} {args.backend} P={count}: {len(bus.events)} events")
+    print(f"trace: {path}  (open at https://ui.perfetto.dev or chrome://tracing)")
+    if args.jsonl:
+        jsonl_path = export.write_jsonl(Path(path).with_suffix(".jsonl"), bus.events)
+        print(f"jsonl: {jsonl_path}")
+    if args.ledger_dir:
+        record_path = _write_ledger_record(spec, snap, args.ledger_dir, args.scale)
+        print(f"ledger: {record_path}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    """Diff two ledger records (by file path or git SHA prefix)."""
+    from .obs import ledger
+
+    try:
+        baseline = ledger.resolve(args.baseline, args.ledger_dir)
+        candidate = ledger.resolve(args.candidate, args.ledger_dir)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"compare: {exc}", file=sys.stderr)
+        return 2
+    for name, record in (("baseline", baseline), ("candidate", candidate)):
+        problems = ledger.validate_record(record)
+        if problems:
+            print(f"compare: {name} record invalid: {'; '.join(problems)}", file=sys.stderr)
+            return 2
+    report = ledger.compare_records(baseline, candidate, tolerance=args.tolerance)
+    print(report.format())
+    if not report.ok and not args.warn_only:
+        return 1
+    return 0
+
+
 def _cmd_speedup(args: argparse.Namespace) -> int:
     """Compare one tree's parallel backends against serial ER.
 
     ``--backend sim`` reports simulated-time speedup (the paper's
     exhibits); ``--backend threaded`` and ``--backend multiproc`` report
     real wall-clock, of which only multiproc can beat 1.0 under CPython.
+    With ``--obs``, each processor count is additionally run under the
+    telemetry bus and persisted as a ledger record.
     """
     import time as _time
 
@@ -144,30 +278,45 @@ def _cmd_speedup(args: argparse.Namespace) -> int:
 
     spec = table3_suite(args.scale)[args.tree]
     counts = tuple(args.processors) if args.processors else (1, 2, 4, 8)
+    status = 0
     if args.backend == "sim":
         curve = cached_curve(args.scale, args.tree, counts)
         print(f"{spec.name} — simulated backend (discrete-event engine)")
         print(format_efficiency_table({args.tree: curve}))
         print(format_speedup_summary({args.tree: curve}))
-        return 0
-    problem = spec.problem()
-    config = er_config_for(spec)
-    serial_seconds = measure_serial_seconds(problem)
-    print(f"{spec.name} — serial ER wall time {serial_seconds:.3f}s")
-    if args.backend == "threaded":
+    elif args.backend == "threaded":
+        problem = spec.problem()
+        config = er_config_for(spec)
+        serial_seconds = measure_serial_seconds(problem)
+        print(f"{spec.name} — serial ER wall time {serial_seconds:.3f}s")
         print("threaded backend (protocol check; the GIL forbids speedup):")
         for count in counts:
             t0 = _time.perf_counter()
             threaded_er(problem, count, config=config)
             wall = _time.perf_counter() - t0
             print(f"  P={count:2d}  wall={wall:.3f}s  speedup={serial_seconds / wall:5.2f}")
-        return 0
-    _, points = scaling_run(
-        problem, counts, config=config, serial_seconds=serial_seconds
-    )
-    print("multiproc backend (worker processes; real parallelism):")
-    print(format_scaling_table(spec.name, serial_seconds, points))
-    return 0
+    else:
+        problem = spec.problem()
+        config = er_config_for(spec)
+        serial_seconds = measure_serial_seconds(problem)
+        print(f"{spec.name} — serial ER wall time {serial_seconds:.3f}s")
+        _, points = scaling_run(
+            problem, counts, config=config, serial_seconds=serial_seconds
+        )
+        print("multiproc backend (worker processes; real parallelism):")
+        print(format_scaling_table(spec.name, serial_seconds, points))
+    if args.obs:
+        for count in counts:
+            _, snap, _ = _observed_run(spec, args.backend, count)
+            problems = snap.check_accounting()
+            if problems:
+                status = 1
+                for problem_text in problems:
+                    print(f"accounting violation (P={count}): {problem_text}", file=sys.stderr)
+                continue
+            path = _write_ledger_record(spec, snap, args.obs_dir, args.scale)
+            print(f"ledger: {path}")
+    return status
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -261,6 +410,18 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             failed = True
             print(f"  {name}: {report.summary()}")
 
+    if args.obs:
+        print("== telemetry self-check (repro.obs) ==")
+        from .obs import self_check
+
+        obs_problems = self_check()
+        for problem in obs_problems:
+            print(f"  {problem}")
+        if obs_problems:
+            failed = True
+        else:
+            print("  OK: snapshot accounting, trace export, ledger round-trip")
+
     print("== strict typing gate (mypy) ==")
     try:
         from mypy import api as mypy_api
@@ -326,7 +487,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     speed.add_argument("--scale", choices=("reduced", "paper"), default="reduced")
     speed.add_argument("--processors", type=int, nargs="*", default=None)
+    speed.add_argument(
+        "--obs",
+        action="store_true",
+        help="also run each count under the telemetry bus and write ledger records",
+    )
+    speed.add_argument(
+        "--obs-dir",
+        default="results/ledger",
+        help="directory for --obs ledger records (default: results/ledger)",
+    )
     speed.set_defaults(func=_cmd_speedup)
+
+    trace = sub.add_parser(
+        "trace", help="emit a Perfetto-loadable Chrome trace for one run"
+    )
+    trace.add_argument(
+        "--backend", choices=("sim", "threaded", "multiproc"), default="sim"
+    )
+    trace.add_argument(
+        "--tree", choices=("R1", "R2", "R3", "O1", "O2", "O3"), default="R3"
+    )
+    trace.add_argument("--scale", choices=("reduced", "paper"), default="reduced")
+    trace.add_argument("-P", "--processors", dest="processors_single", type=int, default=4)
+    trace.add_argument(
+        "-o", "--output", default=None, help="trace path (default: results/traces/...)"
+    )
+    trace.add_argument(
+        "--jsonl", action="store_true", help="also write the raw event stream as JSONL"
+    )
+    trace.add_argument(
+        "--ledger-dir",
+        default=None,
+        help="also write a ledger record into this directory",
+    )
+    trace.set_defaults(func=_cmd_trace)
+
+    compare = sub.add_parser(
+        "compare", help="diff two ledger records and flag regressions"
+    )
+    compare.add_argument("baseline", help="ledger record path or git SHA prefix")
+    compare.add_argument("candidate", help="ledger record path or git SHA prefix")
+    compare.add_argument(
+        "--ledger-dir",
+        default="results/ledger",
+        help="directory searched when an operand is a SHA prefix",
+    )
+    compare.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="relative (counters) / absolute (fractions) regression tolerance",
+    )
+    compare.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but exit 0 (CI gate mode)",
+    )
+    compare.set_defaults(func=_cmd_compare)
 
     report = sub.add_parser("report", help="regenerate the headline exhibits as markdown")
     report.add_argument("--scale", choices=("reduced", "paper"), default="reduced")
@@ -350,6 +568,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--fast",
         action="store_true",
         help="skip the multiproc capture (spawns worker processes)",
+    )
+    verify.add_argument(
+        "--obs",
+        action="store_true",
+        help="also self-check the telemetry pipeline (snapshot/trace/ledger)",
     )
     verify.set_defaults(func=_cmd_verify)
     return parser

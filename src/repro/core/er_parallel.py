@@ -38,6 +38,7 @@ from typing import Generator, Optional
 from ..costmodel import DEFAULT_COST_MODEL, CostModel
 from ..errors import SearchError, SimulationError
 from ..games.base import NEG_INF, POS_INF, Path, Position, SearchProblem, subproblem
+from ..obs import events as _obs
 from ..parallel.base import ParallelResult
 from ..search.stats import SearchStats
 from ..sim.engine import Engine
@@ -242,6 +243,23 @@ class _Context:
         self.counters[key] += amount
 
     @staticmethod
+    def _emit(etype: str, node: PNode, **data: object) -> None:
+        """Publish a node lifecycle event to the telemetry bus, if any.
+
+        Values can be infinite sentinels (``NEG_INF`` placeholders, beta
+        cutoff floors); they are stringified so every event payload stays
+        strict-JSON-serializable.
+        """
+        if _obs.CURRENT is None:
+            return
+        if "value" in data:
+            raw = data["value"]
+            if isinstance(raw, float) and (raw == NEG_INF or raw == POS_INF):
+                data["value"] = str(raw)
+        path = "/".join(map(str, node.path)) or "root"
+        _obs.CURRENT.emit(etype, path=path, **data)
+
+    @staticmethod
     def _note(node: PNode, kind: str) -> None:
         """Report an access to ``node``'s shared state to the tracer.
 
@@ -287,6 +305,7 @@ class _Context:
         node = self.primary.pop()
         if node is not None:
             self._bump("pops_primary")
+            self._emit(_obs.EV_NODE_POPPED, node, speculative=False)
             return node, False
         node = self.speculative.pop()
         if node is not None:
@@ -294,6 +313,7 @@ class _Context:
             # under the tree lock: every access to node state is tree-locked,
             # and a concurrent maybe_push_spec cannot double-push meanwhile.
             self._bump("pops_speculative")
+            self._emit(_obs.EV_NODE_POPPED, node, speculative=True)
             return node, True
         return None, False
 
@@ -346,6 +366,7 @@ class _Context:
             ntype,
         )
         node.children[index] = child
+        self._emit(_obs.EV_NODE_CREATED, child, ntype=ntype)
         return child
 
     def maybe_push_spec(self, node: PNode, pushes: list[tuple[str, PNode]]) -> None:
@@ -420,6 +441,7 @@ class _Context:
         node.e_children += 1
         node.e_child_selected = True
         self._bump("mandatory_selections" if mandatory else "spec_selections")
+        self._emit(_obs.EV_CLASS_FLIP, candidate, flip="u->e", mandatory=mandatory)
         pushes.append(("primary", candidate))
         return True
 
@@ -457,6 +479,7 @@ class _Context:
         if child.child_positions is not None and not child.is_leaf:
             child.next_child = max(child.next_child, 1)
         self._bump("refutation_conversions")
+        self._emit(_obs.EV_CLASS_FLIP, child, flip="u->r")
         pushes.append(("primary", child))
 
     # -- the combine procedure (Section 6) ----------------------------------
@@ -499,6 +522,7 @@ class _Context:
                 and parent.combined_children == parent.n_children
             ):
                 parent.done = True
+                self._emit(_obs.EV_NODE_DONE, parent, value=parent.value, cutoff=False)
                 current = parent
                 continue
             if self.is_cut_off(parent):
@@ -507,6 +531,7 @@ class _Context:
                     parent.value = beta  # fail-hard: "at least beta"
                 parent.done = True
                 self._bump("cutoff_discards")
+                self._emit(_obs.EV_NODE_DONE, parent, value=parent.value, cutoff=True)
                 current = parent
                 continue
             # Parent lives on with remaining work: Table 2 actions.
@@ -611,6 +636,7 @@ def _pop_distributed(
     node = ctx.local_queues[pid].pop()
     if node is not None:
         ctx._bump("pops_primary")
+        ctx._emit(_obs.EV_NODE_POPPED, node, speculative=False)
     yield Release(own_lock)
     if node is not None:
         return node, False, seen_version
@@ -624,6 +650,7 @@ def _pop_distributed(
         if node is not None:
             ctx._bump("pops_primary")
             ctx._bump("steals")
+            ctx._emit(_obs.EV_NODE_POPPED, node, speculative=False)
         yield Release(ctx.local_locks[victim])
         if node is not None:
             return node, False, seen_version
@@ -633,6 +660,7 @@ def _pop_distributed(
     if spec is not None:
         # on_spec is cleared by _process_speculative under the tree lock.
         ctx._bump("pops_speculative")
+        ctx._emit(_obs.EV_NODE_POPPED, spec, speculative=True)
     yield Release(ctx.heap_lock)
     return spec, spec is not None, seen_version
 
@@ -696,6 +724,7 @@ def _finish_node(
     if refute_if_cut:
         _mark_refuted_if_cut(ctx, node)
     node.done = True
+    ctx._emit(_obs.EV_NODE_DONE, node, value=node.value, cutoff=False)
     pushes: list[tuple[str, PNode]] = []
     levels = ctx.combine(node, pushes)
     yield Compute(ctx.cost_model.combine_step * max(1, levels))
@@ -968,14 +997,28 @@ def parallel_er(
     """
     if n_processors < 1:
         raise SearchError("need at least one processor")
-    ctx = _Context(problem, cost_model, config, trace, n_processors=n_processors)
-    worker_stats = [
-        SearchStats.with_trace() if trace else SearchStats() for _ in range(n_processors)
-    ]
-    workers = [_worker(ctx, worker_stats[i], pid=i) for i in range(n_processors)]
-    report = Engine(
-        workers, max_events=config.max_events, record_timeline=record_timeline
-    ).run()
+    bus = _obs.CURRENT
+    prev_clock = None
+    if bus is not None:
+        # Setup emits telemetry too (the root push lands in the heap
+        # before the engine installs its clock); pin simulated time zero
+        # and task -1 so every setup event is deterministic rather than
+        # stamped with a wall clock and an OS thread id.
+        prev_clock = bus.use_clock(lambda: 0.0)
+        _obs.set_task(-1)
+    try:
+        ctx = _Context(problem, cost_model, config, trace, n_processors=n_processors)
+        worker_stats = [
+            SearchStats.with_trace() if trace else SearchStats() for _ in range(n_processors)
+        ]
+        workers = [_worker(ctx, worker_stats[i], pid=i) for i in range(n_processors)]
+        report = Engine(
+            workers, max_events=config.max_events, record_timeline=record_timeline
+        ).run()
+    finally:
+        if bus is not None:
+            bus.use_clock(prev_clock)
+            _obs.set_task(None)
     if not ctx.done:
         raise SimulationError("parallel ER finished without combining the root")
     merged = SearchStats.with_trace() if trace else SearchStats()

@@ -16,6 +16,10 @@ implementation and keeping queue operations O(log n).
 Each queue carries a location ``name`` and reports every push/pop to
 :mod:`repro.verify.trace` when a recorder is installed, so the offline
 race detector can check that no queue is ever touched outside its lock.
+Push and pop also emit a depth sample to the telemetry bus
+(:mod:`repro.obs.events`) when one is installed — because every backend
+funnels through these queues, that one hook gives queue-depth and
+spec-heap-size traces for sim, threaded, and multiproc runs alike.
 ``__len__`` is reported as a *relaxed* read: the distributed-heap
 work-stealing pop deliberately peeks victim queue lengths without the
 lock (emptiness races are benign; the popper re-checks under the lock).
@@ -27,6 +31,7 @@ import heapq
 from enum import Enum
 from typing import TYPE_CHECKING, Optional
 
+from ..obs import events as _obs
 from ..verify import trace as _trace
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -47,6 +52,12 @@ class SpecOrder(Enum):
     BEST_VALUE = "best-value"
 
 
+def _emit_depth(name: str, depth: int) -> None:
+    """Sample a queue's depth onto the telemetry bus, if one is listening."""
+    if _obs.CURRENT is not None:
+        _obs.CURRENT.emit(_obs.EV_QUEUE_DEPTH, queue=name, depth=depth)
+
+
 class PrimaryQueue:
     """Scheduled work, deepest node first."""
 
@@ -60,13 +71,16 @@ class PrimaryQueue:
             _trace.on_access(self.name, _trace.WRITE)
         self._seq += 1
         heapq.heappush(self._heap, (-node.ply, self._seq, node))
+        _emit_depth(self.name, len(self._heap))
 
     def pop(self) -> Optional["PNode"]:
         if _trace.CURRENT is not None:
             _trace.on_access(self.name, _trace.WRITE)
         if not self._heap:
             return None
-        return heapq.heappop(self._heap)[2]
+        node = heapq.heappop(self._heap)[2]
+        _emit_depth(self.name, len(self._heap))
+        return node
 
     def __len__(self) -> int:
         if _trace.CURRENT is not None:
@@ -100,13 +114,16 @@ class SpeculativeQueue:
             _trace.on_access(self.name, _trace.WRITE)
         self._seq += 1
         heapq.heappush(self._heap, (self._key(node), self._seq, node))
+        _emit_depth(self.name, len(self._heap))
 
     def pop(self) -> Optional["PNode"]:
         if _trace.CURRENT is not None:
             _trace.on_access(self.name, _trace.WRITE)
         if not self._heap:
             return None
-        return heapq.heappop(self._heap)[2]
+        node = heapq.heappop(self._heap)[2]
+        _emit_depth(self.name, len(self._heap))
+        return node
 
     def __len__(self) -> int:
         if _trace.CURRENT is not None:

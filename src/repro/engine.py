@@ -22,6 +22,7 @@ from .parallel.multiproc import multiproc_er
 from .costmodel import DEFAULT_COST_MODEL, CostModel
 from .errors import SearchError
 from .games.base import Game, Position, RootedGame, SearchProblem
+from .obs import events as _obs
 from .search.alphabeta import alphabeta
 from .search.stats import SearchStats
 
@@ -145,6 +146,15 @@ class GameEngine:
             best_value = iteration[best_index]
             if cfg.budget is not None and spent >= cfg.budget:
                 break
+        if _obs.CURRENT is not None:
+            _obs.CURRENT.emit(
+                _obs.EV_ENGINE_CHOICE,
+                task=-1,
+                move_index=best_index,
+                value=best_value,
+                depth=depth_reached,
+                cost=spent,
+            )
         return MoveChoice(
             move_index=best_index,
             value=best_value,

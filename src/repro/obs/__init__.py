@@ -1,0 +1,103 @@
+"""Unified telemetry for the ER backends (sim, threaded, multiproc).
+
+Four layers, lowest first:
+
+* :mod:`repro.obs.events` — the structured event bus (queue depths,
+  node lifecycle, classification flips, task flow) that the execution
+  substrates feed when a bus is installed;
+* :mod:`repro.obs.registry` — counters / gauges / histograms /
+  time-series plus the op/event coverage maps VER005 enforces;
+* :mod:`repro.obs.snapshot` — the one comparable record of a run: a
+  per-processor busy / starvation / interference / speculative / tail
+  breakdown with the protocol counters and work stats attached;
+* :mod:`repro.obs.export` and :mod:`repro.obs.ledger` — Chrome
+  trace-event JSON (Perfetto) + JSONL exporters, and the persistent
+  run ledger with regression comparison.
+
+Only the first two are imported at package load: the engine and queue
+modules import this package from the bottom of the dependency graph, so
+the heavier layers (which import the backends) must be pulled in
+explicitly (``from repro.obs import snapshot``).
+"""
+
+from __future__ import annotations
+
+from .events import (
+    ALL_EVENT_TYPES,
+    EV_CLASS_FLIP,
+    EV_ENGINE_CHOICE,
+    EV_NODE_CREATED,
+    EV_NODE_DONE,
+    EV_NODE_POPPED,
+    EV_PROC_INTERVAL,
+    EV_QUEUE_DEPTH,
+    EV_TASK_RESULT,
+    EV_TASK_SUBMIT,
+    EventBus,
+    ObsEvent,
+    observing,
+)
+from .registry import EVENT_METRICS, OP_METRICS, MetricsRegistry, aggregate
+
+__all__ = [
+    "ALL_EVENT_TYPES",
+    "EV_CLASS_FLIP",
+    "EV_ENGINE_CHOICE",
+    "EV_NODE_CREATED",
+    "EV_NODE_DONE",
+    "EV_NODE_POPPED",
+    "EV_PROC_INTERVAL",
+    "EV_QUEUE_DEPTH",
+    "EV_TASK_RESULT",
+    "EV_TASK_SUBMIT",
+    "EVENT_METRICS",
+    "OP_METRICS",
+    "EventBus",
+    "MetricsRegistry",
+    "ObsEvent",
+    "aggregate",
+    "observing",
+    "self_check",
+]
+
+
+def self_check() -> list[str]:
+    """End-to-end exercise of the telemetry pipeline on a tiny sim run.
+
+    Used by ``repro-gametree verify --obs``: runs a fixed-seed simulated
+    search under an event bus, then checks the snapshot accounting
+    invariant, the Chrome trace structure, and the ledger record schema.
+    Returns a list of problems (empty = everything holds).
+    """
+    import json
+
+    from ..core.er_parallel import parallel_er
+    from ..games.base import SearchProblem
+    from ..games.random_tree import RandomGameTree
+    from . import export, ledger, snapshot
+    from .events import observing as _observing
+
+    problems: list[str] = []
+    problem = SearchProblem(RandomGameTree(3, 5, seed=7), depth=5)
+    with _observing() as bus:
+        result = parallel_er(problem, 4)
+    snap = snapshot.snapshot_from_sim(result, workload="selfcheck", bus=bus)
+    problems.extend(snap.check_accounting())
+    if not bus.events:
+        problems.append("event bus recorded no events during a parallel run")
+
+    trace_text = export.render_chrome_trace(bus.events, report=result.report)
+    try:
+        payload = json.loads(trace_text)
+    except json.JSONDecodeError as exc:  # pragma: no cover - would be a bug
+        problems.append(f"chrome trace is not valid JSON: {exc}")
+    else:
+        if not isinstance(payload.get("traceEvents"), list) or not payload["traceEvents"]:
+            problems.append("chrome trace has no traceEvents")
+
+    record = ledger.make_record(snap, workload="selfcheck", scale="reduced", seed=7)
+    problems.extend(ledger.validate_record(record))
+    report = ledger.compare_records(record, record)
+    if report.regressions:
+        problems.append("self-comparison of one record reported regressions")
+    return problems

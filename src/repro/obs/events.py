@@ -1,0 +1,166 @@
+"""Structured telemetry event bus shared by all three ER backends.
+
+:mod:`repro.verify.trace` records *synchronization* events for the race
+detector; this module records *semantic* telemetry on top of it: queue
+depths, speculative-heap size, node lifecycle transitions,
+e/r-classification flips, multiproc task flow, and engine move choices.
+The two buses are deliberately separate — the race detector needs a
+minimal, lockset-friendly vocabulary, while telemetry wants rich payloads
+and timestamps — but they share the install/uninstall idiom: with no bus
+installed every hook is one module-global ``is None`` test, so the
+instrumentation is free on the hot path.
+
+Timestamps come from the bus *clock*.  The discrete-event engine installs
+its simulated clock for the duration of a run (one simulated unit per
+tick); the threaded driver and the multiproc coordinator leave the
+default wall clock (``time.perf_counter``) in place.  Exporters
+(:mod:`repro.obs.export`) normalize either to Chrome trace-event
+microseconds.
+
+Task attribution mirrors :mod:`repro.verify.trace`: the simulator sets
+the current task id explicitly before resuming each worker; the threaded
+backend falls back to ``threading.get_ident()``.  ``list.append`` is
+atomic under the GIL, so threads may share one bus.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping, Optional
+
+#: Depth of a problem-heap queue after a push or pop (`queue`, `depth`).
+EV_QUEUE_DEPTH = "queue-depth"
+#: A tree node came into existence (`path`, `ntype`).
+EV_NODE_CREATED = "node-created"
+#: A node was taken off the problem heap (`path`, `speculative`).
+EV_NODE_POPPED = "node-popped"
+#: A node combined or was cut off (`path`, `value`).
+EV_NODE_DONE = "node-done"
+#: An undecided node was classified (`path`, `flip` of "u->e" / "u->r").
+EV_CLASS_FLIP = "class-flip"
+#: The multiproc coordinator handed a subtree task to a worker
+#: (`path`, `kind` of "eval" / "refute").
+EV_TASK_SUBMIT = "task-submit"
+#: A subtree task's result arrived (`path`, `applied`, `duration`, `worker`).
+EV_TASK_RESULT = "task-result"
+#: The game engine chose a move (`depth`, `cost`, `move_index`).
+EV_ENGINE_CHOICE = "engine-choice"
+#: One processor schedule interval, synthesized by the exporters from a
+#: :class:`~repro.sim.metrics.ProcessorMetrics` timeline
+#: (`kind` of busy / lock / starve, `start`, `end`).
+EV_PROC_INTERVAL = "proc-interval"
+
+#: Every event type the bus may carry, in documentation order.
+ALL_EVENT_TYPES: tuple[str, ...] = (
+    EV_QUEUE_DEPTH,
+    EV_NODE_CREATED,
+    EV_NODE_POPPED,
+    EV_NODE_DONE,
+    EV_CLASS_FLIP,
+    EV_TASK_SUBMIT,
+    EV_TASK_RESULT,
+    EV_ENGINE_CHOICE,
+    EV_PROC_INTERVAL,
+)
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    """One telemetry event.
+
+    Attributes:
+        etype: one of the ``EV_*`` constants above.
+        ts: bus-clock timestamp (simulated units or wall seconds).
+        task: worker/processor id, or an OS thread id, or -1 when the
+            emitter runs outside any worker (e.g. the multiproc
+            coordinator before the run starts).
+        data: event-type-specific payload, JSON-serializable by
+            construction (strings, numbers, booleans).
+    """
+
+    etype: str
+    ts: float
+    task: int
+    data: Mapping[str, object] = field(default_factory=dict)
+
+
+class EventBus:
+    """Accumulates events; install with :func:`observing` or :func:`install`."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self.events: list[ObsEvent] = []
+        #: Per-op-kind counts fed by the simulator's dispatch loop
+        #: (:meth:`count_op`); folded into a registry by
+        #: :func:`repro.obs.registry.aggregate`.
+        self.op_counts: dict[str, int] = {}
+        #: Explicit task id (simulated worker); ``None`` = use thread id.
+        self.task: Optional[int] = None
+        self._clock: Callable[[], float] = clock if clock is not None else time.perf_counter
+
+    def task_id(self) -> int:
+        return self.task if self.task is not None else threading.get_ident()
+
+    def now(self) -> float:
+        return self._clock()
+
+    def use_clock(self, clock: Optional[Callable[[], float]]) -> Callable[[], float]:
+        """Swap the time source (``None`` restores the wall clock).
+
+        Returns:
+            The previous source, so nested installers (the simulation
+            engine inside :func:`repro.core.er_parallel.parallel_er`)
+            can restore it rather than clobber the outer clock.
+        """
+        prev = self._clock
+        self._clock = clock if clock is not None else time.perf_counter
+        return prev
+
+    def emit(self, etype: str, task: Optional[int] = None, **data: object) -> None:
+        """Record one event stamped with the bus clock."""
+        self.events.append(
+            ObsEvent(etype, self._clock(), task if task is not None else self.task_id(), data)
+        )
+
+    def count_op(self, kind: str) -> None:
+        """Tally one simulator op dispatch (``Compute``, ``Acquire``, ...)."""
+        self.op_counts[kind] = self.op_counts.get(kind, 0) + 1
+
+
+#: The active bus; ``None`` disables all telemetry.  Read directly by the
+#: instrumented modules (``events.CURRENT is not None``) so the disabled
+#: path costs one global load.
+CURRENT: Optional[EventBus] = None
+
+
+def install(bus: EventBus) -> None:
+    global CURRENT
+    CURRENT = bus
+
+
+def uninstall() -> None:
+    global CURRENT
+    CURRENT = None
+
+
+@contextmanager
+def observing(clock: Optional[Callable[[], float]] = None) -> Iterator[EventBus]:
+    """Collect telemetry for everything run within the block.
+
+    Yields:
+        The bus; read ``bus.events`` / ``bus.op_counts`` after the block.
+    """
+    bus = EventBus(clock)
+    install(bus)
+    try:
+        yield bus
+    finally:
+        uninstall()
+
+
+def set_task(task: Optional[int]) -> None:
+    """Attribute subsequent events to ``task`` (simulator use)."""
+    if CURRENT is not None:
+        CURRENT.task = task

@@ -1,0 +1,215 @@
+"""Exporters: Chrome trace-event JSON (Perfetto) and JSONL.
+
+The ASCII Gantt chart (:mod:`repro.analysis.gantt`) is good for a quick
+terminal look; for deep dives the same schedule is better explored in
+`Perfetto <https://ui.perfetto.dev>`_ or ``chrome://tracing``, which both
+load the Chrome trace-event JSON format emitted here:
+
+* per-processor ``"X"`` (complete) events for the busy / lock-wait /
+  starve-wait intervals of a :class:`~repro.sim.metrics.ProcessorMetrics`
+  timeline (one track per processor);
+* ``"C"`` (counter) events for queue depths from the event bus;
+* ``"i"`` (instant) events for node lifecycle, classification flips, and
+  task flow;
+* ``"M"`` (metadata) events naming the process and processor tracks.
+
+Timestamps are Chrome-trace microseconds.  Simulated time maps one unit
+to one microsecond, so the trace is byte-stable for a fixed seed; wall
+clocks are rebased to the earliest event so traces start near zero.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Mapping, Optional, Union
+
+from ..sim.metrics import SimReport
+from . import events as _events
+from .snapshot import SECONDS, SIM_UNITS
+
+#: Chrome-trace category names per event origin.
+_CAT_PROC = "processor"
+_CAT_NODES = "nodes"
+_CAT_TASKS = "tasks"
+_CAT_ENGINE = "engine"
+
+_INSTANT_CATEGORIES: Mapping[str, str] = {
+    _events.EV_NODE_CREATED: _CAT_NODES,
+    _events.EV_NODE_POPPED: _CAT_NODES,
+    _events.EV_NODE_DONE: _CAT_NODES,
+    _events.EV_CLASS_FLIP: _CAT_NODES,
+    _events.EV_TASK_SUBMIT: _CAT_TASKS,
+    _events.EV_TASK_RESULT: _CAT_TASKS,
+    _events.EV_ENGINE_CHOICE: _CAT_ENGINE,
+}
+
+TraceEvent = dict[str, object]
+
+
+def _scale_for(time_unit: str) -> float:
+    """Microseconds per bus-clock tick."""
+    return 1e6 if time_unit == SECONDS else 1.0
+
+
+def _timeline_events(report: SimReport) -> list[TraceEvent]:
+    out: list[TraceEvent] = []
+    for pid, proc in enumerate(report.processors):
+        out.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 0,
+                "tid": pid,
+                "args": {"name": f"P{pid}"},
+            }
+        )
+        for kind, start, end in proc.timeline or []:
+            out.append(
+                {
+                    "ph": "X",
+                    "name": kind,
+                    "cat": _CAT_PROC,
+                    "pid": 0,
+                    "tid": pid,
+                    "ts": start,
+                    "dur": end - start,
+                }
+            )
+    return out
+
+
+def _bus_events(
+    events: Iterable[_events.ObsEvent], *, scale: float, offset: float
+) -> list[TraceEvent]:
+    out: list[TraceEvent] = []
+    for event in events:
+        ts = (event.ts - offset) * scale
+        if event.etype == _events.EV_QUEUE_DEPTH:
+            queue = str(event.data.get("queue", "unknown"))
+            out.append(
+                {
+                    "ph": "C",
+                    "name": f"depth {queue}",
+                    "cat": _CAT_PROC,
+                    "pid": 0,
+                    "tid": 0,
+                    "ts": ts,
+                    "args": {"depth": event.data.get("depth", 0)},
+                }
+            )
+        elif event.etype == _events.EV_PROC_INTERVAL:
+            start = float(event.data.get("start", event.ts))  # type: ignore[arg-type]
+            end = float(event.data.get("end", event.ts))  # type: ignore[arg-type]
+            out.append(
+                {
+                    "ph": "X",
+                    "name": str(event.data.get("kind", "busy")),
+                    "cat": _CAT_PROC,
+                    "pid": 0,
+                    "tid": event.task,
+                    "ts": (start - offset) * scale,
+                    "dur": (end - start) * scale,
+                }
+            )
+        else:
+            out.append(
+                {
+                    "ph": "i",
+                    "name": event.etype,
+                    "cat": _INSTANT_CATEGORIES.get(event.etype, "misc"),
+                    "pid": 0,
+                    "tid": event.task,
+                    "ts": ts,
+                    "s": "t",
+                    "args": dict(event.data),
+                }
+            )
+    return out
+
+
+def render_chrome_trace(
+    events: Iterable[_events.ObsEvent],
+    *,
+    report: Optional[SimReport] = None,
+    time_unit: str = SIM_UNITS,
+    metadata: Optional[Mapping[str, object]] = None,
+) -> str:
+    """Render one run as deterministic Chrome trace-event JSON.
+
+    Args:
+        events: bus events of the run (may be empty).
+        report: engine report whose per-processor timelines become the
+            schedule tracks (simulated backend only).
+        time_unit: denomination of the event timestamps —
+            :data:`~repro.obs.snapshot.SIM_UNITS` maps one unit to one
+            microsecond and keeps absolute times (byte-stable for a
+            fixed seed); :data:`~repro.obs.snapshot.SECONDS` rebases to
+            the earliest event and scales to microseconds.
+        metadata: extra key/values stored in the trace envelope.
+
+    Returns:
+        JSON text with sorted keys and no incidental whitespace, so a
+        fixed-seed simulated run renders byte-identically.
+    """
+    event_list = list(events)
+    offset = 0.0
+    if time_unit == SECONDS and event_list:
+        offset = min(event.ts for event in event_list)
+    trace_events: list[TraceEvent] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "er-search"},
+        }
+    ]
+    if report is not None:
+        trace_events.extend(_timeline_events(report))
+    trace_events.extend(_bus_events(event_list, scale=_scale_for(time_unit), offset=offset))
+    payload: dict[str, object] = {
+        "displayTimeUnit": "ms",
+        "metadata": dict(metadata) if metadata else {},
+        "traceEvents": trace_events,
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def write_chrome_trace(
+    path: Union[str, Path],
+    events: Iterable[_events.ObsEvent],
+    *,
+    report: Optional[SimReport] = None,
+    time_unit: str = SIM_UNITS,
+    metadata: Optional[Mapping[str, object]] = None,
+) -> Path:
+    """Write :func:`render_chrome_trace` output to ``path``; returns it."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        render_chrome_trace(events, report=report, time_unit=time_unit, metadata=metadata),
+        encoding="utf-8",
+    )
+    return target
+
+
+def render_jsonl(events: Iterable[_events.ObsEvent]) -> str:
+    """One JSON object per line, in emission order (machine diffing)."""
+    lines = [
+        json.dumps(
+            {"etype": e.etype, "ts": e.ts, "task": e.task, "data": dict(e.data)},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        for e in events
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(path: Union[str, Path], events: Iterable[_events.ObsEvent]) -> Path:
+    """Write :func:`render_jsonl` output to ``path``; returns it."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(render_jsonl(events), encoding="utf-8")
+    return target

@@ -1,0 +1,405 @@
+"""Persistent run ledger: one JSON record per observed run, plus diffing.
+
+``results/ledger/`` accumulates one record per run — git SHA, seed,
+workload, backend, processor count, cost model, and the full
+:class:`~repro.obs.snapshot.Snapshot` — so any two points in the repo's
+history can be compared.  :func:`compare_records` flags efficiency and
+node-count regressions beyond a tolerance; the ``repro-gametree
+compare`` subcommand and the warn-only CI gate are thin wrappers over
+it.  The simulated backend is deterministic across machines, which is
+what makes a *committed* baseline record a meaningful CI reference.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Optional, Union
+
+from .snapshot import SIM_UNITS, Snapshot
+
+SCHEMA_VERSION = 1
+
+#: JSON-schema (draft 2020-12 subset) for one ledger record.  Kept in
+#: sync with :func:`make_record`; :func:`validate_record` enforces the
+#: same structure without requiring the ``jsonschema`` package.
+LEDGER_SCHEMA: dict[str, object] = {
+    "$schema": "https://json-schema.org/draft/2020-12/schema",
+    "title": "repro-gametree run ledger record",
+    "type": "object",
+    "required": [
+        "schema_version",
+        "git_sha",
+        "created_at",
+        "seed",
+        "workload",
+        "scale",
+        "backend",
+        "n_processors",
+        "cost_model",
+        "config",
+        "snapshot",
+    ],
+    "properties": {
+        "schema_version": {"const": SCHEMA_VERSION},
+        "git_sha": {"type": "string"},
+        "created_at": {"type": "number"},
+        "seed": {"type": ["integer", "null"]},
+        "workload": {"type": "string"},
+        "scale": {"type": "string"},
+        "backend": {"enum": ["sim", "threaded", "multiproc"]},
+        "n_processors": {"type": "integer", "minimum": 1},
+        "cost_model": {"type": "object"},
+        "config": {"type": "object"},
+        "snapshot": {
+            "type": "object",
+            "required": [
+                "backend",
+                "time_unit",
+                "n_processors",
+                "makespan",
+                "value",
+                "processors",
+                "counters",
+                "work",
+                "fractions",
+            ],
+            "properties": {
+                "time_unit": {"enum": [SIM_UNITS, "seconds"]},
+                "makespan": {"type": "number", "minimum": 0},
+                "processors": {
+                    "type": "array",
+                    "items": {
+                        "type": "object",
+                        "required": [
+                            "pid",
+                            "busy",
+                            "starvation",
+                            "interference",
+                            "speculative",
+                            "tail_idle",
+                            "finish_time",
+                        ],
+                    },
+                },
+            },
+        },
+    },
+}
+
+Record = dict[str, object]
+
+
+def current_git_sha() -> str:
+    """HEAD's SHA, or ``"unknown"`` outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except OSError:
+        return "unknown"
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else "unknown"
+
+
+def make_record(
+    snap: Snapshot,
+    *,
+    workload: str,
+    scale: str = "reduced",
+    seed: Optional[int] = None,
+    cost_model: Optional[Mapping[str, object]] = None,
+    config: Optional[Mapping[str, object]] = None,
+    git_sha: Optional[str] = None,
+) -> Record:
+    """Assemble one ledger record from a snapshot plus run identity."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "git_sha": git_sha if git_sha is not None else current_git_sha(),
+        "created_at": time.time(),
+        "seed": seed,
+        "workload": workload,
+        "scale": scale,
+        "backend": snap.backend,
+        "n_processors": snap.n_processors,
+        "cost_model": dict(cost_model) if cost_model else {},
+        "config": dict(config) if config else {},
+        "snapshot": snap.to_dict(),
+    }
+
+
+def validate_record(record: Record) -> list[str]:
+    """Structural validation (no external deps); [] when the record is well-formed."""
+    problems: list[str] = []
+    required = LEDGER_SCHEMA["properties"]
+    assert isinstance(required, dict)
+    for key in LEDGER_SCHEMA["required"]:  # type: ignore[union-attr]
+        if key not in record:
+            problems.append(f"missing field: {key}")
+    if problems:
+        return problems
+    if record["schema_version"] != SCHEMA_VERSION:
+        problems.append(f"schema_version {record['schema_version']!r} != {SCHEMA_VERSION}")
+    if record["backend"] not in ("sim", "threaded", "multiproc"):
+        problems.append(f"unknown backend {record['backend']!r}")
+    if not isinstance(record["git_sha"], str):
+        problems.append("git_sha must be a string")
+    if not (record["seed"] is None or isinstance(record["seed"], int)):
+        problems.append("seed must be an integer or null")
+    n = record["n_processors"]
+    if not isinstance(n, int) or n < 1:
+        problems.append(f"n_processors must be a positive integer, got {n!r}")
+    snapshot = record["snapshot"]
+    if not isinstance(snapshot, dict):
+        return problems + ["snapshot must be an object"]
+    for key in (
+        "backend",
+        "time_unit",
+        "n_processors",
+        "makespan",
+        "value",
+        "processors",
+        "counters",
+        "work",
+        "fractions",
+    ):
+        if key not in snapshot:
+            problems.append(f"snapshot missing field: {key}")
+    if problems:
+        return problems
+    if snapshot["backend"] != record["backend"]:
+        problems.append("snapshot backend disagrees with record backend")
+    rows = snapshot["processors"]
+    if not isinstance(rows, list):
+        problems.append("snapshot processors must be a list")
+    else:
+        if len(rows) != n:
+            problems.append(f"snapshot has {len(rows)} processor rows, expected {n}")
+        for row in rows:
+            if not isinstance(row, dict):
+                problems.append("processor row must be an object")
+                continue
+            for key in (
+                "pid",
+                "busy",
+                "starvation",
+                "interference",
+                "speculative",
+                "tail_idle",
+                "finish_time",
+            ):
+                if key not in row:
+                    problems.append(f"processor row missing field: {key}")
+    snap = Snapshot.from_dict(snapshot)
+    problems.extend(snap.check_accounting())
+    return problems
+
+
+def record_name(record: Record) -> str:
+    """Deterministic filename stem for a record."""
+    sha = str(record.get("git_sha", "unknown"))[:10] or "unknown"
+    return (
+        f"{record['backend']}_{record['workload']}_P{record['n_processors']}_{sha}"
+    )
+
+
+def write_record(record: Record, directory: Union[str, Path], name: Optional[str] = None) -> Path:
+    """Persist a record under ``directory`` (created if needed); returns the path."""
+    target_dir = Path(directory)
+    target_dir.mkdir(parents=True, exist_ok=True)
+    path = target_dir / f"{name or record_name(record)}.json"
+    path.write_text(json.dumps(record, sort_keys=True, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def load_record(path: Union[str, Path]) -> Record:
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: ledger record must be a JSON object")
+    return data
+
+
+def find_by_sha(directory: Union[str, Path], sha_prefix: str) -> Record:
+    """Newest record in ``directory`` whose git SHA starts with ``sha_prefix``."""
+    matches: list[Record] = []
+    for path in sorted(Path(directory).glob("*.json")):
+        try:
+            record = load_record(path)
+        except (ValueError, json.JSONDecodeError):
+            continue
+        if str(record.get("git_sha", "")).startswith(sha_prefix):
+            matches.append(record)
+    if not matches:
+        raise FileNotFoundError(f"no ledger record in {directory} with SHA prefix {sha_prefix!r}")
+    return max(matches, key=lambda r: float(r.get("created_at", 0.0)))  # type: ignore[arg-type]
+
+
+def resolve(spec: str, ledger_dir: Union[str, Path]) -> Record:
+    """Turn a compare operand — file path or git SHA prefix — into a record."""
+    path = Path(spec)
+    if path.is_file():
+        return load_record(path)
+    return find_by_sha(ledger_dir, spec)
+
+
+@dataclass
+class CompareReport:
+    """Outcome of diffing a candidate run against a baseline run."""
+
+    baseline: str
+    candidate: str
+    regressions: list[str] = field(default_factory=list)
+    improvements: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def format(self) -> str:
+        lines = [f"compare: {self.baseline} -> {self.candidate}"]
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        for item in self.improvements:
+            lines.append(f"  improved: {item}")
+        for item in self.regressions:
+            lines.append(f"  REGRESSION: {item}")
+        if self.ok:
+            lines.append("  no regressions")
+        return "\n".join(lines)
+
+
+def _ident(record: Record) -> str:
+    sha = str(record.get("git_sha", "unknown"))[:10]
+    return f"{record['backend']}/{record['workload']}/P{record['n_processors']}@{sha}"
+
+
+def _rel_change(old: float, new: float) -> float:
+    if old == 0:
+        return 0.0 if new == 0 else float("inf")
+    return (new - old) / abs(old)
+
+
+def compare_records(
+    baseline: Record, candidate: Record, *, tolerance: float = 0.05
+) -> CompareReport:
+    """Diff two ledger records; regressions are changes for the worse.
+
+    Checked, in order of severity:
+
+    * **value** — the negmax root value must match exactly (the protocol
+      is deterministic on every backend);
+    * **work counters** — ``nodes_examined``, ``leaf_evals``, ``cost``
+      growing by more than ``tolerance`` (relative);
+    * **makespan** — growing by more than ``tolerance`` (relative; for
+      wall-clock backends this is noisy, which is why the CI gate that
+      wraps this is warn-only);
+    * **loss fractions** — starvation / interference / speculative
+      fractions growing by more than ``tolerance`` (absolute, since they
+      are already normalized).
+
+    Shrinking any of those is reported as an improvement, never a
+    regression.
+    """
+    report = CompareReport(baseline=_ident(baseline), candidate=_ident(candidate))
+    for key in ("backend", "workload", "n_processors", "scale"):
+        if baseline.get(key) != candidate.get(key):
+            report.notes.append(
+                f"{key} differs: {baseline.get(key)!r} vs {candidate.get(key)!r}"
+            )
+    base_snap = Snapshot.from_dict(baseline["snapshot"])  # type: ignore[arg-type]
+    cand_snap = Snapshot.from_dict(candidate["snapshot"])  # type: ignore[arg-type]
+
+    if base_snap.value != cand_snap.value:
+        report.regressions.append(
+            f"root value changed: {base_snap.value!r} -> {cand_snap.value!r}"
+        )
+
+    for counter in ("nodes_examined", "leaf_evals", "cost"):
+        old = base_snap.work.get(counter, 0.0)
+        new = cand_snap.work.get(counter, 0.0)
+        change = _rel_change(old, new)
+        if change > tolerance:
+            report.regressions.append(f"{counter}: {old:g} -> {new:g} (+{change:.1%})")
+        elif change < -tolerance:
+            report.improvements.append(f"{counter}: {old:g} -> {new:g} ({change:.1%})")
+
+    change = _rel_change(base_snap.makespan, cand_snap.makespan)
+    unit = base_snap.time_unit
+    if change > tolerance:
+        report.regressions.append(
+            f"makespan ({unit}): {base_snap.makespan:g} -> {cand_snap.makespan:g} (+{change:.1%})"
+        )
+    elif change < -tolerance:
+        report.improvements.append(
+            f"makespan ({unit}): {base_snap.makespan:g} -> {cand_snap.makespan:g} ({change:.1%})"
+        )
+
+    for name, old, new in (
+        ("starvation_fraction", base_snap.starvation_fraction, cand_snap.starvation_fraction),
+        (
+            "interference_fraction",
+            base_snap.interference_fraction,
+            cand_snap.interference_fraction,
+        ),
+        ("speculative_fraction", base_snap.speculative_fraction, cand_snap.speculative_fraction),
+    ):
+        delta = new - old
+        if delta > tolerance:
+            report.regressions.append(f"{name}: {old:.4f} -> {new:.4f} (+{delta:.4f})")
+        elif delta < -tolerance:
+            report.improvements.append(f"{name}: {old:.4f} -> {new:.4f} ({delta:+.4f})")
+    return report
+
+
+def aggregate(directory: Union[str, Path], out_path: Optional[Union[str, Path]] = None) -> Record:
+    """Summarize every record in ``directory`` into one ``BENCH_obs.json`` payload."""
+    summaries: list[Record] = []
+    for path in sorted(Path(directory).glob("*.json")):
+        try:
+            record = load_record(path)
+        except (ValueError, json.JSONDecodeError):
+            continue
+        snapshot = record.get("snapshot")
+        if not isinstance(snapshot, dict):
+            continue
+        summaries.append(
+            {
+                "file": path.name,
+                "backend": record.get("backend"),
+                "workload": record.get("workload"),
+                "scale": record.get("scale"),
+                "seed": record.get("seed"),
+                "n_processors": record.get("n_processors"),
+                "git_sha": record.get("git_sha"),
+                "makespan": snapshot.get("makespan"),
+                "time_unit": snapshot.get("time_unit"),
+                "value": snapshot.get("value"),
+                "fractions": snapshot.get("fractions"),
+                "work": snapshot.get("work"),
+            }
+        )
+    ledger_dir = Path(directory)
+    try:
+        # Relative paths keep the aggregate portable across checkouts.
+        ledger_dir = ledger_dir.resolve().relative_to(Path.cwd())
+    except ValueError:
+        pass
+    payload: Record = {
+        "schema_version": SCHEMA_VERSION,
+        "ledger_dir": str(ledger_dir),
+        "n_records": len(summaries),
+        "records": summaries,
+    }
+    if out_path is not None:
+        target = Path(out_path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n", encoding="utf-8")
+    return payload

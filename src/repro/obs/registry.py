@@ -1,0 +1,187 @@
+"""Metrics registry: counters, gauges, histograms, time-series samplers.
+
+One naming scheme and one aggregation path for quantities that used to
+live in three places — :class:`~repro.sim.metrics.ProcessorMetrics`,
+:class:`~repro.search.stats.SearchStats`, and the parallel drivers'
+ad-hoc counter dicts.  :func:`aggregate` folds an event bus into a
+registry; :mod:`repro.obs.snapshot` then freezes registry + per-backend
+reports into one comparable :class:`~repro.obs.snapshot.Snapshot`.
+
+The coverage maps at the bottom are load-bearing: VER005 in
+:mod:`repro.verify.staticcheck` asserts that every simulator op kind and
+every bus event type appears in them, so no op or event can be added
+without deciding how it is accounted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Union
+
+from . import events
+
+MetricValue = Union[float, int, dict[str, float], list[tuple[float, float]]]
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing tally."""
+
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of an observed distribution."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        if not self.count:
+            return {"count": 0.0, "total": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
+        return {
+            "count": float(self.count),
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+@dataclass
+class TimeSeries:
+    """Timestamped samples of one evolving quantity (e.g. a queue depth)."""
+
+    samples: list[tuple[float, float]] = field(default_factory=list)
+
+    def sample(self, ts: float, value: float) -> None:
+        self.samples.append((ts, value))
+
+    @property
+    def peak(self) -> float:
+        return max((v for _, v in self.samples), default=0.0)
+
+    @property
+    def last(self) -> float:
+        return self.samples[-1][1] if self.samples else 0.0
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics, one namespace per run."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._series: dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge:
+        return self._gauges.setdefault(name, Gauge())
+
+    def histogram(self, name: str) -> Histogram:
+        return self._histograms.setdefault(name, Histogram())
+
+    def timeseries(self, name: str) -> TimeSeries:
+        return self._series.setdefault(name, TimeSeries())
+
+    def collect(self) -> dict[str, MetricValue]:
+        """Flatten every metric to plain JSON-serializable values."""
+        out: dict[str, MetricValue] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+        for name, histogram in self._histograms.items():
+            out[name] = histogram.summary()
+        for name, series in self._series.items():
+            out[name] = {
+                "peak": series.peak,
+                "last": series.last,
+                "samples": float(len(series.samples)),
+            }
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Coverage maps (enforced by VER005).
+# ---------------------------------------------------------------------------
+
+#: How each simulator op kind is accounted.  Keys are the class names in
+#: :mod:`repro.sim.ops`; values are registry counter names.
+OP_METRICS: Mapping[str, str] = {
+    "Compute": "sim.ops.compute",
+    "Acquire": "sim.ops.acquire",
+    "Release": "sim.ops.release",
+    "WaitWork": "sim.ops.wait_work",
+}
+
+#: How each bus event type is accounted.  Keys are the ``EV_*`` constants
+#: of :mod:`repro.obs.events`; values are registry metric names (counter,
+#: plus a time series for sampled quantities).
+EVENT_METRICS: Mapping[str, str] = {
+    events.EV_QUEUE_DEPTH: "queue.depth",
+    events.EV_NODE_CREATED: "nodes.created",
+    events.EV_NODE_POPPED: "nodes.popped",
+    events.EV_NODE_DONE: "nodes.done",
+    events.EV_CLASS_FLIP: "nodes.class_flips",
+    events.EV_TASK_SUBMIT: "tasks.submitted",
+    events.EV_TASK_RESULT: "tasks.completed",
+    events.EV_ENGINE_CHOICE: "engine.choices",
+    events.EV_PROC_INTERVAL: "proc.intervals",
+}
+
+
+def aggregate(bus: events.EventBus) -> MetricsRegistry:
+    """Fold one observed run into a registry.
+
+    Every event bumps its mapped counter; queue-depth events additionally
+    feed one time series per queue (so snapshots can report peak depth),
+    and task results feed a duration histogram.
+    """
+    registry = MetricsRegistry()
+    for kind, count in sorted(bus.op_counts.items()):
+        name = OP_METRICS.get(kind, f"sim.ops.{kind.lower()}")
+        registry.counter(name).inc(count)
+    for event in bus.events:
+        metric = EVENT_METRICS.get(event.etype, f"events.{event.etype}")
+        registry.counter(metric).inc()
+        if event.etype == events.EV_QUEUE_DEPTH:
+            queue = str(event.data.get("queue", "unknown"))
+            depth = float(event.data.get("depth", 0))  # type: ignore[arg-type]
+            registry.timeseries(f"{metric}.{queue}").sample(event.ts, depth)
+            registry.gauge(f"{metric}.{queue}.current").set(depth)
+        elif event.etype == events.EV_TASK_RESULT:
+            duration = float(event.data.get("duration", 0.0))  # type: ignore[arg-type]
+            registry.histogram("tasks.duration_seconds").observe(duration)
+    return registry

@@ -1,0 +1,348 @@
+"""The one comparable record of a parallel run, for any backend.
+
+The paper's evaluation decomposes lost efficiency into starvation,
+interference, and speculative loss (Section 3.1, Figures 10-13).  Before
+this module each backend reported that decomposition in its own shape —
+:class:`~repro.sim.metrics.SimReport` for the simulator, ad-hoc counter
+dicts for the threaded driver, and
+:class:`~repro.parallel.multiproc.MultiprocResult` for the process pool.
+A :class:`Snapshot` normalizes all three into per-processor
+busy / starvation / interference / speculative / tail-idle rows plus the
+shared protocol counters and work stats, which is what the run ledger
+(:mod:`repro.obs.ledger`) persists and compares.
+
+Accounting semantics per backend:
+
+* **sim** — exact.  Every simulated instant of a processor's life up to
+  its ``finish_time`` is busy, lock-blocked, or work-blocked, so
+  ``busy + interference + starvation (+ speculative=0) == finish_time``
+  to float round-off, and ``tail_idle`` covers the gap to the makespan.
+  Speculative loss is semantic in the simulator (wasted *busy* time, not
+  a separate timing state) and is reported at run level through the node
+  traces (:mod:`repro.analysis.losses`), so the per-processor column is
+  zero by construction.
+* **threaded** — measured.  The driver times each thread's lock waits
+  and work waits with the wall clock; busy is the remainder of the
+  thread's lifetime.  Sums match each thread's measured lifetime, not
+  the makespan, and carry scheduler noise.
+* **multiproc** — measured.  Worker busy time is split into applied
+  (mandatory) and moot-on-arrival (speculative) per worker process from
+  task timestamps; the coordinator's starvation integral and the IPC
+  residual are spread evenly across workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from ..search.stats import SearchStats
+from . import events as _events
+from . import registry as _registry
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from ..parallel.base import ParallelResult
+    from ..parallel.multiproc import MultiprocResult
+    from ..parallel.threaded import ThreadedRun
+
+#: Time units a snapshot can be denominated in.
+SIM_UNITS = "sim-units"
+SECONDS = "seconds"
+
+
+@dataclass(frozen=True)
+class ProcBreakdown:
+    """Where one processor's time went, in the snapshot's time unit."""
+
+    pid: int
+    busy: float
+    starvation: float
+    interference: float
+    speculative: float
+    tail_idle: float
+    finish_time: float
+
+    @property
+    def accounted(self) -> float:
+        """Busy plus every loss category (excluding the idle tail)."""
+        return self.busy + self.starvation + self.interference + self.speculative
+
+    def to_dict(self) -> dict[str, float]:
+        return {
+            "pid": float(self.pid),
+            "busy": self.busy,
+            "starvation": self.starvation,
+            "interference": self.interference,
+            "speculative": self.speculative,
+            "tail_idle": self.tail_idle,
+            "finish_time": self.finish_time,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, float]) -> "ProcBreakdown":
+        return cls(
+            pid=int(data["pid"]),
+            busy=float(data["busy"]),
+            starvation=float(data["starvation"]),
+            interference=float(data["interference"]),
+            speculative=float(data["speculative"]),
+            tail_idle=float(data["tail_idle"]),
+            finish_time=float(data["finish_time"]),
+        )
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """Normalized outcome of one parallel run, any backend."""
+
+    backend: str
+    time_unit: str
+    workload: str
+    n_processors: int
+    makespan: float
+    value: float
+    processors: tuple[ProcBreakdown, ...]
+    counters: dict[str, float] = field(default_factory=dict)
+    work: dict[str, float] = field(default_factory=dict)
+    metrics: dict[str, _registry.MetricValue] = field(default_factory=dict)
+
+    # -- derived fractions (denominator: processor-time of the run) --------
+
+    @property
+    def processor_time(self) -> float:
+        return self.makespan * max(1, self.n_processors)
+
+    def _fraction(self, amount: float) -> float:
+        total = self.processor_time
+        return amount / total if total > 0 else 0.0
+
+    @property
+    def busy_fraction(self) -> float:
+        return self._fraction(sum(p.busy for p in self.processors))
+
+    @property
+    def starvation_fraction(self) -> float:
+        """Empty-heap waits plus the idle tails (the paper's convention)."""
+        return self._fraction(sum(p.starvation + p.tail_idle for p in self.processors))
+
+    @property
+    def interference_fraction(self) -> float:
+        return self._fraction(sum(p.interference for p in self.processors))
+
+    @property
+    def speculative_fraction(self) -> float:
+        return self._fraction(sum(p.speculative for p in self.processors))
+
+    # -- invariants ---------------------------------------------------------
+
+    def check_accounting(self, rel_tolerance: float = 1e-9) -> list[str]:
+        """Verify the per-processor time decomposition; [] when it holds.
+
+        For the simulated backend the decomposition is exact:
+        ``accounted == finish_time`` and
+        ``accounted + tail_idle == makespan`` within float round-off.
+        Wall-clock backends only promise non-negative categories and
+        totals bounded by the run's processor-time.
+        """
+        problems: list[str] = []
+        for proc in self.processors:
+            for name in ("busy", "starvation", "interference", "speculative", "tail_idle"):
+                if getattr(proc, name) < 0:
+                    problems.append(f"P{proc.pid}: negative {name}")
+        if self.time_unit != SIM_UNITS:
+            return problems
+        tol = rel_tolerance * max(1.0, self.makespan)
+        for proc in self.processors:
+            if abs(proc.accounted - proc.finish_time) > tol:
+                problems.append(
+                    f"P{proc.pid}: busy+losses {proc.accounted!r} != "
+                    f"finish_time {proc.finish_time!r}"
+                )
+            if abs(proc.accounted + proc.tail_idle - self.makespan) > tol:
+                problems.append(
+                    f"P{proc.pid}: accounted+tail {proc.accounted + proc.tail_idle!r} "
+                    f"!= makespan {self.makespan!r}"
+                )
+        return problems
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "backend": self.backend,
+            "time_unit": self.time_unit,
+            "workload": self.workload,
+            "n_processors": self.n_processors,
+            "makespan": self.makespan,
+            "value": self.value,
+            "processors": [p.to_dict() for p in self.processors],
+            "counters": dict(self.counters),
+            "work": dict(self.work),
+            "metrics": dict(self.metrics),
+            "fractions": {
+                "busy": self.busy_fraction,
+                "starvation": self.starvation_fraction,
+                "interference": self.interference_fraction,
+                "speculative": self.speculative_fraction,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "Snapshot":
+        processors = tuple(
+            ProcBreakdown.from_dict(row)  # type: ignore[arg-type]
+            for row in data.get("processors", [])  # type: ignore[union-attr]
+        )
+        return cls(
+            backend=str(data["backend"]),
+            time_unit=str(data["time_unit"]),
+            workload=str(data.get("workload", "")),
+            n_processors=int(data["n_processors"]),  # type: ignore[arg-type]
+            makespan=float(data["makespan"]),  # type: ignore[arg-type]
+            value=float(data["value"]),  # type: ignore[arg-type]
+            processors=processors,
+            counters=dict(data.get("counters", {})),  # type: ignore[arg-type]
+            work=dict(data.get("work", {})),  # type: ignore[arg-type]
+            metrics=dict(data.get("metrics", {})),  # type: ignore[arg-type]
+        )
+
+
+def work_dict(stats: SearchStats) -> dict[str, float]:
+    """The comparable work counters of one run's merged stats."""
+    return {
+        "interior_visits": float(stats.interior_visits),
+        "leaf_evals": float(stats.leaf_evals),
+        "ordering_evals": float(stats.ordering_evals),
+        "nodes_generated": float(stats.nodes_generated),
+        "nodes_examined": float(stats.nodes_examined),
+        "cutoffs": float(stats.cutoffs),
+        "cost": float(stats.cost),
+    }
+
+
+def _metrics_from(bus: Optional[_events.EventBus]) -> dict[str, _registry.MetricValue]:
+    if bus is None:
+        return {}
+    return _registry.aggregate(bus).collect()
+
+
+# ---------------------------------------------------------------------------
+# Per-backend builders.
+# ---------------------------------------------------------------------------
+
+
+def snapshot_from_sim(
+    result: "ParallelResult",
+    *,
+    workload: str = "",
+    bus: Optional[_events.EventBus] = None,
+) -> Snapshot:
+    """Freeze a simulated run (exact decomposition, simulated units)."""
+    processors = tuple(
+        ProcBreakdown(
+            pid=pid,
+            busy=m.busy,
+            starvation=m.starve_wait,
+            interference=m.lock_wait,
+            speculative=0.0,
+            tail_idle=m.tail_idle,
+            finish_time=m.finish_time,
+        )
+        for pid, m in enumerate(result.report.processors)
+    )
+    return Snapshot(
+        backend="sim",
+        time_unit=SIM_UNITS,
+        workload=workload,
+        n_processors=result.n_processors,
+        makespan=result.report.makespan,
+        value=result.value,
+        processors=processors,
+        counters={k: float(v) for k, v in result.extras.items()},
+        work=work_dict(result.stats),
+        metrics=_metrics_from(bus),
+    )
+
+
+def snapshot_from_threaded(
+    run: "ThreadedRun",
+    *,
+    workload: str = "",
+    bus: Optional[_events.EventBus] = None,
+) -> Snapshot:
+    """Freeze a real-thread run (measured decomposition, wall seconds)."""
+    processors = tuple(
+        ProcBreakdown(
+            pid=pid,
+            busy=t.busy,
+            starvation=t.starve_wait,
+            interference=t.lock_wait,
+            speculative=0.0,
+            tail_idle=max(0.0, run.wall_time - t.wall),
+            finish_time=t.wall,
+        )
+        for pid, t in enumerate(run.timings)
+    )
+    return Snapshot(
+        backend="threaded",
+        time_unit=SECONDS,
+        workload=workload,
+        n_processors=len(run.timings),
+        makespan=run.wall_time,
+        value=run.value,
+        processors=processors,
+        counters={k: float(v) for k, v in run.counters.items()},
+        work=work_dict(run.stats),
+        metrics=_metrics_from(bus),
+    )
+
+
+def snapshot_from_multiproc(
+    result: "MultiprocResult",
+    *,
+    workload: str = "",
+    bus: Optional[_events.EventBus] = None,
+) -> Snapshot:
+    """Freeze a multiprocess run (measured decomposition, wall seconds).
+
+    Worker busy time comes from per-task timestamps attributed to the OS
+    pid that ran them; the coordinator-integrated starvation and the IPC
+    residual have no per-worker attribution and are spread evenly.
+    """
+    n = result.n_workers
+    starve_each = result.starvation_seconds / n
+    interfere_each = result.interference_seconds / n
+    rows: list[ProcBreakdown] = []
+    pids = sorted(result.per_worker)
+    for index in range(n):
+        split = result.per_worker.get(pids[index]) if index < len(pids) else None
+        applied = float(split["applied"]) if split else 0.0
+        wasted = float(split["wasted"]) if split else 0.0
+        rows.append(
+            ProcBreakdown(
+                pid=index,
+                busy=applied,
+                starvation=starve_each,
+                interference=interfere_each,
+                speculative=wasted,
+                tail_idle=0.0,
+                finish_time=result.wall_time,
+            )
+        )
+    counters = {k: float(v) for k, v in result.extras.items() if isinstance(v, (int, float))}
+    counters["busy_applied_seconds"] = result.busy_applied_seconds
+    counters["busy_wasted_seconds"] = result.busy_wasted_seconds
+    counters["starvation_seconds"] = result.starvation_seconds
+    counters["interference_seconds"] = result.interference_seconds
+    return Snapshot(
+        backend="multiproc",
+        time_unit=SECONDS,
+        workload=workload,
+        n_processors=n,
+        makespan=result.wall_time,
+        value=result.value,
+        processors=tuple(rows),
+        counters=counters,
+        work=work_dict(result.stats),
+        metrics=_metrics_from(bus),
+    )

@@ -60,6 +60,7 @@ from ..core.serial_er import er_search
 from ..costmodel import DEFAULT_COST_MODEL, CostModel
 from ..errors import SearchError, SimulationError
 from ..games.base import RootedGame, SearchProblem, subproblem
+from ..obs import events as _obs
 from ..search.stats import SearchStats
 
 __all__ = [
@@ -209,6 +210,10 @@ class MultiprocResult:
             nothing to hand out.
         interference_seconds: residual processor-seconds (IPC, pickling,
             coordinator occupancy).
+        per_worker: per-OS-pid busy split, ``{pid: {"applied": s,
+            "wasted": s}}`` — the attribution
+            :func:`repro.obs.snapshot.snapshot_from_multiproc` turns into
+            per-processor breakdown rows.
     """
 
     value: float
@@ -220,6 +225,7 @@ class MultiprocResult:
     busy_wasted_seconds: float = 0.0
     starvation_seconds: float = 0.0
     interference_seconds: float = 0.0
+    per_worker: dict[int, dict[str, float]] = field(default_factory=dict)
 
     @property
     def processor_seconds(self) -> float:
@@ -318,8 +324,12 @@ def multiproc_er(
     }
     busy_applied = 0.0
     busy_wasted = 0.0
+    per_worker: dict[int, dict[str, float]] = {}
     start = time.perf_counter()
     idle = _IdleMeter(n_workers, start)
+
+    def node_path(node: PNode) -> str:
+        return "/".join(map(str, node.path)) or "root"
 
     def publish(pushes: list[tuple[str, PNode]]) -> None:
         for queue_name, pushed in pushes:
@@ -367,6 +377,10 @@ def multiproc_er(
         counters["tasks_submitted"] += 1
         pending[future] = _Pending(node, payload[0], time.perf_counter())
         idle.record(time.perf_counter(), +1)
+        if _obs.CURRENT is not None:
+            _obs.CURRENT.emit(
+                _obs.EV_TASK_SUBMIT, task=-1, path=node_path(node), kind=str(payload[0])
+            )
 
     def process_primary(node: PNode) -> None:
         """Table 1 node generation, mirroring the simulator's worker."""
@@ -425,17 +439,30 @@ def multiproc_er(
 
     def apply_result(record: _Pending, outcome: _TaskOutcome) -> None:
         nonlocal busy_applied, busy_wasted
-        _, value, packed, t_start, t_end, _pid, children_done = outcome
+        _, value, packed, t_start, t_end, worker_pid, children_done = outcome
         idle.record(time.perf_counter(), -1)
         duration = max(0.0, t_end - t_start)
         merged_workers.merge(_unpack_stats(packed))
         node = record.node
-        if node.done or ctx.has_finished_ancestor(node):
+        split = per_worker.setdefault(worker_pid, {"applied": 0.0, "wasted": 0.0})
+        moot = node.done or ctx.has_finished_ancestor(node)
+        if _obs.CURRENT is not None:
+            _obs.CURRENT.emit(
+                _obs.EV_TASK_RESULT,
+                task=-1,
+                path=node_path(node),
+                applied=not moot,
+                duration=duration,
+                worker=worker_pid,
+            )
+        if moot:
             busy_wasted += duration
+            split["wasted"] += duration
             counters["tasks_discarded"] += 1
             ctx._bump("stale_discards")
             return
         busy_applied += duration
+        split["applied"] += duration
         counters["tasks_applied"] += 1
         if record.kind == "refute":
             node.next_child += children_done
@@ -508,6 +535,7 @@ def multiproc_er(
         busy_wasted_seconds=busy_wasted,
         starvation_seconds=starvation,
         interference_seconds=interference,
+        per_worker=per_worker,
     )
 
 

@@ -39,6 +39,8 @@ Two verification features mirror the simulator's (DESIGN.md
 from __future__ import annotations
 
 import threading
+import time
+from dataclasses import dataclass
 from typing import Generator, Optional
 
 from ..core.er_parallel import ERConfig, _Context, _worker
@@ -54,6 +56,32 @@ from ..verify import trace as _trace
 _WAIT_SLICE_SECONDS = 0.002
 
 
+@dataclass(frozen=True)
+class ThreadTiming:
+    """Measured wall-clock decomposition of one worker thread's life.
+
+    ``busy`` is the residual of the thread's lifetime after lock waits
+    (interference) and work waits (starvation) — under the GIL it is
+    bytecode-interleaved "runnable" time, not parallel CPU time.
+    """
+
+    busy: float
+    lock_wait: float
+    starve_wait: float
+    wall: float
+
+
+@dataclass(frozen=True)
+class ThreadedRun:
+    """Full observable outcome of one real-thread run."""
+
+    value: float
+    stats: SearchStats
+    wall_time: float
+    timings: tuple[ThreadTiming, ...]
+    counters: dict[str, int]
+
+
 class _ThreadedDriver:
     """Interprets one worker generator against real primitives."""
 
@@ -66,6 +94,9 @@ class _ThreadedDriver:
         self.locks: dict[SimLock, threading.Lock] = {}
         self.condition = threading.Condition()
         self.errors: list[BaseException] = []
+        #: Per-worker timing, keyed by worker id; each thread writes a
+        #: distinct key, so GIL-atomic dict stores need no extra lock.
+        self.timings: dict[int, ThreadTiming] = {}
         self._order = LockOrderGraph()
         self._order_lock = threading.Lock()
 
@@ -86,8 +117,11 @@ class _ThreadedDriver:
                 "nesting also occurs"
             )
 
-    def drive(self, worker: Generator[Op, None, None]) -> None:
+    def drive(self, worker: Generator[Op, None, None], wid: int = 0) -> None:
         held: list[str] = []
+        lock_wait = 0.0
+        starve_wait = 0.0
+        t_start = time.perf_counter()
         if _trace.CURRENT is not None:
             _trace.on_wake("task-init")
         try:
@@ -96,7 +130,9 @@ class _ThreadedDriver:
                     continue
                 if isinstance(op, Acquire):
                     self._check_order(held, op.lock.name)
+                    t0 = time.perf_counter()
                     self._real_lock(op.lock).acquire()
+                    lock_wait += time.perf_counter() - t0
                     held.append(op.lock.name)
                     if _trace.CURRENT is not None:
                         _trace.on_acquire(op.lock.name)
@@ -109,9 +145,11 @@ class _ThreadedDriver:
                     # Work may have been published: give sleepers a poke.
                     self.wake_all()
                 elif isinstance(op, WaitWork):
+                    t0 = time.perf_counter()
                     with self.condition:
                         if op.signal.version == op.seen_version and not self.ctx.done:
                             self.condition.wait(timeout=_WAIT_SLICE_SECONDS)
+                    starve_wait += time.perf_counter() - t0
                 else:  # pragma: no cover - protocol guard
                     raise SimulationError(f"threaded driver cannot run {op!r}")
         except BaseException as exc:  # noqa: BLE001 - surfaced to the caller
@@ -124,21 +162,32 @@ class _ThreadedDriver:
                         real.release()
                         break
             self.wake_all()
+        finally:
+            wall = time.perf_counter() - t_start
+            self.timings[wid] = ThreadTiming(
+                busy=max(0.0, wall - lock_wait - starve_wait),
+                lock_wait=lock_wait,
+                starve_wait=starve_wait,
+                wall=wall,
+            )
 
 
-def threaded_er(
+def threaded_er_observed(
     problem: SearchProblem,
     n_threads: int,
     *,
     config: Optional[ERConfig] = None,
     cost_model: CostModel = DEFAULT_COST_MODEL,
     timeout: float = 60.0,
-) -> tuple[float, SearchStats]:
+) -> ThreadedRun:
     """Run parallel ER's problem-heap protocol on real OS threads.
 
     Returns:
-        ``(root_value, merged_stats)``.  The value must equal the serial
-        result — asserted across the test suite under many interleavings.
+        A :class:`ThreadedRun` with the root value, merged stats, total
+        wall time, per-thread busy/lock/starve timings, and the protocol
+        counters — the shape :func:`repro.obs.snapshot.snapshot_from_threaded`
+        consumes.  The value must equal the serial result — asserted
+        across the test suite under many interleavings.
 
     Raises:
         SimulationError: if a worker thread raised or the run timed out.
@@ -159,12 +208,13 @@ def threaded_er(
     threads = [
         threading.Thread(
             target=driver.drive,
-            args=(_worker(ctx, stats[i], pid=i),),
+            args=(_worker(ctx, stats[i], pid=i), i),
             name=f"er-worker-{i}",
             daemon=True,
         )
         for i in range(n_threads)
     ]
+    t_start = time.perf_counter()
     for thread in threads:
         thread.start()
     for thread in threads:
@@ -173,6 +223,7 @@ def threaded_er(
             ctx.done = True
             driver.wake_all()
             raise SimulationError("threaded ER timed out")
+    wall_time = time.perf_counter() - t_start
     if driver.errors:
         raise SimulationError(f"worker thread failed: {driver.errors[0]!r}") from driver.errors[0]
     if not ctx.done:
@@ -180,4 +231,32 @@ def threaded_er(
     merged = SearchStats()
     for s in stats:
         merged.merge(s)
-    return ctx.root.value, merged
+    timings = tuple(
+        driver.timings.get(i, ThreadTiming(0.0, 0.0, 0.0, 0.0)) for i in range(n_threads)
+    )
+    return ThreadedRun(
+        value=ctx.root.value,
+        stats=merged,
+        wall_time=wall_time,
+        timings=timings,
+        counters=dict(ctx.counters),
+    )
+
+
+def threaded_er(
+    problem: SearchProblem,
+    n_threads: int,
+    *,
+    config: Optional[ERConfig] = None,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    timeout: float = 60.0,
+) -> tuple[float, SearchStats]:
+    """Compatibility wrapper over :func:`threaded_er_observed`.
+
+    Returns:
+        ``(root_value, merged_stats)``.
+    """
+    run = threaded_er_observed(
+        problem, n_threads, config=config, cost_model=cost_model, timeout=timeout
+    )
+    return run.value, run.stats

@@ -24,6 +24,7 @@ from enum import Enum
 from typing import Generator, Iterable
 
 from ..errors import DeadlockError, LockOrderError, SimulationError, WorkerProtocolError
+from ..obs import events as _obs
 from ..verify import trace as _trace
 from .locks import LockOrderGraph, SimLock, WorkSignal
 from .metrics import ProcessorMetrics, SimReport
@@ -65,7 +66,9 @@ class Engine:
         self._procs = [_Proc(worker=w) for w in workers]
         if not self._procs:
             raise SimulationError("engine needs at least one worker")
-        if record_timeline:
+        # An installed telemetry bus implies timelines: the Perfetto
+        # exporter renders them as the per-processor schedule tracks.
+        if record_timeline or _obs.CURRENT is not None:
             for proc in self._procs:
                 proc.metrics.timeline = []
         self._max_events = max_events
@@ -110,6 +113,8 @@ class Engine:
 
     def _handle(self, wid: int, op: Op) -> None:
         proc = self._procs[wid]
+        if _obs.CURRENT is not None:
+            _obs.CURRENT.count_op(type(op).__name__)
         if isinstance(op, Compute):
             proc.metrics.busy += op.units
             if proc.metrics.timeline is not None and op.units > 0:
@@ -192,6 +197,12 @@ class Engine:
         for wid in range(len(self._procs)):
             self._schedule(wid, 0.0)
 
+        bus = _obs.CURRENT
+        prev_clock = None
+        if bus is not None:
+            # Telemetry emitted during this run is stamped in simulated
+            # time, so traces line up with the engine's own timelines.
+            prev_clock = bus.use_clock(lambda: self.now)
         try:
             while self._queue:
                 self._events += 1
@@ -202,6 +213,7 @@ class Engine:
                 if proc.state is _State.FINISHED:
                     continue
                 _trace.set_task(wid)
+                _obs.set_task(wid)
                 try:
                     op = proc.worker.send(None)
                 except StopIteration:
@@ -211,6 +223,9 @@ class Engine:
                 self._handle(wid, op)
         finally:
             _trace.set_task(None)
+            _obs.set_task(None)
+            if bus is not None:
+                bus.use_clock(prev_clock)
 
         unfinished = [i for i, p in enumerate(self._procs) if p.state is not _State.FINISHED]
         if unfinished:
@@ -220,6 +235,8 @@ class Engine:
             raise DeadlockError(f"workers never finished: {blocked}")
 
         makespan = max((p.metrics.finish_time for p in self._procs), default=0.0)
+        for p in self._procs:
+            p.metrics.tail_idle = makespan - p.metrics.finish_time
         return SimReport(
             makespan=makespan,
             processors=[p.metrics for p in self._procs],

@@ -33,6 +33,13 @@ class ProcessorMetrics:
     lock_wait: float = 0.0
     starve_wait: float = 0.0
     finish_time: float = 0.0
+    #: Idle time between this processor's last op and the run's makespan
+    #: (filled in by the engine at the end of a run).  Without it,
+    #: ``accounted`` silently undercounts the run: a processor that
+    #: finishes early is starved for work even though no wait op charged
+    #: it.  Invariant: ``accounted == finish_time`` and
+    #: ``accounted + tail_idle == makespan``.
+    tail_idle: float = 0.0
     timeline: list[tuple[str, float, float]] | None = None
 
     @property

@@ -1,6 +1,6 @@
 """AST lint enforcing the repo's concurrency and determinism invariants.
 
-Four rules, each an invariant the rest of the codebase argues from:
+Five rules, each an invariant the rest of the codebase argues from:
 
 * **VER001 — lock discipline in the parallel ER workers.**  Every
   module-level worker generator in ``core/er_parallel.py`` is walked
@@ -27,6 +27,12 @@ Four rules, each an invariant the rest of the codebase argues from:
   function referenced by name, never a closure, lambda, or bound
   method — the spawn start method would fail at runtime, and only on
   platforms that spawn.
+* **VER005 — telemetry coverage.**  Every ``Op`` subclass in
+  ``sim/ops.py`` must have an entry in ``repro.obs.registry.OP_METRICS``
+  and every ``EV_*`` event type in ``repro.obs.events`` an entry in
+  ``EVENT_METRICS`` — an op or event the metrics registry cannot name
+  would vanish from every snapshot; conversely a registry key naming a
+  nonexistent op or event is dead mapping.
 
 The multiproc coordinator itself is exempt from VER001 by design: it is
 single-threaded, and worker processes share nothing (DESIGN.md
@@ -407,6 +413,154 @@ def check_op_coverage(
     return findings
 
 
+def _op_class_names(ops_source: str, ops_path: str) -> set[str]:
+    """Names of the ``Op`` subclasses defined at module level."""
+    tree = ast.parse(ops_source, filename=ops_path)
+    return {
+        node.name
+        for node in tree.body
+        if isinstance(node, ast.ClassDef)
+        and any(isinstance(base, ast.Name) and base.id == "Op" for base in node.bases)
+    }
+
+
+def _event_constants(events_source: str, events_path: str) -> dict[str, str]:
+    """``EV_*`` module-level string constants: name -> value."""
+    tree = ast.parse(events_source, filename=events_path)
+    constants: dict[str, str] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id.startswith("EV_")
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)
+            ):
+                constants[target.id] = node.value.value
+    return constants
+
+
+def _mapping_keys(
+    registry_tree: ast.Module, name: str
+) -> Optional[list[ast.expr]]:
+    """Key expressions of the module-level dict literal bound to ``name``."""
+    for node in registry_tree.body:
+        if isinstance(node, ast.AnnAssign):
+            targets: list[ast.expr] = [node.target]
+            value = node.value
+        elif isinstance(node, ast.Assign):
+            targets = list(node.targets)
+            value = node.value
+        else:
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == name for t in targets):
+            continue
+        if isinstance(value, ast.Dict):
+            return [k for k in value.keys if k is not None]
+        return None
+    return None
+
+
+def check_obs_coverage(
+    ops_path: str,
+    ops_source: str,
+    events_path: str,
+    events_source: str,
+    registry_path: str,
+    registry_source: str,
+) -> list[LintFinding]:
+    """VER005: the metrics registry names every op kind and event type."""
+    findings: list[LintFinding] = []
+    registry_tree = ast.parse(registry_source, filename=registry_path)
+
+    op_classes = _op_class_names(ops_source, ops_path)
+    op_keys = _mapping_keys(registry_tree, "OP_METRICS")
+    if op_keys is None:
+        findings.append(
+            LintFinding(
+                "VER005", registry_path, 1, "OP_METRICS dict literal not found"
+            )
+        )
+    else:
+        covered_ops = {
+            key.value
+            for key in op_keys
+            if isinstance(key, ast.Constant) and isinstance(key.value, str)
+        }
+        for name in sorted(op_classes - covered_ops):
+            findings.append(
+                LintFinding(
+                    "VER005",
+                    registry_path,
+                    1,
+                    f"op {name} has no OP_METRICS entry; its dispatch count "
+                    "would vanish from every snapshot",
+                )
+            )
+        for name in sorted(covered_ops - op_classes):
+            findings.append(
+                LintFinding(
+                    "VER005",
+                    registry_path,
+                    1,
+                    f"OP_METRICS names {name!r}, which is not an Op subclass "
+                    "in sim/ops.py (dead mapping)",
+                )
+            )
+
+    event_constants = _event_constants(events_source, events_path)
+    event_keys = _mapping_keys(registry_tree, "EVENT_METRICS")
+    if event_keys is None:
+        findings.append(
+            LintFinding(
+                "VER005", registry_path, 1, "EVENT_METRICS dict literal not found"
+            )
+        )
+        return findings
+    covered_events: set[str] = set()
+    for key in event_keys:
+        if (
+            isinstance(key, ast.Attribute)
+            and isinstance(key.value, ast.Name)
+            and key.value.id == "events"
+        ):
+            if key.attr in event_constants:
+                covered_events.add(key.attr)
+            else:
+                findings.append(
+                    LintFinding(
+                        "VER005",
+                        registry_path,
+                        key.lineno,
+                        f"EVENT_METRICS names events.{key.attr}, which is not "
+                        "defined in obs/events.py (dead mapping)",
+                    )
+                )
+        else:
+            findings.append(
+                LintFinding(
+                    "VER005",
+                    registry_path,
+                    key.lineno,
+                    f"EVENT_METRICS key {ast.unparse(key)!r} must reference an "
+                    "events.EV_* constant, not a literal",
+                )
+            )
+    for name in sorted(set(event_constants) - covered_events):
+        findings.append(
+            LintFinding(
+                "VER005",
+                events_path,
+                1,
+                f"event type {name} has no EVENT_METRICS entry; the registry "
+                "could not aggregate it",
+            )
+        )
+    return findings
+
+
 def check_determinism(path: str, source: str) -> list[LintFinding]:
     """VER003: no wall clock, no unseeded randomness."""
     findings: list[LintFinding] = []
@@ -542,6 +696,19 @@ def check_repo(root: Optional[str] = None) -> list[LintFinding]:
     multiproc = src / "parallel" / "multiproc.py"
     if multiproc.exists():
         findings.extend(check_file(str(multiproc), rules={"VER004"}))
+
+    events_py = src / "obs" / "events.py"
+    registry_py = src / "obs" / "registry.py"
+    findings.extend(
+        check_obs_coverage(
+            str(ops),
+            ops.read_text(),
+            str(events_py),
+            events_py.read_text(),
+            str(registry_py),
+            registry_py.read_text(),
+        )
+    )
     return findings
 
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Optional
 
 from ..errors import SearchError
 from ..games.base import Game, SearchProblem
@@ -46,6 +46,9 @@ class TreeSpec:
     serial_depth: int
     sort_below_root: int
     description: str
+    #: Generator seed for random trees (``None`` for fixed Othello roots);
+    #: recorded in ledger records so any run can be reproduced exactly.
+    seed: Optional[int] = None
 
     def problem(self) -> SearchProblem:
         return SearchProblem(
@@ -64,6 +67,7 @@ def _random_spec(name: str, degree: int, depth: int, serial: int, seed: int) -> 
         serial_depth=serial,
         sort_below_root=0,
         description=f"random {degree}-ary, {depth} ply, serial depth {serial}",
+        seed=seed,
     )
 
 

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -55,6 +57,126 @@ class TestCommands:
         assert main(["baselines", "--processors", "1", "2"]) == 0
         out = capsys.readouterr().out
         assert "aspiration" in out and "MWF" in out
+
+
+class TestObservability:
+    def test_trace_args(self):
+        args = build_parser().parse_args(["trace", "--tree", "R1", "-P", "2"])
+        assert args.tree == "R1"
+        assert args.processors_single == 2
+        assert args.backend == "sim"
+
+    def test_trace_writes_trace_jsonl_and_ledger(self, tmp_path, capsys):
+        out = tmp_path / "run.trace.json"
+        assert (
+            main(
+                [
+                    "trace",
+                    "--tree",
+                    "R3",
+                    "-P",
+                    "2",
+                    "-o",
+                    str(out),
+                    "--jsonl",
+                    "--ledger-dir",
+                    str(tmp_path / "ledger"),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(out.read_text())
+        assert payload["traceEvents"]
+        assert out.with_suffix(".jsonl").exists()
+        records = list((tmp_path / "ledger").glob("*.json"))
+        assert len(records) == 1
+        assert "perfetto" in capsys.readouterr().out.lower()
+
+    def test_compare_identical_runs_report_no_regressions(self, tmp_path, capsys):
+        ledger_dir = tmp_path / "ledger"
+        for name in ("a", "b"):
+            assert (
+                main(
+                    [
+                        "trace",
+                        "--tree",
+                        "R3",
+                        "-P",
+                        "2",
+                        "-o",
+                        str(tmp_path / f"{name}.trace.json"),
+                        "--ledger-dir",
+                        str(ledger_dir / name),
+                    ]
+                )
+                == 0
+            )
+        first = next((ledger_dir / "a").glob("*.json"))
+        second = next((ledger_dir / "b").glob("*.json"))
+        assert main(["compare", str(first), str(second)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_compare_flags_regression_and_warn_only(self, tmp_path, capsys):
+        ledger_dir = tmp_path / "ledger"
+        assert (
+            main(
+                [
+                    "trace",
+                    "--tree",
+                    "R3",
+                    "-P",
+                    "2",
+                    "-o",
+                    str(tmp_path / "base.trace.json"),
+                    "--ledger-dir",
+                    str(ledger_dir),
+                ]
+            )
+            == 0
+        )
+        baseline = next(ledger_dir.glob("*.json"))
+        worse = json.loads(baseline.read_text())
+        worse["snapshot"]["work"]["nodes_examined"] *= 2
+        worse_path = tmp_path / "worse.json"
+        worse_path.write_text(json.dumps(worse))
+        assert main(["compare", str(baseline), str(worse_path)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        assert (
+            main(["compare", str(baseline), str(worse_path), "--warn-only"]) == 0
+        )
+
+    def test_compare_unknown_operand_exits_2(self, tmp_path, capsys):
+        assert (
+            main(
+                ["compare", "feedface", "cafebabe", "--ledger-dir", str(tmp_path)]
+            )
+            == 2
+        )
+
+    def test_speedup_obs_writes_ledger_records(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "speedup",
+                    "--backend",
+                    "sim",
+                    "--tree",
+                    "R3",
+                    "--processors",
+                    "1",
+                    "2",
+                    "--obs",
+                    "--obs-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        records = sorted(p.name for p in tmp_path.glob("*.json"))
+        assert len(records) == 2
+        assert any("sim_R3_P1" in name for name in records)
+        assert any("sim_R3_P2" in name for name in records)
+        assert "ledger:" in capsys.readouterr().out
 
 
 class TestVerify:

@@ -1,0 +1,292 @@
+"""Telemetry layer: event bus, registry, snapshots, exporters, ledger.
+
+The simulated backend anchors most assertions because it is
+deterministic: the same seed produces the same event stream, the same
+snapshot, and — via the golden file under ``tests/golden/`` — the same
+Chrome trace bytes.  The wall-clock backends are checked for structure
+(schema-valid ledger records, non-negative accounting) rather than
+values.
+
+Regenerate the golden trace after an intentional engine change with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_obs.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.er_parallel import ERConfig, parallel_er
+from repro.games.base import SearchProblem
+from repro.games.random_tree import RandomGameTree
+from repro.obs import EVENT_METRICS, OP_METRICS, aggregate, observing, self_check
+from repro.obs import events as obs_events
+from repro.obs import ledger
+from repro.obs.export import render_chrome_trace, render_jsonl
+from repro.obs.snapshot import (
+    SIM_UNITS,
+    Snapshot,
+    snapshot_from_multiproc,
+    snapshot_from_sim,
+    snapshot_from_threaded,
+)
+from repro.parallel.multiproc import multiproc_er
+from repro.parallel.threaded import threaded_er_observed
+
+GOLDEN_TRACE = Path(__file__).parent / "golden" / "sim_trace.json"
+
+#: Small fixed-seed problem; every sim-backed test shares one run.
+_SEED = 7
+
+
+def _problem() -> SearchProblem:
+    return SearchProblem(RandomGameTree(3, 5, seed=_SEED), depth=5)
+
+
+@pytest.fixture(scope="module")
+def sim_run():
+    with observing() as bus:
+        result = parallel_er(_problem(), 2, config=ERConfig(serial_depth=2))
+    return bus, result
+
+
+@pytest.fixture(scope="module")
+def sim_snapshot(sim_run) -> Snapshot:
+    bus, result = sim_run
+    return snapshot_from_sim(result, workload="G1", bus=bus)
+
+
+# ---------------------------------------------------------------------------
+# Accounting: the paper's Section 3.1 decomposition is exact in simulation.
+# ---------------------------------------------------------------------------
+
+
+class TestAccounting:
+    def test_tail_idle_closes_the_timeline(self, sim_run):
+        _, result = sim_run
+        report = result.report
+        for metrics in report.processors:
+            assert metrics.tail_idle >= 0.0
+            assert metrics.accounted == pytest.approx(metrics.finish_time, abs=1e-9)
+            assert metrics.accounted + metrics.tail_idle == pytest.approx(
+                report.makespan, abs=1e-9
+            )
+
+    def test_snapshot_accounting_clean(self, sim_snapshot):
+        assert sim_snapshot.check_accounting() == []
+
+    def test_snapshot_flags_a_gap(self, sim_snapshot):
+        broken = sim_snapshot.to_dict()
+        broken["processors"][0]["busy"] += 1.0
+        violations = Snapshot.from_dict(broken).check_accounting()
+        assert any("finish_time" in v for v in violations)
+
+    def test_fractions_partition_processor_time(self, sim_snapshot):
+        snap = sim_snapshot
+        total = (
+            snap.busy_fraction
+            + snap.starvation_fraction
+            + snap.interference_fraction
+            + snap.speculative_fraction
+        )
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Event bus and metrics registry.
+# ---------------------------------------------------------------------------
+
+
+class TestBusAndRegistry:
+    def test_sim_emits_known_event_types_only(self, sim_run):
+        bus, _ = sim_run
+        assert bus.events, "sim run emitted no telemetry"
+        assert {e.etype for e in bus.events} <= set(obs_events.ALL_EVENT_TYPES)
+
+    def test_sim_event_timestamps_are_simulated(self, sim_run):
+        bus, result = sim_run
+        assert all(0.0 <= e.ts <= result.report.makespan for e in bus.events)
+
+    def test_registry_covers_ops_and_events(self, sim_run):
+        bus, _ = sim_run
+        metrics = aggregate(bus).collect()
+        assert metrics["sim.ops.compute"] > 0
+        assert metrics["nodes.created"] > 0
+        assert metrics["nodes.done"] > 0
+        assert any(name.startswith("queue.depth") for name in metrics)
+
+    def test_op_and_event_mappings_are_total(self, sim_run):
+        bus, _ = sim_run
+        assert set(bus.op_counts) <= set(OP_METRICS)
+        assert {e.etype for e in bus.events} <= set(EVENT_METRICS)
+
+    def test_no_bus_no_events(self):
+        result = parallel_er(_problem(), 2, config=ERConfig(serial_depth=2))
+        assert obs_events.CURRENT is None
+        assert result.value is not None
+
+    def test_self_check_is_clean(self):
+        assert self_check() == []
+
+
+# ---------------------------------------------------------------------------
+# Exporters: golden Chrome trace and JSONL.
+# ---------------------------------------------------------------------------
+
+
+def _render_golden(bus, result) -> str:
+    return render_chrome_trace(
+        bus.events,
+        report=result.report,
+        time_unit=SIM_UNITS,
+        metadata={"workload": "G1", "seed": _SEED, "n_processors": 2},
+    )
+
+
+class TestExport:
+    def test_chrome_trace_matches_golden_bytes(self, sim_run):
+        bus, result = sim_run
+        text = _render_golden(bus, result)
+        if os.environ.get("REPRO_REGEN_GOLDEN"):
+            GOLDEN_TRACE.parent.mkdir(parents=True, exist_ok=True)
+            GOLDEN_TRACE.write_text(text, encoding="utf-8")
+        assert GOLDEN_TRACE.exists(), (
+            "golden trace missing; regenerate with REPRO_REGEN_GOLDEN=1"
+        )
+        assert text == GOLDEN_TRACE.read_text(encoding="utf-8"), (
+            "fixed-seed Chrome trace changed; if intentional, regenerate "
+            "with REPRO_REGEN_GOLDEN=1"
+        )
+
+    def test_chrome_trace_is_perfetto_shaped(self, sim_run):
+        bus, result = sim_run
+        payload = json.loads(_render_golden(bus, result))
+        assert set(payload) == {"displayTimeUnit", "metadata", "traceEvents"}
+        events = payload["traceEvents"]
+        assert events[0]["name"] == "process_name"
+        phases = {e["ph"] for e in events}
+        assert {"M", "X", "C", "i"} <= phases
+        for event in events:
+            assert "pid" in event and "tid" in event
+            if event["ph"] == "X":
+                assert event["dur"] >= 0.0
+            if event["ph"] != "M":
+                assert event["ts"] >= 0.0
+
+    def test_timeline_tracks_named_per_processor(self, sim_run):
+        bus, result = sim_run
+        payload = json.loads(_render_golden(bus, result))
+        names = {
+            e["args"]["name"]
+            for e in payload["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names == {"P0", "P1"}
+
+    def test_jsonl_round_trips_every_event(self, sim_run):
+        bus, _ = sim_run
+        lines = render_jsonl(bus.events).splitlines()
+        assert len(lines) == len(bus.events)
+        first = json.loads(lines[0])
+        assert set(first) == {"etype", "ts", "task", "data"}
+
+
+# ---------------------------------------------------------------------------
+# Ledger: records validate on every backend; compare flags regressions.
+# ---------------------------------------------------------------------------
+
+
+class TestLedger:
+    def _record(self, snap: Snapshot) -> ledger.Record:
+        return ledger.make_record(
+            snap, workload=snap.workload, scale="reduced", seed=_SEED
+        )
+
+    def test_sim_record_validates(self, sim_snapshot):
+        assert ledger.validate_record(self._record(sim_snapshot)) == []
+
+    def test_threaded_record_validates(self):
+        with observing() as bus:
+            run = threaded_er_observed(_problem(), 2, config=ERConfig(serial_depth=2))
+        snap = snapshot_from_threaded(run, workload="G1", bus=bus)
+        assert snap.check_accounting() == []
+        assert ledger.validate_record(self._record(snap)) == []
+
+    def test_multiproc_record_validates(self):
+        with observing() as bus:
+            result = multiproc_er(_problem(), 2, config=ERConfig(serial_depth=2))
+        snap = snapshot_from_multiproc(result, workload="G1", bus=bus)
+        assert snap.check_accounting() == []
+        assert ledger.validate_record(self._record(snap)) == []
+
+    def test_schema_agrees_with_jsonschema(self, sim_snapshot):
+        jsonschema = pytest.importorskip("jsonschema")
+        jsonschema.validate(self._record(sim_snapshot), ledger.LEDGER_SCHEMA)
+
+    def test_validation_catches_structural_damage(self, sim_snapshot):
+        missing = self._record(sim_snapshot)
+        del missing["git_sha"]
+        assert any("git_sha" in p for p in ledger.validate_record(missing))
+        bad_backend = self._record(sim_snapshot)
+        bad_backend["backend"] = "quantum"
+        assert any("backend" in p for p in ledger.validate_record(bad_backend))
+
+    def test_write_load_resolve_by_sha(self, sim_snapshot, tmp_path):
+        record = self._record(sim_snapshot)
+        record["git_sha"] = "abcdef0123456789"
+        path = ledger.write_record(record, tmp_path)
+        assert ledger.load_record(path) == record
+        assert ledger.resolve("abcdef01", tmp_path) == record
+        assert ledger.resolve(str(path), tmp_path) == record
+        with pytest.raises(FileNotFoundError):
+            ledger.resolve("feedface", tmp_path)
+
+    def test_identical_records_have_no_regressions(self, sim_snapshot):
+        record = self._record(sim_snapshot)
+        report = ledger.compare_records(record, record)
+        assert report.ok and report.regressions == []
+
+    def test_compare_flags_work_and_loss_regressions(self, sim_snapshot):
+        baseline = self._record(sim_snapshot)
+        candidate = json.loads(json.dumps(baseline))
+        candidate["snapshot"]["work"]["nodes_examined"] *= 1.5
+        # Fractions derive from the processor rows, so regress one row.
+        candidate["snapshot"]["processors"][0]["starvation"] += candidate["snapshot"][
+            "makespan"
+        ]
+        report = ledger.compare_records(baseline, candidate)
+        assert not report.ok
+        assert any("nodes_examined" in r for r in report.regressions)
+        assert any("starvation" in r for r in report.regressions)
+
+    def test_compare_flags_value_mismatch(self, sim_snapshot):
+        baseline = self._record(sim_snapshot)
+        candidate = json.loads(json.dumps(baseline))
+        candidate["snapshot"]["value"] += 1.0
+        report = ledger.compare_records(baseline, candidate)
+        assert any("value" in r for r in report.regressions)
+
+    def test_aggregate_summarizes_directory(self, sim_snapshot, tmp_path):
+        ledger.write_record(self._record(sim_snapshot), tmp_path)
+        out = tmp_path / "BENCH_obs.json"
+        payload = ledger.aggregate(tmp_path, out_path=out)
+        assert payload["n_records"] == 1
+        assert json.loads(out.read_text())["records"][0]["workload"] == "G1"
+
+
+# ---------------------------------------------------------------------------
+# Snapshot serialization.
+# ---------------------------------------------------------------------------
+
+
+class TestSnapshotRoundTrip:
+    def test_to_from_dict_identity(self, sim_snapshot):
+        clone = Snapshot.from_dict(sim_snapshot.to_dict())
+        assert clone == sim_snapshot
+
+    def test_dict_is_json_safe(self, sim_snapshot):
+        json.dumps(sim_snapshot.to_dict())

@@ -13,6 +13,7 @@ from repro.verify.staticcheck import (
     LintFinding,
     check_file,
     check_lock_discipline,
+    check_obs_coverage,
     check_repo,
 )
 
@@ -185,6 +186,93 @@ def test_ver004_module_function_submission_allowed() -> None:
         """
     )
     assert check_file("parallel/multiproc_fake.py", source=source, rules={"VER004"}) == []
+
+
+# ---------------------------------------------------------------------------
+# VER005: metrics registry covers every op kind and event type.
+# ---------------------------------------------------------------------------
+
+_OPS = _src(
+    """
+    class Op:
+        pass
+
+    @dataclass(frozen=True)
+    class Compute(Op):
+        units: float
+
+    @dataclass(frozen=True)
+    class Acquire(Op):
+        lock: object
+    """
+)
+
+_EVENTS = _src(
+    """
+    EV_QUEUE_DEPTH = "queue-depth"
+    EV_NODE_DONE = "node-done"
+    """
+)
+
+
+def _obs_findings(registry: str) -> list[LintFinding]:
+    return check_obs_coverage(
+        "ops.py", _OPS, "events.py", _EVENTS, "registry.py", _src(registry)
+    )
+
+
+def test_ver005_full_coverage_passes() -> None:
+    findings = _obs_findings(
+        """
+        OP_METRICS = {"Compute": "sim.ops.compute", "Acquire": "sim.ops.acquire"}
+        EVENT_METRICS = {
+            events.EV_QUEUE_DEPTH: "queue.depth",
+            events.EV_NODE_DONE: "nodes.done",
+        }
+        """
+    )
+    assert findings == [], "\n".join(str(f) for f in findings)
+
+
+def test_ver005_uncovered_op_flagged() -> None:
+    findings = _obs_findings(
+        """
+        OP_METRICS = {"Compute": "sim.ops.compute"}
+        EVENT_METRICS = {
+            events.EV_QUEUE_DEPTH: "queue.depth",
+            events.EV_NODE_DONE: "nodes.done",
+        }
+        """
+    )
+    assert any("op Acquire has no OP_METRICS entry" in f.message for f in findings)
+
+
+def test_ver005_uncovered_event_and_dead_mappings_flagged() -> None:
+    findings = _obs_findings(
+        """
+        OP_METRICS = {
+            "Compute": "sim.ops.compute",
+            "Acquire": "sim.ops.acquire",
+            "Ghost": "sim.ops.ghost",
+        }
+        EVENT_METRICS = {
+            events.EV_QUEUE_DEPTH: "queue.depth",
+            events.EV_GHOST: "ghosts",
+            "literal-key": "nope",
+        }
+        """
+    )
+    messages = [f.message for f in findings]
+    assert any("'Ghost'" in m and "dead mapping" in m for m in messages)
+    assert any("events.EV_GHOST" in m for m in messages)
+    assert any("must reference an events.EV_* constant" in m for m in messages)
+    assert any("EV_NODE_DONE has no EVENT_METRICS entry" in m for m in messages)
+
+
+def test_ver005_missing_mapping_dict_flagged() -> None:
+    findings = _obs_findings("OTHER = 1")
+    assert any("OP_METRICS dict literal not found" in f.message for f in findings)
+    assert any("EVENT_METRICS dict literal not found" in f.message for f in findings)
 
 
 # ---------------------------------------------------------------------------
