@@ -1,0 +1,96 @@
+"""Transposition-table extension benchmark: what sharing buys.
+
+The paper's processors share only the game tree and its queues; this
+exhibit measures the extension where they also share proven subtree
+values.  One table persists across the whole processor sweep, so each
+run answers from what earlier runs proved — nodes examined must collapse
+while every root value stays equal to the table-off run.  The private
+mode isolates how much of that saving needs *sharing* rather than mere
+caching: per-worker tables never see each other's stores.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import er_config_for
+from repro.cache import make_tt
+from repro.core.er_parallel import parallel_er
+from repro.workloads.suite import table3_suite
+
+COUNTS = (1, 2, 4)
+
+
+def test_tt_modes(benchmark, scale, record_table):
+    spec = table3_suite(scale)["R3"]
+    problem = spec.problem()
+    config = er_config_for(spec)
+
+    def run():
+        rows = {}
+        for mode in ("off", "private", "shared"):
+            tt = make_tt(mode)
+            nodes = []
+            values = set()
+            for count in COUNTS:
+                result = parallel_er(problem, count, config=config, tt=tt)
+                nodes.append(result.stats.nodes_examined)
+                values.add(result.value)
+            counters = tt.counter_snapshot() if tt is not None else {}
+            rows[mode] = (nodes, values, counters)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = []
+    for mode, (nodes, values, counters) in rows.items():
+        per_count = "  ".join(
+            f"P={count}:{n}" for count, n in zip(COUNTS, nodes)
+        )
+        hits = counters.get("tt_hits", 0)
+        lines.append(f"{mode:8s} value={next(iter(values)):g}  {per_count}  hits={hits}")
+    record_table("tt_modes", "\n".join(lines))
+    benchmark.extra_info["nodes"] = {mode: row[0] for mode, row in rows.items()}
+
+    # Every mode answers the same root value at every processor count.
+    reference = rows["off"][1]
+    assert len(reference) == 1
+    for mode, (_nodes, values, _counters) in rows.items():
+        assert values == reference, mode
+
+    # The persistent shared table turns the later sweep runs into cache
+    # replays: strictly fewer nodes than table-off at the same count.
+    assert rows["shared"][0][-1] < rows["off"][0][-1]
+    assert rows["shared"][2]["tt_hits"] > 0
+    # Sharing sees at least the hits private does on the same schedule.
+    assert rows["shared"][0][-1] <= rows["private"][0][-1]
+
+
+def test_tt_serial_warm_replay(benchmark, scale, record_table):
+    """Serial ER with a warm table: the floor of the cache effect, with
+    no parallel scheduling in the way."""
+    from repro.core.serial_er import er_search
+    from repro.search.stats import SearchStats
+    from repro.search.transposition import TranspositionTable
+
+    spec = table3_suite(scale)["R3"]
+    problem = spec.problem()
+
+    def run():
+        table = TranspositionTable(capacity=1 << 16)
+        cold_stats = SearchStats()
+        cold = er_search(problem, stats=cold_stats, table=table)
+        warm_stats = SearchStats()
+        warm = er_search(problem, stats=warm_stats, table=table)
+        return cold, cold_stats, warm, warm_stats
+
+    cold, cold_stats, warm, warm_stats = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    assert warm.value == cold.value
+    assert warm_stats.nodes_examined < cold_stats.nodes_examined
+    record_table(
+        "tt_serial_replay",
+        f"cold nodes={cold_stats.nodes_examined} "
+        f"warm nodes={warm_stats.nodes_examined} value={warm.value:g}",
+    )
+    benchmark.extra_info["cold_nodes"] = cold_stats.nodes_examined
+    benchmark.extra_info["warm_nodes"] = warm_stats.nodes_examined

@@ -1,0 +1,33 @@
+"""Concurrent transposition-table subsystem shared by the ER backends.
+
+One keying seam (:func:`repro.games.base.hash_key`), three concurrency
+models: :class:`StripedTT`/:class:`SimStripedTT` for threads and the
+discrete-event simulator, :class:`WorkerLocalTT` for the private-table
+baseline, and :class:`SharedMemoryTT` for worker processes.  See
+DESIGN.md section "Transposition cache".
+"""
+
+from .sharedmem import SharedMemoryTT, TTHandle
+from .striped import (
+    TT_MODES,
+    AnyTT,
+    SimStripedTT,
+    StripedTT,
+    TTProbeOp,
+    TTStoreOp,
+    WorkerLocalTT,
+    make_tt,
+)
+
+__all__ = [
+    "TT_MODES",
+    "AnyTT",
+    "SharedMemoryTT",
+    "SimStripedTT",
+    "StripedTT",
+    "TTHandle",
+    "TTProbeOp",
+    "TTStoreOp",
+    "WorkerLocalTT",
+    "make_tt",
+]

@@ -1,0 +1,345 @@
+"""Lock-striped concurrent transposition tables for the parallel backends.
+
+The serial :class:`~repro.search.transposition.TranspositionTable` is a
+single ``OrderedDict`` — correct under one thread, a global serial
+bottleneck under many.  :class:`StripedTT` partitions the key space over
+``n_stripes`` independent tables, each guarded by its own
+``threading.Lock``, so probes and stores on different stripes never
+contend.  Keys are the 64-bit Zobrist values produced by
+:func:`repro.games.base.hash_key`; ``stripe_of`` is a plain modulus,
+which is uniform because splitmix64-derived keys are.
+
+Three variants cover the three backends' execution models:
+
+* :class:`StripedTT` — direct thread-safe ``probe``/``store``; what the
+  threaded backend's serial subtrees and the stress tests hammer.
+* :class:`SimStripedTT` — adds generator ops (``probe_op``/``store_op``)
+  that yield :class:`~repro.sim.ops.Acquire`/:class:`~repro.sim.ops.Compute`/
+  :class:`~repro.sim.ops.Release` on per-stripe
+  :class:`~repro.sim.locks.SimLock` objects, so the discrete-event engine
+  charges ``CostModel.tt_probe``/``tt_store`` and accounts stripe
+  contention as interference loss, exactly like heap and tree locks.
+  The same ops run unchanged on the threaded driver, which maps the
+  SimLocks to real locks.
+* :class:`WorkerLocalTT` — the ``--tt private`` baseline: one table per
+  worker, ops charge compute cost but never contend.  The gap between
+  private and shared on one workload is the measured value of sharing.
+
+Locking discipline (load-bearing): the *real* mutual exclusion for every
+code path is the internal per-stripe ``threading.Lock`` held around the
+dict access.  The SimLocks exist only for simulated-time accounting —
+the threaded driver maps each SimLock to its own real lock, which would
+be a *different* object than anything guarding direct serial-path calls,
+so relying on it for exclusion would race.  Op generators acquire the
+SimLock (timing) and then the internal lock (safety); the internal locks
+are leaves — no other lock is ever taken while one is held — so they
+cannot introduce ordering cycles.  TT ops must be issued with no heap or
+tree lock held (VER001 enforces this for the worker generators).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Generator, Optional, Union
+
+from ..costmodel import DEFAULT_COST_MODEL, CostModel
+from ..errors import SearchError
+from ..obs import events as _obs
+from ..search.transposition import TranspositionTable, TTEntry
+from ..sim.locks import SimLock
+from ..sim.ops import Acquire, Compute, Op, Release
+from ..verify import trace as _trace
+
+#: Generator type of a table op: yields simulator ops, returns the probe
+#: result (or ``None`` for stores).
+TTProbeOp = Generator[Op, None, Optional[TTEntry]]
+TTStoreOp = Generator[Op, None, None]
+
+#: Accepted values of every ``--tt`` flag and ``tt`` config field.
+TT_MODES = ("off", "private", "shared")
+
+
+class StripedTT:
+    """Concurrent transposition table: N independently locked stripes.
+
+    Args:
+        capacity: total entry budget, split evenly across stripes (each
+            stripe holds at least one entry).
+        n_stripes: number of independent partitions; more stripes means
+            less contention and proportionally smaller per-stripe LRU
+            windows.
+
+    Each stripe is a full :class:`TranspositionTable`, so depth-preferred
+    replacement and bound semantics are inherited, not reimplemented.
+    Counter properties aggregate across stripes; reads are lock-free and
+    therefore approximate while writers are active, exact once quiescent.
+    """
+
+    def __init__(self, capacity: int = 1 << 16, n_stripes: int = 8):
+        if n_stripes < 1:
+            raise SearchError("need at least one stripe")
+        if capacity < 1:
+            raise SearchError("table capacity must be positive")
+        self.n_stripes = n_stripes
+        self.capacity = capacity
+        per_stripe = max(1, capacity // n_stripes)
+        self._tables = tuple(TranspositionTable(capacity=per_stripe) for _ in range(n_stripes))
+        self._real_locks = tuple(threading.Lock() for _ in range(n_stripes))
+        #: Times an op generator found its stripe's SimLock already held.
+        self.contended = 0
+
+    def stripe_of(self, key: int) -> int:
+        return key % self.n_stripes
+
+    def __len__(self) -> int:
+        return sum(len(table) for table in self._tables)
+
+    def view(self, pid: int) -> "StripedTT":
+        """The per-worker handle — every worker shares this one table."""
+        return self
+
+    def probe(self, key: int) -> Optional[TTEntry]:
+        index = self.stripe_of(key)
+        with self._real_locks[index]:
+            if _trace.CURRENT is not None:
+                # Mirror the threaded driver's discipline: ACQUIRE after
+                # the real acquire, RELEASE before the real release, and
+                # a WRITE access (probe refreshes LRU order) in between,
+                # so the race detector sees a properly locked mutation.
+                _trace.on_acquire(f"tt-stripe-{index}")
+                _trace.on_access(f"tt.stripe{index}", _trace.WRITE)
+                entry = self._tables[index].probe(key)
+                _trace.on_release(f"tt-stripe-{index}")
+            else:
+                entry = self._tables[index].probe(key)
+        return entry
+
+    def store(self, key: int, entry: TTEntry) -> None:
+        index = self.stripe_of(key)
+        with self._real_locks[index]:
+            if _trace.CURRENT is not None:
+                _trace.on_acquire(f"tt-stripe-{index}")
+                _trace.on_access(f"tt.stripe{index}", _trace.WRITE)
+                self._tables[index].store(key, entry)
+                _trace.on_release(f"tt-stripe-{index}")
+            else:
+                self._tables[index].store(key, entry)
+
+    def clear(self) -> None:
+        for index, table in enumerate(self._tables):
+            with self._real_locks[index]:
+                table.clear()
+
+    @property
+    def hits(self) -> int:
+        return sum(table.hits for table in self._tables)
+
+    @property
+    def misses(self) -> int:
+        return sum(table.misses for table in self._tables)
+
+    @property
+    def stores(self) -> int:
+        return sum(table.stores for table in self._tables)
+
+    @property
+    def evictions(self) -> int:
+        return sum(table.evictions for table in self._tables)
+
+    def counter_snapshot(self) -> dict[str, int]:
+        """Counters in the shape the drivers' ``extras`` dicts carry."""
+        return {
+            "tt_hits": self.hits,
+            "tt_misses": self.misses,
+            "tt_stores": self.stores,
+            "tt_evictions": self.evictions,
+            "tt_contended": self.contended,
+        }
+
+
+class SimStripedTT(StripedTT):
+    """:class:`StripedTT` whose ops run on the simulated (or threaded) clock.
+
+    ``probe_op``/``store_op`` are worker-generator fragments: call them
+    with ``yield from`` and no locks held.  Each contends for the
+    stripe's :class:`SimLock` (interference accounting), charges the cost
+    model's ``tt_probe``/``tt_store``, performs the dict work under the
+    internal real lock, and emits one telemetry event.  Direct
+    ``probe``/``store`` calls (the serial-subtree path) stay silent on
+    the bus — at thousands per node they would drown it — but still land
+    in the table counters.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1 << 16,
+        n_stripes: int = 8,
+        *,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+    ):
+        super().__init__(capacity, n_stripes)
+        self.cost_model = cost_model
+        self._sim_locks = tuple(SimLock(f"tt-stripe-{i}") for i in range(n_stripes))
+
+    def view(self, pid: int) -> "SimStripedTT":
+        return self
+
+    def _note_contention(self, index: int, op: str) -> None:
+        # Meaningful on the simulator, where ``holder`` tracks ownership
+        # in simulated time; the threaded driver never sets it, so real
+        # threads report contention through lock-wait timings instead.
+        if self._sim_locks[index].holder is not None:
+            self.contended += 1
+            if _obs.CURRENT is not None:
+                _obs.CURRENT.emit(_obs.EV_TT_CONTENTION, stripe=index, op=op)
+
+    def probe_op(self, key: int) -> TTProbeOp:
+        index = self.stripe_of(key)
+        lock = self._sim_locks[index]
+        self._note_contention(index, "probe")
+        yield Acquire(lock)
+        yield Compute(self.cost_model.tt_probe)
+        with self._real_locks[index]:
+            entry = self._tables[index].probe(key)
+        if _obs.CURRENT is not None:
+            _obs.CURRENT.emit(_obs.EV_TT_PROBE, stripe=index, hit=entry is not None)
+        yield Release(lock)
+        return entry
+
+    def store_op(self, key: int, entry: TTEntry) -> TTStoreOp:
+        index = self.stripe_of(key)
+        lock = self._sim_locks[index]
+        self._note_contention(index, "store")
+        yield Acquire(lock)
+        yield Compute(self.cost_model.tt_store)
+        table = self._tables[index]
+        with self._real_locks[index]:
+            evictions_before = table.evictions
+            table.store(key, entry)
+            evicted = table.evictions > evictions_before
+        if _obs.CURRENT is not None:
+            _obs.CURRENT.emit(_obs.EV_TT_STORE, stripe=index, evicted=evicted)
+        yield Release(lock)
+
+
+class _PrivateView:
+    """One worker's private table plus cost-charging op wrappers.
+
+    No locks anywhere: only its owning worker ever touches it (each pid
+    is driven by exactly one thread/processor in every backend).
+    """
+
+    def __init__(self, capacity: int, cost_model: CostModel, pid: int):
+        self.pid = pid
+        self._table = TranspositionTable(capacity=capacity)
+        self._cost_model = cost_model
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    @property
+    def table(self) -> TranspositionTable:
+        return self._table
+
+    def probe(self, key: int) -> Optional[TTEntry]:
+        return self._table.probe(key)
+
+    def store(self, key: int, entry: TTEntry) -> None:
+        self._table.store(key, entry)
+
+    def probe_op(self, key: int) -> TTProbeOp:
+        yield Compute(self._cost_model.tt_probe)
+        entry = self._table.probe(key)
+        if _obs.CURRENT is not None:
+            _obs.CURRENT.emit(_obs.EV_TT_PROBE, stripe=-1, hit=entry is not None)
+        return entry
+
+    def store_op(self, key: int, entry: TTEntry) -> TTStoreOp:
+        yield Compute(self._cost_model.tt_store)
+        evictions_before = self._table.evictions
+        self._table.store(key, entry)
+        if _obs.CURRENT is not None:
+            _obs.CURRENT.emit(
+                _obs.EV_TT_STORE, stripe=-1, evicted=self._table.evictions > evictions_before
+            )
+
+
+class WorkerLocalTT:
+    """Per-worker private tables — the ``--tt private`` baseline.
+
+    Every worker pays the same probe/store compute costs as the shared
+    variants but never contends and never benefits from a peer's work;
+    comparing it against :class:`SimStripedTT` on one workload isolates
+    the value of *sharing* from the value of *caching*.
+
+    Args:
+        capacity: entry budget **per worker** (not split — a private
+            table the size of one shared stripe would handicap the
+            baseline for free).
+    """
+
+    def __init__(self, capacity: int = 1 << 16, *, cost_model: CostModel = DEFAULT_COST_MODEL):
+        if capacity < 1:
+            raise SearchError("table capacity must be positive")
+        self.capacity = capacity
+        self.cost_model = cost_model
+        self.contended = 0  # private tables never contend; kept for shape
+        self._views: dict[int, _PrivateView] = {}
+
+    def view(self, pid: int) -> _PrivateView:
+        # dict.setdefault is GIL-atomic; each pid is requested by one
+        # worker anyway, so the racy double-construction cannot happen.
+        return self._views.setdefault(pid, _PrivateView(self.capacity, self.cost_model, pid))
+
+    def __len__(self) -> int:
+        return sum(len(view) for view in self._views.values())
+
+    def clear(self) -> None:
+        for view in self._views.values():
+            view.table.clear()
+
+    @property
+    def hits(self) -> int:
+        return sum(view.table.hits for view in self._views.values())
+
+    @property
+    def misses(self) -> int:
+        return sum(view.table.misses for view in self._views.values())
+
+    @property
+    def stores(self) -> int:
+        return sum(view.table.stores for view in self._views.values())
+
+    @property
+    def evictions(self) -> int:
+        return sum(view.table.evictions for view in self._views.values())
+
+    def counter_snapshot(self) -> dict[str, int]:
+        return {
+            "tt_hits": self.hits,
+            "tt_misses": self.misses,
+            "tt_stores": self.stores,
+            "tt_evictions": self.evictions,
+            "tt_contended": 0,
+        }
+
+
+#: What the sim/threaded drivers accept as a table.
+AnyTT = Union[SimStripedTT, WorkerLocalTT]
+
+
+def make_tt(
+    mode: str,
+    *,
+    capacity: int = 1 << 16,
+    n_stripes: int = 8,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> Optional[AnyTT]:
+    """Build the table for one ``--tt`` mode (``None`` for ``off``)."""
+    if mode == "off":
+        return None
+    if mode == "private":
+        return WorkerLocalTT(capacity, cost_model=cost_model)
+    if mode == "shared":
+        return SimStripedTT(capacity, n_stripes, cost_model=cost_model)
+    raise SearchError(f"unknown tt mode {mode!r}; expected one of {TT_MODES}")

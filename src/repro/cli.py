@@ -33,6 +33,7 @@ from .analysis.experiments import (
     serial_baselines,
 )
 from .analysis.losses import loss_report
+from .cache import make_tt
 from .core.er_parallel import parallel_er
 from .costmodel import DEFAULT_COST_MODEL
 from .games.base import SearchProblem
@@ -149,7 +150,7 @@ def _config_json(config: object) -> dict[str, object]:
 
 
 def _observed_run(
-    spec: TreeSpec, backend: str, count: int
+    spec: TreeSpec, backend: str, count: int, tt_mode: str = "off"
 ) -> "tuple[EventBus, Snapshot, SimReport | None]":
     """Run one tree on one backend under a telemetry bus.
 
@@ -157,6 +158,7 @@ def _observed_run(
     the per-processor timelines the Perfetto exporter renders as tracks
     (only the simulated backend has exact timelines).
     """
+    from .cache import make_tt
     from .obs import observing
     from .obs import snapshot as obs_snapshot
 
@@ -164,23 +166,25 @@ def _observed_run(
     config = er_config_for(spec)
     with observing() as bus:
         if backend == "sim":
-            result = parallel_er(problem, count, config=config)
+            result = parallel_er(problem, count, config=config, tt=make_tt(tt_mode))
             snap = obs_snapshot.snapshot_from_sim(result, workload=spec.name, bus=bus)
             return bus, snap, result.report
         if backend == "threaded":
             from .parallel.threaded import threaded_er_observed
 
-            run = threaded_er_observed(problem, count, config=config)
+            run = threaded_er_observed(problem, count, config=config, tt=make_tt(tt_mode))
             snap = obs_snapshot.snapshot_from_threaded(run, workload=spec.name, bus=bus)
             return bus, snap, None
         from .parallel.multiproc import multiproc_er
 
-        mp_result = multiproc_er(problem, count, config=config)
+        mp_result = multiproc_er(problem, count, config=config, tt_mode=tt_mode)
         snap = obs_snapshot.snapshot_from_multiproc(mp_result, workload=spec.name, bus=bus)
         return bus, snap, None
 
 
-def _write_ledger_record(spec: TreeSpec, snap: "Snapshot", directory: str, scale: str) -> Path:
+def _write_ledger_record(
+    spec: TreeSpec, snap: "Snapshot", directory: str, scale: str, tt_mode: str = "off"
+) -> Path:
     from .obs import ledger
 
     record = ledger.make_record(
@@ -188,7 +192,11 @@ def _write_ledger_record(spec: TreeSpec, snap: "Snapshot", directory: str, scale
         workload=spec.name,
         scale=scale,
         seed=spec.seed,
-        config={"serial_depth": spec.serial_depth, "sort_below_root": spec.sort_below_root},
+        config={
+            "serial_depth": spec.serial_depth,
+            "sort_below_root": spec.sort_below_root,
+            "tt": tt_mode,
+        },
         cost_model=_config_json(DEFAULT_COST_MODEL),
     )
     problems = ledger.validate_record(record)
@@ -280,19 +288,23 @@ def _cmd_speedup(args: argparse.Namespace) -> int:
     counts = tuple(args.processors) if args.processors else (1, 2, 4, 8)
     status = 0
     if args.backend == "sim":
-        curve = cached_curve(args.scale, args.tree, counts)
-        print(f"{spec.name} — simulated backend (discrete-event engine)")
-        print(format_efficiency_table({args.tree: curve}))
-        print(format_speedup_summary({args.tree: curve}))
+        if args.tt == "off":
+            curve = cached_curve(args.scale, args.tree, counts)
+            print(f"{spec.name} — simulated backend (discrete-event engine)")
+            print(format_efficiency_table({args.tree: curve}))
+            print(format_speedup_summary({args.tree: curve}))
+        else:
+            status = _sim_tt_sweep(spec, args.tt, counts)
     elif args.backend == "threaded":
         problem = spec.problem()
         config = er_config_for(spec)
+        tt = make_tt(args.tt)
         serial_seconds = measure_serial_seconds(problem)
         print(f"{spec.name} — serial ER wall time {serial_seconds:.3f}s")
-        print("threaded backend (protocol check; the GIL forbids speedup):")
+        print(f"threaded backend (protocol check; the GIL forbids speedup; tt={args.tt}):")
         for count in counts:
             t0 = _time.perf_counter()
-            threaded_er(problem, count, config=config)
+            threaded_er(problem, count, config=config, tt=tt)
             wall = _time.perf_counter() - t0
             print(f"  P={count:2d}  wall={wall:.3f}s  speedup={serial_seconds / wall:5.2f}")
     else:
@@ -301,21 +313,58 @@ def _cmd_speedup(args: argparse.Namespace) -> int:
         serial_seconds = measure_serial_seconds(problem)
         print(f"{spec.name} — serial ER wall time {serial_seconds:.3f}s")
         _, points = scaling_run(
-            problem, counts, config=config, serial_seconds=serial_seconds
+            problem, counts, config=config, serial_seconds=serial_seconds, tt_mode=args.tt
         )
-        print("multiproc backend (worker processes; real parallelism):")
+        print(f"multiproc backend (worker processes; real parallelism; tt={args.tt}):")
         print(format_scaling_table(spec.name, serial_seconds, points))
     if args.obs:
         for count in counts:
-            _, snap, _ = _observed_run(spec, args.backend, count)
+            _, snap, _ = _observed_run(spec, args.backend, count, tt_mode=args.tt)
             problems = snap.check_accounting()
             if problems:
                 status = 1
                 for problem_text in problems:
                     print(f"accounting violation (P={count}): {problem_text}", file=sys.stderr)
                 continue
-            path = _write_ledger_record(spec, snap, args.obs_dir, args.scale)
+            path = _write_ledger_record(spec, snap, args.obs_dir, args.scale, tt_mode=args.tt)
             print(f"ledger: {path}")
+    return status
+
+
+def _sim_tt_sweep(spec: TreeSpec, tt_mode: str, counts: tuple[int, ...]) -> int:
+    """Simulated sweep with a transposition table persisted across counts.
+
+    Random trees have no within-run transpositions, so the table's value
+    shows up *across* the sweep: results proven at one processor count
+    answer whole subtrees at the next.  Each count is also run ``--tt
+    off`` so the node savings and the value equality are visible in one
+    report.
+    """
+    from .core.serial_er import er_search
+
+    problem = spec.problem()
+    config = er_config_for(spec)
+    serial_cost = er_search(problem).stats.cost
+    tt = make_tt(tt_mode)
+    print(f"{spec.name} — simulated backend, --tt {tt_mode} (one table across the sweep)")
+    print(f"  {'P':>3s}  {'speedup':>7s}  {'nodes(off)':>10s}  {'nodes(tt)':>10s}  value")
+    status = 0
+    for count in counts:
+        off = parallel_er(problem, count, config=config)
+        cached = parallel_er(problem, count, config=config, tt=tt)
+        if cached.value != off.value:
+            print(f"  P={count}: VALUE MISMATCH tt={cached.value} off={off.value}", file=sys.stderr)
+            status = 1
+        print(
+            f"  {count:3d}  {serial_cost / cached.sim_time:7.2f}  "
+            f"{off.stats.nodes_examined:10d}  {cached.stats.nodes_examined:10d}  "
+            f"{cached.value:g}"
+        )
+    snapshot = tt.counter_snapshot() if tt is not None else {}
+    print(
+        "  table: "
+        + "  ".join(f"{key.removeprefix('tt_')}={value}" for key, value in snapshot.items())
+    )
     return status
 
 
@@ -487,6 +536,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     speed.add_argument("--scale", choices=("reduced", "paper"), default="reduced")
     speed.add_argument("--processors", type=int, nargs="*", default=None)
+    speed.add_argument(
+        "--tt",
+        choices=("off", "private", "shared"),
+        default="off",
+        help="transposition table: off, private (per worker), or shared "
+        "(one concurrent table; on sim it persists across the sweep)",
+    )
     speed.add_argument(
         "--obs",
         action="store_true",

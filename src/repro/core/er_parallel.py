@@ -35,18 +35,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Generator, Optional
 
+from ..cache.striped import AnyTT
 from ..costmodel import DEFAULT_COST_MODEL, CostModel
 from ..errors import SearchError, SimulationError
-from ..games.base import NEG_INF, POS_INF, Path, Position, SearchProblem, subproblem
+from ..games.base import NEG_INF, POS_INF, Path, Position, SearchProblem, hash_key, subproblem
 from ..obs import events as _obs
 from ..parallel.base import ParallelResult
 from ..search.stats import SearchStats
+from ..search.transposition import Bound, TTEntry
 from ..sim.engine import Engine
 from ..sim.locks import SimLock, WorkSignal
 from ..sim.ops import Acquire, Compute, Op, Release, WaitWork
 from ..verify import trace as _trace
 from .er_queues import PrimaryQueue, SpeculativeQueue, SpecOrder
-from .serial_er import er_search
+from .serial_er import TTView, er_search
 
 # Node types of Table 1.
 E_NODE = "e"
@@ -190,12 +192,14 @@ class _Context:
         config: ERConfig,
         trace: bool,
         n_processors: int = 1,
+        tt: Optional[AnyTT] = None,
     ) -> None:
         self.problem = problem
         self.cost_model = cost_model
         self.config = config
         self.trace = trace
         self.n_processors = n_processors
+        self.tt = tt
         self.heap_lock = SimLock("heap")
         self.tree_lock = SimLock("tree")
         self.work = WorkSignal("er-work")
@@ -759,6 +763,68 @@ def _process_speculative(
     yield from _push_all(ctx, pushes, pid)
 
 
+def _tt_view(ctx: _Context, pid: int) -> Optional[TTView]:
+    """This worker's handle on the run's transposition table, if any."""
+    return None if ctx.tt is None else ctx.tt.view(pid)
+
+
+def _tt_probe_parallel(
+    ctx: _Context,
+    node: PNode,
+    window: tuple[float, float],
+    stats: SearchStats,
+    pid: int,
+) -> Generator[Op, None, Optional[float]]:
+    """Probe the table for a finished answer to ``node``.
+
+    Runs with *no* locks held (the stripe SimLock is acquired inside the
+    op, and the internal stripe locks are leaves), against the window
+    captured under the tree lock at pop time.  Staleness is benign: the
+    live window only tightens, so an entry usable for the captured window
+    finishes the node exactly the way the existing cutoff-discard and
+    fail-high paths do — EXACT adopts a true value, LOWER ``>= beta``
+    mirrors a cutoff floor, UPPER ``<= alpha`` is the fail-high of an
+    already-irrelevant branch.
+
+    Returns the adopted value, or ``None`` on a miss.  Stores are *not*
+    issued at the parallel level for combined nodes — values assembled
+    from the live tree mix windows from different instants, so only the
+    serial subtree searches (whose windows are pinned) write entries.
+    """
+    if ctx.tt is None:
+        return None
+    alpha, beta = window
+    stats.on_tt_probe(ctx.cost_model)
+    entry = yield from ctx.tt.view(pid).probe_op(hash_key(ctx.problem.game, node.position))
+    if entry is None or entry.depth < ctx.problem.depth - node.ply:
+        return None
+    usable = (
+        entry.bound is Bound.EXACT
+        or (entry.bound is Bound.LOWER and entry.value >= beta)
+        or (entry.bound is Bound.UPPER and entry.value <= alpha)
+    )
+    return entry.value if usable else None
+
+
+def _tt_store_leaf(
+    ctx: _Context, node: PNode, value: float, stats: SearchStats, pid: int
+) -> Generator[Op, None, None]:
+    """Record a parallel-level leaf evaluation (exact at any window)."""
+    if ctx.tt is None:
+        return
+    stats.on_tt_store(ctx.cost_model)
+    entry = TTEntry(value, ctx.problem.depth - node.ply, Bound.EXACT, None)
+    yield from ctx.tt.view(pid).store_op(hash_key(ctx.problem.game, node.position), entry)
+
+
+def _extras_with_tt(ctx: _Context) -> dict[str, int]:
+    """Protocol counters plus the table's own hit/miss/eviction tallies."""
+    extras = dict(ctx.counters)
+    if ctx.tt is not None:
+        extras.update(ctx.tt.counter_snapshot())
+    return extras
+
+
 def _process_primary(
     ctx: _Context, node: PNode, stats: SearchStats, pid: int = 0
 ) -> Generator[Op, None, None]:
@@ -786,6 +852,14 @@ def _process_primary(
     window = ctx.window(node)
     yield Release(ctx.tree_lock)
 
+    # A transposition may already answer this whole subtree (no locks
+    # held; the cutoff semantics of a usable bounded hit mirror the
+    # cutoff-discard path above).
+    hit = yield from _tt_probe_parallel(ctx, node, window, stats, pid)
+    if hit is not None:
+        yield from _finish_node(ctx, node, stats, pid, value=hit)
+        return
+
     # Generate child positions (cheap move generation, outside the locks).
     expand_cost = ctx.expand_positions(node, stats)
     if expand_cost:
@@ -794,6 +868,7 @@ def _process_primary(
     if node.is_leaf:
         yield Compute(stats.on_leaf(node.path, cm))
         leaf_value = ctx.problem.game.evaluate(node.position)
+        yield from _tt_store_leaf(ctx, node, leaf_value, stats, pid)
         yield from _finish_node(ctx, node, stats, pid, value=leaf_value)
         return
 
@@ -890,7 +965,13 @@ def _serial_evaluate(
         return
     sub = subproblem(ctx.problem, node.position, node.ply)
     substats = SearchStats.with_trace() if ctx.trace else SearchStats()
-    result = er_search(sub, alpha, beta, cost_model=ctx.cost_model, stats=substats)
+    # The serial search probes and stores through this worker's view; its
+    # windows are pinned for the whole subtree, so every store classifies
+    # soundly (serial_er module docstring).  Subtree keys match parallel
+    # keys because RootedGame forwards hash_key to the base game.
+    result = er_search(
+        sub, alpha, beta, cost_model=ctx.cost_model, stats=substats, table=_tt_view(ctx, pid)
+    )
     _merge_substats(ctx, stats, substats, node.path)
     survived = yield from _charge_serial(ctx, node, substats.cost, stats)
     yield from _finish_node(
@@ -948,7 +1029,8 @@ def _serial_refute_remaining(
         sub = subproblem(ctx.problem, node.child_positions[index], node.ply + 1)
         substats = SearchStats.with_trace() if ctx.trace else SearchStats()
         result = er_search(
-            sub, -beta, -value, cost_model=ctx.cost_model, stats=substats
+            sub, -beta, -value, cost_model=ctx.cost_model, stats=substats,
+            table=_tt_view(ctx, pid),
         )
         _merge_substats(ctx, stats, substats, node.path + (index,))
         survived = yield from _charge_serial(ctx, node, substats.cost, stats)
@@ -976,6 +1058,7 @@ def parallel_er(
     cost_model: CostModel = DEFAULT_COST_MODEL,
     trace: bool = False,
     record_timeline: bool = False,
+    tt: Optional[AnyTT] = None,
 ) -> ParallelResult:
     """Run parallel ER on ``n_processors`` simulated processors.
 
@@ -990,6 +1073,10 @@ def parallel_er(
             some memory cost).
         record_timeline: record per-processor (kind, start, end) schedule
             intervals for :func:`repro.analysis.gantt.render_gantt`.
+        tt: optional shared or per-worker transposition table
+            (:func:`repro.cache.make_tt`); a shared table passed across
+            successive calls carries results between runs, which is where
+            the node savings come from on transposition-free random trees.
 
     Returns:
         A :class:`~repro.parallel.base.ParallelResult` whose ``value``
@@ -1007,7 +1094,7 @@ def parallel_er(
         prev_clock = bus.use_clock(lambda: 0.0)
         _obs.set_task(-1)
     try:
-        ctx = _Context(problem, cost_model, config, trace, n_processors=n_processors)
+        ctx = _Context(problem, cost_model, config, trace, n_processors=n_processors, tt=tt)
         worker_stats = [
             SearchStats.with_trace() if trace else SearchStats() for _ in range(n_processors)
         ]
@@ -1030,5 +1117,5 @@ def parallel_er(
         report=report,
         stats=merged,
         algorithm="er",
-        extras=dict(ctx.counters),
+        extras=_extras_with_tt(ctx),
     )

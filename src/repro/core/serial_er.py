@@ -24,16 +24,47 @@ them down):
    according to the problem's ordering policy.  This matches Section 7
    ("successors of e-nodes were also not sorted") and is what lets serial
    ER beat alpha-beta on tree O1 despite examining more nodes.
+
+Transposition table (``table=`` parameter): when given a table view, the
+search probes at every ``ER``/``Eval_first``/``Refute_rest`` entry and
+stores at every *completed* exit.  Soundness rests on two rules pinned by
+the differential battery:
+
+* A probe only substitutes an entry proven at at least the needed
+  remaining depth whose bound answers the current window (EXACT, or
+  LOWER with value >= beta, or UPPER with value <= alpha).
+* A store classifies the finished value against the window the node
+  actually ran with and *clamps bound values to the window edge*: the
+  fail-hard recursion here guarantees ``true >= beta`` on a fail-high
+  and ``true <= alpha`` on a fail-low, but not ``true >= v`` for an
+  overshooting ``v`` — storing the edge is airtight, storing ``v`` is
+  not.  Incomplete ``Eval_first`` bounds (``done`` still false) are
+  never stored.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Protocol
 
 from ..costmodel import DEFAULT_COST_MODEL, CostModel
-from ..games.base import NEG_INF, POS_INF, Path, Position, SearchProblem
+from ..games.base import NEG_INF, POS_INF, Path, Position, SearchProblem, hash_key
 from ..search.stats import SearchResult, SearchStats
+from ..search.transposition import Bound, TTEntry
+
+
+class TTView(Protocol):
+    """What serial ER needs from a transposition table.
+
+    Satisfied by :class:`~repro.search.transposition.TranspositionTable`,
+    every :mod:`repro.cache` table, and the per-worker views the parallel
+    drivers hand to their serial subtrees.  Parameters are positional-only
+    so implementations may name the key whatever fits their keying scheme.
+    """
+
+    def probe(self, key: int, /) -> Optional[TTEntry]: ...
+
+    def store(self, key: int, entry: TTEntry, /) -> None: ...
 
 
 @dataclass
@@ -47,15 +78,85 @@ class ERRecord:
     done: bool = False
     children: Optional[list["ERRecord"]] = None
     is_leaf: bool = False
+    key: Optional[int] = None  # lazily computed transposition key
 
 
 class _SerialER:
     """One serial ER search; instances are single-use."""
 
-    def __init__(self, problem: SearchProblem, cost_model: CostModel, stats: SearchStats):
+    def __init__(
+        self,
+        problem: SearchProblem,
+        cost_model: CostModel,
+        stats: SearchStats,
+        table: Optional[TTView] = None,
+    ):
         self.problem = problem
         self.cost_model = cost_model
         self.stats = stats
+        self.table = table
+
+    # -- transposition table ---------------------------------------------
+
+    def _key(self, record: ERRecord) -> int:
+        if record.key is None:
+            record.key = hash_key(self.problem.game, record.position)
+        return record.key
+
+    def _tt_probe(self, record: ERRecord, alpha: float, beta: float) -> Optional[float]:
+        """Answer ``record`` from the table if a usable entry exists.
+
+        A usable entry finishes the record (``done`` set, value adopted);
+        the caller returns the value as if the subtree had been searched.
+        """
+        if self.table is None:
+            return None
+        self.stats.on_tt_probe(self.cost_model)
+        entry = self.table.probe(self._key(record))
+        if entry is None or entry.depth < self.problem.depth - record.ply:
+            return None
+        usable = (
+            entry.bound is Bound.EXACT
+            or (entry.bound is Bound.LOWER and entry.value >= beta)
+            or (entry.bound is Bound.UPPER and entry.value <= alpha)
+        )
+        if not usable:
+            return None
+        record.value = entry.value
+        record.done = True
+        return entry.value
+
+    def _tt_store(self, record: ERRecord, value: float, alpha: float, beta: float) -> None:
+        """Store a *finished* result, classified against its window.
+
+        Bound values clamp to the window edge (module docstring); stores
+        whose edge is infinite carry no information and are skipped.  ER
+        has no hash-move concept (children are ordered by tentative
+        values, not table hints), so ``best_move`` is never recorded.
+        """
+        if self.table is None:
+            return
+        remaining = self.problem.depth - record.ply
+        if value >= beta:
+            if beta == POS_INF:
+                return
+            entry = TTEntry(beta, remaining, Bound.LOWER, None)
+        elif value <= alpha:
+            if alpha == NEG_INF:
+                return
+            entry = TTEntry(alpha, remaining, Bound.UPPER, None)
+        else:
+            entry = TTEntry(value, remaining, Bound.EXACT, None)
+        self.stats.on_tt_store(self.cost_model)
+        self.table.store(self._key(record), entry)
+
+    def _tt_store_leaf(self, record: ERRecord) -> None:
+        """A static leaf value is exact for its remaining depth."""
+        if self.table is None:
+            return
+        remaining = self.problem.depth - record.ply
+        self.stats.on_tt_store(self.cost_model)
+        self.table.store(self._key(record), TTEntry(record.value, remaining, Bound.EXACT, None))
 
     # -- tree plumbing ---------------------------------------------------
 
@@ -91,10 +192,14 @@ class _SerialER:
 
     def evaluate(self, record: ERRecord, alpha: float, beta: float) -> float:
         """Fully evaluate ``record`` (the paper's function ``ER``)."""
+        hit = self._tt_probe(record, alpha, beta)
+        if hit is not None:
+            return hit
         children = self._expand(record, sort=False)
         if record.is_leaf:
             record.value = self._leaf_value(record)
             record.done = True
+            self._tt_store_leaf(record)
             return record.value
         record.value = alpha
         # Phase 1: evaluate the elder grandchild below every child.
@@ -105,6 +210,7 @@ class _SerialER:
                     record.value = t
                 if record.value >= beta:
                     self.stats.on_cutoff()
+                    self._tt_store(record, record.value, alpha, beta)
                     return record.value
         # Phase 2: the child with the lowest tentative value becomes the
         # e-child (first in this order); the rest are refuted in turn.
@@ -116,17 +222,23 @@ class _SerialER:
                 record.value = t
             if record.value >= beta:
                 self.stats.on_cutoff()
+                self._tt_store(record, record.value, alpha, beta)
                 return record.value
+        self._tt_store(record, record.value, alpha, beta)
         return record.value
 
     # -- Figure 8, function Eval_first -----------------------------------
 
     def eval_first(self, record: ERRecord, alpha: float, beta: float) -> float:
         """Evaluate only the first child of ``record``, setting a bound."""
+        hit = self._tt_probe(record, alpha, beta)
+        if hit is not None:
+            return hit
         children = self._expand(record, sort=True)
         if record.is_leaf:
             record.value = self._leaf_value(record)
             record.done = True
+            self._tt_store_leaf(record)
             return record.value
         record.value = alpha
         t = -self.evaluate(children[0], -beta, -record.value)
@@ -135,6 +247,10 @@ class _SerialER:
         record.done = record.value >= beta or len(children) == 1
         if record.value >= beta:
             self.stats.on_cutoff()
+        if record.done:
+            # A cutoff or a single child makes this a *finished* result;
+            # the usual incomplete Eval_first bound is never stored.
+            self._tt_store(record, record.value, alpha, beta)
         return record.value
 
     # -- Figure 8, function Refute_rest -----------------------------------
@@ -145,6 +261,9 @@ class _SerialER:
         ``record.value`` already holds the bound from ``Eval_first``; it is
         kept (deviation 1 in the module docstring) and only raised.
         """
+        hit = self._tt_probe(record, alpha, beta)
+        if hit is not None:
+            return hit
         if alpha > record.value:
             record.value = alpha
         assert record.children is not None, "Refute_rest requires Eval_first"
@@ -157,8 +276,10 @@ class _SerialER:
             if record.value >= beta:
                 self.stats.on_cutoff()
                 record.done = True
+                self._tt_store(record, record.value, alpha, beta)
                 return record.value
         record.done = True
+        self._tt_store(record, record.value, alpha, beta)
         return record.value
 
 
@@ -169,18 +290,21 @@ def er_search(
     *,
     cost_model: CostModel = DEFAULT_COST_MODEL,
     stats: Optional[SearchStats] = None,
+    table: Optional[TTView] = None,
 ) -> SearchResult:
     """Evaluate the root of ``problem`` with serial ER.
 
     With the open window the result equals negmax's value exactly (the
     test suite cross-checks this against negmax and alpha-beta on random,
-    synthetic, and real game trees).
+    synthetic, and real game trees).  ``table``, when given, caches and
+    reuses finished results across transpositions — and, when shared,
+    across searches (module docstring explains the probe/store rules).
     """
     if stats is None:
         stats = SearchStats()
     if not alpha < beta:
         raise ValueError("ER window requires alpha < beta")
-    searcher = _SerialER(problem, cost_model, stats)
+    searcher = _SerialER(problem, cost_model, stats, table)
     root = ERRecord(problem.game.root(), (), 0)
     value = searcher.evaluate(root, alpha, beta)
     return SearchResult(value=value, stats=stats)

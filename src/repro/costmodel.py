@@ -37,6 +37,10 @@ class CostModel:
             charged while the tree lock is held.
         bookkeeping: small per-node scheduling overhead charged outside
             any lock (reading flags, window recomputation, etc.).
+        tt_probe: cost of one transposition-table lookup, charged while
+            the stripe lock is held.
+        tt_store: cost of one transposition-table store (including the
+            replacement decision), charged while the stripe lock is held.
     """
 
     expand_base: float = 2.0
@@ -45,6 +49,8 @@ class CostModel:
     heap_op: float = 1.0
     combine_step: float = 1.0
     bookkeeping: float = 0.5
+    tt_probe: float = 0.5
+    tt_store: float = 0.5
 
     def __post_init__(self) -> None:
         for field in (
@@ -54,6 +60,8 @@ class CostModel:
             "heap_op",
             "combine_step",
             "bookkeeping",
+            "tt_probe",
+            "tt_store",
         ):
             if getattr(self, field) < 0:
                 raise ValueError(f"CostModel.{field} must be non-negative")
@@ -82,6 +90,8 @@ class CostModel:
             heap_op=self.heap_op * factor,
             combine_step=self.combine_step * factor,
             bookkeeping=self.bookkeeping * factor,
+            tt_probe=self.tt_probe * factor,
+            tt_store=self.tt_store * factor,
         )
 
 

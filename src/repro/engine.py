@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
+from .cache import TT_MODES, make_tt
 from .core.er_parallel import ERConfig, parallel_er
 from .core.serial_er import er_search
 from .parallel.multiproc import multiproc_er
@@ -54,6 +55,12 @@ class EngineConfig:
             seeded from the previous iteration (``None`` disables).
         sort_below_root: ordering policy handed to each search.
         er_serial_depth: serial-depth setting for parallel ER.
+        tt: transposition-table mode for the ER algorithms — ``off``,
+            ``private``, or ``shared`` (:data:`repro.cache.TT_MODES`).
+            For ``er``/``parallel-er`` one table persists across the
+            engine's iterative-deepening iterations and move choices, so
+            shallow iterations seed the deeper ones; ``multiproc-er``
+            builds its table per search call.  Ignored by ``alphabeta``.
     """
 
     algorithm: str = "alphabeta"
@@ -63,6 +70,7 @@ class EngineConfig:
     aspiration_delta: Optional[float] = None
     sort_below_root: int = 2
     er_serial_depth: int = 1
+    tt: str = "off"
     cost_model: CostModel = DEFAULT_COST_MODEL
 
     def __post_init__(self) -> None:
@@ -72,6 +80,8 @@ class EngineConfig:
             raise SearchError("max_depth must be at least 1")
         if self.n_processors < 1:
             raise SearchError("n_processors must be at least 1")
+        if self.tt not in TT_MODES:
+            raise SearchError(f"unknown tt mode {self.tt!r}; expected one of {TT_MODES}")
 
 
 class GameEngine:
@@ -80,6 +90,14 @@ class GameEngine:
     def __init__(self, game: Game, config: EngineConfig = EngineConfig()) -> None:
         self.game = game
         self.config = config
+        # One engine-lifetime table: every subtree search and deepening
+        # iteration reads what earlier ones proved (keys are position
+        # hashes, so they agree across RootedGame re-rootings).
+        self._tt = (
+            make_tt(config.tt, cost_model=config.cost_model)
+            if config.algorithm in ("er", "parallel-er")
+            else None
+        )
 
     # -- single-position evaluation ----------------------------------------
 
@@ -95,7 +113,8 @@ class GameEngine:
             result = alphabeta(problem, cost_model=cfg.cost_model)
             return result.value, result.cost
         if cfg.algorithm == "er":
-            result = er_search(problem, cost_model=cfg.cost_model)
+            table = None if self._tt is None else self._tt.view(0)
+            result = er_search(problem, cost_model=cfg.cost_model, table=table)
             return result.value, result.cost
         if cfg.algorithm == "multiproc-er":
             # Budgets stay in simulated units: the merged stats are charged
@@ -107,6 +126,7 @@ class GameEngine:
                 cfg.n_processors,
                 config=ERConfig(serial_depth=cfg.er_serial_depth),
                 cost_model=cfg.cost_model,
+                tt_mode=cfg.tt,
             )
             return mp_result.value, mp_result.stats.cost
         parallel = parallel_er(
@@ -114,6 +134,7 @@ class GameEngine:
             cfg.n_processors,
             config=ERConfig(serial_depth=cfg.er_serial_depth),
             cost_model=cfg.cost_model,
+            tt=self._tt,
         )
         return parallel.value, parallel.sim_time
 

@@ -56,6 +56,27 @@ class Game(Protocol):
         ...
 
 
+def hash_key(game: Game, position: Position) -> int:
+    """64-bit transposition key for ``position`` — the cache seam.
+
+    Games that define a ``hash_key`` method supply their own keys
+    (Zobrist tables with incremental update for Othello and Connect
+    Four, counter-based path hashing for the synthetic trees); any other
+    game falls back to mixing Python's structural hash through
+    SplitMix64.  The fallback is deterministic across worker *processes*
+    only for positions built from integers — every game in this package
+    qualifies — because CPython salts ``str``/``bytes`` hashing per
+    process.
+    """
+    # Imported here: ``_hashing`` imports ``Path`` from this module.
+    from ._hashing import splitmix64
+
+    method = getattr(game, "hash_key", None)
+    if method is not None:
+        return int(method(position))
+    return splitmix64(hash(position) & ((1 << 64) - 1))
+
+
 @dataclass(frozen=True)
 class SearchProblem:
     """A game bound to a search horizon — the unit every search consumes.
@@ -124,6 +145,13 @@ class RootedGame:
 
     def evaluate(self, position: Position) -> float:
         return self._game.evaluate(position)
+
+    def hash_key(self, position: Position) -> int:
+        """Forward to the underlying game so a subtree search rooted at an
+        arbitrary position produces the same keys as the full search —
+        required for the serial-depth cutover to share one table with the
+        parallel layer."""
+        return hash_key(self._game, position)
 
 
 def subproblem(problem: SearchProblem, position: Position, ply: int) -> SearchProblem:

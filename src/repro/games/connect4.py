@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..errors import GameError, IllegalMoveError
+from .zobrist import side_to_move_key, zobrist_table
 
 
 @dataclass(frozen=True)
@@ -46,6 +47,12 @@ class ConnectFour:
         self._full_mask = ((1 << (self._column_stride * width)) - 1) & ~(
             self._bottom_row << height
         )
+        # Zobrist keys per (bit cell, absolute player); seeded by the
+        # board shape so equal-shaped boards (e.g. one game instance per
+        # worker process) produce identical keys.
+        zseed = 0xC4 ^ (width << 8) ^ (height << 16)
+        self._zobrist = zobrist_table(seed=zseed, n_cells=self._column_stride * width)
+        self._side = side_to_move_key(seed=zseed)
 
     def root(self) -> C4Position:
         return C4Position(0, 0, 0)
@@ -111,6 +118,43 @@ class ConnectFour:
             self._threat_count(position.current, position.mask)
             - self._threat_count(position.current ^ position.mask, position.mask)
         )
+
+    def hash_key(self, position: C4Position) -> int:
+        """Full Zobrist rehash over every placed stone plus side to move.
+
+        Stones are keyed by *absolute* player (first or second mover),
+        not by the side-to-move perspective of ``current`` — perspective
+        flips every ply, which would force rekeying the whole board.
+        """
+        first = (
+            position.current
+            if position.moves_made % 2 == 0
+            else position.current ^ position.mask
+        )
+        key = 0
+        remaining = position.mask
+        while remaining:
+            low = remaining & -remaining
+            owner = 0 if first & low else 1
+            key ^= self._zobrist[low.bit_length() - 1][owner]
+            remaining ^= low
+        if position.moves_made % 2 == 1:
+            key ^= self._side
+        return key
+
+    def hash_after_move(self, position: C4Position, column: int, key: int) -> int:
+        """Key of the child reached by dropping a stone in ``column``.
+
+        Incremental update: XOR in the placed stone's (cell, player) key
+        and toggle the side key.  Re-applying the same delta undoes it.
+        """
+        stride = self._column_stride
+        if (position.mask >> (column * stride)) & (1 << (self.height - 1)):
+            raise IllegalMoveError(f"column {column} is full")
+        new_mask = position.mask | (position.mask + (1 << (column * stride)))
+        placed = new_mask ^ position.mask
+        key ^= self._zobrist[placed.bit_length() - 1][position.moves_made % 2]
+        return key ^ self._side
 
     def _threat_count(self, board: int, mask: int) -> int:
         """Number of open three-in-a-rows — a simple positional heuristic."""

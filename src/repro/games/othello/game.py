@@ -19,11 +19,18 @@ from typing import Sequence
 
 from ...errors import GameError
 from .._hashing import splitmix64
+from ..zobrist import side_to_move_key, zobrist_table
 from . import board as B
 from .evaluator import evaluate as evaluate_boards
 
 BLACK = 0
 WHITE = 1
+
+#: Zobrist keys: one 64-bit constant per (square, disc color), plus a
+#: side-to-move constant.  Module-level so every Othello instance — and
+#: every worker process — shares the same keys.
+_ZOBRIST = zobrist_table(seed=0x07E110, n_cells=64, n_owners=2)
+_SIDE = side_to_move_key(seed=0x07E110)
 
 
 @dataclass(frozen=True)
@@ -80,6 +87,39 @@ class Othello:
 
     def evaluate(self, position: OthelloPosition) -> float:
         return evaluate_boards(position.own, position.opp)
+
+    @staticmethod
+    def hash_key(position: OthelloPosition) -> int:
+        """Full Zobrist rehash: XOR of every disc's key plus side to move."""
+        key = 0
+        for square in B.bits(position.black):
+            key ^= _ZOBRIST[square.bit_length() - 1][BLACK]
+        for square in B.bits(position.white):
+            key ^= _ZOBRIST[square.bit_length() - 1][WHITE]
+        if position.color == WHITE:
+            key ^= _SIDE
+        return key
+
+    @staticmethod
+    def hash_after_move(position: OthelloPosition, move: int, key: int) -> int:
+        """Key of the child reached by playing ``move`` (a one-bit board).
+
+        Incremental update: place the mover's disc, flip each captured
+        disc's owner, toggle side to move.  XOR is involutive, so
+        re-applying the identical delta undoes the move.
+        """
+        flips = B.flips_for_move(position.own, position.opp, move)
+        mover, other = position.color, 1 - position.color
+        key ^= _ZOBRIST[move.bit_length() - 1][mover]
+        for square in B.bits(flips):
+            row = _ZOBRIST[square.bit_length() - 1]
+            key ^= row[other] ^ row[mover]
+        return key ^ _SIDE
+
+    @staticmethod
+    def hash_after_pass(key: int) -> int:
+        """Key after a forced pass: only the side to move changes."""
+        return key ^ _SIDE
 
     @staticmethod
     def render(position: OthelloPosition) -> str:

@@ -31,6 +31,10 @@ from ..errors import GameError
 from .base import Path
 from ._hashing import path_hash, uniform_int
 
+#: Hash stream reserved for transposition keys (streams 0-7 carry leaf
+#: values, ordering noise, and tree-shape draws).
+_KEY_STREAM = 9
+
 
 @dataclass(frozen=True)
 class TreePosition:
@@ -82,6 +86,12 @@ class RandomGameTree:
             uniform_int(self.seed, position.path, -self.value_range, self.value_range, stream)
         )
 
+    def hash_key(self, position: TreePosition) -> int:
+        """Transposition key: synthetic positions *are* their paths, so the
+        key is a path hash salted with the tree's seed (two different
+        trees must never share keys in a table that outlives one run)."""
+        return path_hash(self.seed, position.path, stream=_KEY_STREAM)
+
     def leaf_count(self) -> int:
         """Total leaves of the full tree (``degree ** height``)."""
         return self.degree**self.height
@@ -127,6 +137,9 @@ class IncrementalGameTree:
             return ()
         path = position.path
         return tuple(TreePosition(path + (i,)) for i in range(self.degree))
+
+    def hash_key(self, position: TreePosition) -> int:
+        return path_hash(self.seed, position.path, stream=_KEY_STREAM)
 
     def _score(self, path: Path) -> int:
         """True accumulated score of a node, side-to-move point of view."""
@@ -200,6 +213,9 @@ class SyntheticOrderedTree:
             return ()
         path = position.path
         return tuple(TreePosition(path + (i,)) for i in range(self.degree))
+
+    def hash_key(self, position: TreePosition) -> int:
+        return path_hash(self.seed, position.path, stream=_KEY_STREAM)
 
     def _best_index(self, path: Path) -> int:
         if self.best_child == "first":

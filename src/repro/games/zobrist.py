@@ -1,0 +1,46 @@
+"""Deterministic Zobrist key tables for the real game substrates.
+
+A Zobrist key XORs one pseudo-random 64-bit constant per (cell, owner)
+pair plus a side-to-move constant, so applying a move updates the key
+incrementally — XOR the placed piece in, XOR each changed cell's old
+owner out and its new owner in, toggle the side key — and undoing a move
+re-applies the same XOR delta.  The tables here are derived from
+SplitMix64 streams, never from ``random``, so every process (simulated
+worker, OS thread, worker process) computes identical keys — a hard
+requirement for the shared-memory transposition table, whose slots are
+addressed by key across process boundaries.
+"""
+
+from __future__ import annotations
+
+from ._hashing import splitmix64
+
+MASK64 = (1 << 64) - 1
+
+#: Domain-separation constants so cell tables and side keys drawn from
+#: the same seed never collide.
+_CELL_STREAM = 0xA0761D6478BD642F
+_SIDE_STREAM = 0xE7037ED1A0B428DB
+
+
+def zobrist_table(seed: int, n_cells: int, n_owners: int = 2) -> tuple[tuple[int, ...], ...]:
+    """``n_cells`` rows of ``n_owners`` independent 64-bit keys.
+
+    Deterministic in ``seed``: the table is a pure function of its
+    arguments, so separately constructed game instances (for example one
+    per worker process) agree on every key.
+    """
+    state = splitmix64((seed & MASK64) ^ _CELL_STREAM)
+    rows: list[tuple[int, ...]] = []
+    for _ in range(n_cells):
+        row: list[int] = []
+        for _ in range(n_owners):
+            state = splitmix64(state)
+            row.append(state)
+        rows.append(tuple(row))
+    return tuple(rows)
+
+
+def side_to_move_key(seed: int) -> int:
+    """The constant toggled into the key when the second player moves."""
+    return splitmix64((seed & MASK64) ^ _SIDE_STREAM)

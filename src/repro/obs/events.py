@@ -52,6 +52,15 @@ EV_ENGINE_CHOICE = "engine-choice"
 #: :class:`~repro.sim.metrics.ProcessorMetrics` timeline
 #: (`kind` of busy / lock / starve, `start`, `end`).
 EV_PROC_INTERVAL = "proc-interval"
+#: A transposition-table probe at the parallel level (`stripe`, `hit`).
+#: Serial-subtree probes are counted in the table's own counters but not
+#: re-emitted per probe — they would dominate the event stream.
+EV_TT_PROBE = "tt-probe"
+#: A transposition-table store at the parallel level (`stripe`, `evicted`).
+EV_TT_STORE = "tt-store"
+#: A worker found its table stripe's lock already held (`stripe`, `op`) —
+#: the cache's contribution to interference loss.
+EV_TT_CONTENTION = "tt-contention"
 
 #: Every event type the bus may carry, in documentation order.
 ALL_EVENT_TYPES: tuple[str, ...] = (
@@ -64,6 +73,9 @@ ALL_EVENT_TYPES: tuple[str, ...] = (
     EV_TASK_RESULT,
     EV_ENGINE_CHOICE,
     EV_PROC_INTERVAL,
+    EV_TT_PROBE,
+    EV_TT_STORE,
+    EV_TT_CONTENTION,
 )
 
 

@@ -159,6 +159,9 @@ EVENT_METRICS: Mapping[str, str] = {
     events.EV_TASK_RESULT: "tasks.completed",
     events.EV_ENGINE_CHOICE: "engine.choices",
     events.EV_PROC_INTERVAL: "proc.intervals",
+    events.EV_TT_PROBE: "tt.probes",
+    events.EV_TT_STORE: "tt.stores",
+    events.EV_TT_CONTENTION: "tt.contention",
 }
 
 
@@ -184,4 +187,10 @@ def aggregate(bus: events.EventBus) -> MetricsRegistry:
         elif event.etype == events.EV_TASK_RESULT:
             duration = float(event.data.get("duration", 0.0))  # type: ignore[arg-type]
             registry.histogram("tasks.duration_seconds").observe(duration)
+        elif event.etype == events.EV_TT_PROBE:
+            outcome = "tt.hits" if bool(event.data.get("hit", False)) else "tt.misses"
+            registry.counter(outcome).inc()
+        elif event.etype == events.EV_TT_STORE:
+            if bool(event.data.get("evicted", False)):
+                registry.counter("tt.evictions").inc()
     return registry

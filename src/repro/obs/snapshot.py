@@ -216,6 +216,8 @@ def work_dict(stats: SearchStats) -> dict[str, float]:
         "nodes_generated": float(stats.nodes_generated),
         "nodes_examined": float(stats.nodes_examined),
         "cutoffs": float(stats.cutoffs),
+        "tt_probes": float(stats.tt_probes),
+        "tt_stores": float(stats.tt_stores),
         "cost": float(stats.cost),
     }
 

@@ -55,13 +55,16 @@ from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wai
 from dataclasses import dataclass, field, replace
 from typing import Any, Optional, Sequence
 
+from ..cache.sharedmem import SharedMemoryTT, TTHandle
+from ..cache.striped import TT_MODES
 from ..core.er_parallel import E_NODE, R_NODE, UNDECIDED, ERConfig, PNode, _Context
-from ..core.serial_er import er_search
+from ..core.serial_er import TTView, er_search
 from ..costmodel import DEFAULT_COST_MODEL, CostModel
 from ..errors import SearchError, SimulationError
-from ..games.base import RootedGame, SearchProblem, subproblem
+from ..games.base import RootedGame, SearchProblem, hash_key, subproblem
 from ..obs import events as _obs
 from ..search.stats import SearchStats
+from ..search.transposition import Bound, TranspositionTable, TTEntry
 
 __all__ = [
     "MultiprocResult",
@@ -94,7 +97,7 @@ def default_serial_depth(depth: int) -> int:
 # ---------------------------------------------------------------------------
 
 
-_PackedStats = tuple[int, int, int, int, int, float]
+_PackedStats = tuple[int, int, int, int, int, int, int, float]
 
 
 def _pack_stats(stats: SearchStats) -> _PackedStats:
@@ -104,20 +107,50 @@ def _pack_stats(stats: SearchStats) -> _PackedStats:
         stats.ordering_evals,
         stats.nodes_generated,
         stats.cutoffs,
+        stats.tt_probes,
+        stats.tt_stores,
         stats.cost,
     )
 
 
 def _unpack_stats(packed: _PackedStats) -> SearchStats:
-    interior, leaves, ordering, generated, cutoffs, cost = packed
+    interior, leaves, ordering, generated, cutoffs, tt_probes, tt_stores, cost = packed
     return SearchStats(
         interior_visits=interior,
         leaf_evals=leaves,
         ordering_evals=ordering,
         nodes_generated=generated,
         cutoffs=cutoffs,
+        tt_probes=tt_probes,
+        tt_stores=tt_stores,
         cost=cost,
     )
+
+
+#: Per-process transposition table set by the pool initializers below;
+#: ``None`` runs the subtree searches uncached (``--tt off``).
+_WORKER_TT: Optional[TTView] = None
+
+
+def _init_worker_shared_tt(handle: TTHandle, locks: Sequence[Any]) -> None:
+    """Pool initializer: map the coordinator's shared-memory table.
+
+    The locks ride in as initializer args because ``multiprocessing``
+    primitives may only cross process boundaries by inheritance — they
+    cannot be pickled inside :class:`~repro.cache.sharedmem.TTHandle`.
+    """
+    global _WORKER_TT
+    _WORKER_TT = SharedMemoryTT.attach(handle, locks)
+
+
+def _init_worker_private_tt(capacity: int) -> None:
+    """Pool initializer: a plain per-process table (``--tt private``).
+
+    Pool processes persist across tasks, so the table accumulates over
+    every subtree search the same worker happens to receive.
+    """
+    global _WORKER_TT
+    _WORKER_TT = TranspositionTable(capacity=capacity)
 
 
 _TaskOutcome = tuple[str, float, _PackedStats, float, float, int, int]
@@ -136,14 +169,14 @@ def _run_task(payload: tuple[Any, ...]) -> _TaskOutcome:
     children_done = 0
     if kind == "eval":
         _, problem, alpha, beta = payload
-        value = er_search(problem, alpha, beta, stats=stats).value
+        value = er_search(problem, alpha, beta, stats=stats, table=_WORKER_TT).value
     else:  # "refute": remaining children, sequentially, tightening bound
         _, game, positions, child_depth, child_sort, value, beta = payload
         for position in positions:
             sub = SearchProblem(
                 game=RootedGame(game, position), depth=child_depth, sort_below_root=child_sort
             )
-            result = er_search(sub, -beta, -value, stats=stats)
+            result = er_search(sub, -beta, -value, stats=stats, table=_WORKER_TT)
             children_done += 1
             if -result.value > value:
                 value = -result.value
@@ -266,6 +299,8 @@ def multiproc_er(
     executor: Optional[ProcessPoolExecutor] = None,
     start_method: Optional[str] = None,
     timeout: float = 300.0,
+    tt_mode: str = "off",
+    tt_capacity: int = 1 << 14,
 ) -> MultiprocResult:
     """Run ER with a coordinator-hosted problem heap and worker processes.
 
@@ -288,6 +323,13 @@ def multiproc_er(
             ``fork``.
         timeout: seconds to wait for any single in-flight task batch
             before declaring the run wedged.
+        tt_mode: ``off`` (no caching), ``private`` (one plain table per
+            worker process, installed by the pool initializer), or
+            ``shared`` (one :class:`~repro.cache.sharedmem.SharedMemoryTT`
+            segment every worker maps; the coordinator also probes it
+            before submitting an eval task, skipping the task on a
+            usable hit).  Modes other than ``off`` require an owned pool.
+        tt_capacity: slot/entry budget for the table(s).
 
     Raises:
         SimulationError: on a worker crash, a wedged pool, or a protocol
@@ -300,16 +342,43 @@ def multiproc_er(
         config = ERConfig(serial_depth=default_serial_depth(problem.depth))
     if config.distributed_heap:
         config = replace(config, distributed_heap=False)
+    if tt_mode not in TT_MODES:
+        raise SearchError(f"unknown tt mode {tt_mode!r}; expected one of {TT_MODES}")
+    if tt_mode != "off" and executor is not None:
+        raise SearchError(
+            "tt modes other than 'off' need an owned pool: the worker "
+            "initializer is what attaches each process's table"
+        )
 
     ctx = _Context(problem, cost_model, config, trace=False, n_processors=n_workers)
     coord_stats = SearchStats()
     merged_workers = SearchStats()
 
+    shared_tt: Optional[SharedMemoryTT] = None
+    tt_snapshot: dict[str, int] = {}
     if executor is None:
         own_pool = True
         method = start_method or preferred_start_method()
+        mp_ctx = multiprocessing.get_context(method)
+        initializer: Optional[Any] = None
+        initargs: tuple[Any, ...] = ()
+        if tt_mode == "shared":
+            stripes = 8
+            # Locks come from the pool's own context so they survive the
+            # trip through the initializer under any start method.
+            shared_tt = SharedMemoryTT(
+                capacity=tt_capacity,
+                n_stripes=stripes,
+                locks=[mp_ctx.Lock() for _ in range(stripes)],
+            )
+            initializer, initargs = _init_worker_shared_tt, (shared_tt.handle(), shared_tt.locks)
+        elif tt_mode == "private":
+            initializer, initargs = _init_worker_private_tt, (tt_capacity,)
         pool = ProcessPoolExecutor(
-            max_workers=n_workers, mp_context=multiprocessing.get_context(method)
+            max_workers=n_workers,
+            mp_context=mp_ctx,
+            initializer=initializer,
+            initargs=initargs,
         )
     else:
         own_pool = False
@@ -321,6 +390,7 @@ def multiproc_er(
         "tasks_applied": 0,
         "tasks_discarded": 0,
         "tasks_orphaned": 0,
+        "tt_coord_hits": 0,
     }
     busy_applied = 0.0
     busy_wasted = 0.0
@@ -343,6 +413,25 @@ def multiproc_er(
         pushes: list[tuple[str, PNode]] = []
         ctx.combine(node, pushes)
         publish(pushes)
+
+    def coord_probe(node: PNode, alpha: float, beta: float) -> Optional[float]:
+        """Answer a subtree from the shared table without spending a task.
+
+        Same gate as the simulator's parallel-level probe: enough proven
+        depth, and a bound that answers the dispatch window.
+        """
+        if shared_tt is None:
+            return None
+        coord_stats.on_tt_probe(cost_model)
+        entry = shared_tt.probe(hash_key(problem.game, node.position))
+        if entry is None or entry.depth < problem.depth - node.ply:
+            return None
+        usable = (
+            entry.bound is Bound.EXACT
+            or (entry.bound is Bound.LOWER and entry.value >= beta)
+            or (entry.bound is Bound.UPPER and entry.value <= alpha)
+        )
+        return entry.value if usable else None
 
     def submit(node: PNode, alpha: float, beta: float) -> None:
         ctx._bump("serial_searches")
@@ -372,6 +461,13 @@ def multiproc_er(
                 beta,
             )
         else:
+            hit = coord_probe(node, alpha, beta)
+            if hit is not None:
+                counters["tt_coord_hits"] += 1
+                if hit > node.value:
+                    node.value = hit
+                finish(node)
+                return
             payload = ("eval", subproblem(problem, node.position, node.ply), alpha, beta)
         future = pool.submit(_run_task, payload)
         counters["tasks_submitted"] += 1
@@ -399,6 +495,12 @@ def multiproc_er(
         if node.is_leaf:
             coord_stats.on_leaf(node.path, cost_model)
             node.value = problem.game.evaluate(node.position)
+            if shared_tt is not None:
+                coord_stats.on_tt_store(cost_model)
+                shared_tt.store(
+                    hash_key(problem.game, node.position),
+                    TTEntry(node.value, problem.depth - node.ply, Bound.EXACT, None),
+                )
             finish(node)
             return
         if node.ntype in (E_NODE, R_NODE) and node.ply >= config.serial_depth:
@@ -513,6 +615,12 @@ def multiproc_er(
     finally:
         if own_pool:
             pool.shutdown(wait=True, cancel_futures=True)
+        if shared_tt is not None:
+            # Workers have exited (shutdown waited); the coordinator both
+            # closes its mapping and destroys the segment.
+            tt_snapshot = shared_tt.counter_snapshot()
+            shared_tt.close()
+            shared_tt.unlink()
 
     if not ctx.done:
         raise SimulationError("multiproc ER finished without combining the root")
@@ -522,6 +630,9 @@ def multiproc_er(
     merged.merge(merged_workers)
     extras: dict[str, Any] = dict(ctx.counters)
     extras.update(counters)
+    # Coordinator-side table counters only; worker probe/store totals are
+    # process-local and arrive through the merged stats instead.
+    extras.update(tt_snapshot)
     busy = busy_applied + busy_wasted
     starvation = min(idle.starved_seconds, max(0.0, n_workers * wall - busy))
     interference = max(0.0, n_workers * wall - busy - starvation)
@@ -572,6 +683,7 @@ def scaling_run(
     config: Optional[ERConfig] = None,
     serial_seconds: Optional[float] = None,
     start_method: Optional[str] = None,
+    tt_mode: str = "off",
 ) -> tuple[float, list[ScalingPoint]]:
     """Serial baseline plus one multiproc run per worker count."""
     if serial_seconds is None:
@@ -579,7 +691,7 @@ def scaling_run(
     points: list[ScalingPoint] = []
     for count in counts:
         result = multiproc_er(
-            problem, count, config=config, start_method=start_method
+            problem, count, config=config, start_method=start_method, tt_mode=tt_mode
         )
         points.append(
             ScalingPoint(

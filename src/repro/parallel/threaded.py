@@ -43,6 +43,7 @@ import time
 from dataclasses import dataclass
 from typing import Generator, Optional
 
+from ..cache.striped import AnyTT
 from ..core.er_parallel import ERConfig, _Context, _worker
 from ..costmodel import DEFAULT_COST_MODEL, CostModel
 from ..errors import LockOrderError, SearchError, SimulationError
@@ -179,8 +180,15 @@ def threaded_er_observed(
     config: Optional[ERConfig] = None,
     cost_model: CostModel = DEFAULT_COST_MODEL,
     timeout: float = 60.0,
+    tt: Optional[AnyTT] = None,
 ) -> ThreadedRun:
     """Run parallel ER's problem-heap protocol on real OS threads.
+
+    ``tt`` attaches a transposition table (:func:`repro.cache.make_tt`);
+    the worker generators' table ops yield ``Acquire``/``Release`` on the
+    per-stripe SimLocks, which this driver maps to real locks like any
+    other, while the serial subtrees call the table's thread-safe
+    ``probe``/``store`` directly.
 
     Returns:
         A :class:`ThreadedRun` with the root value, merged stats, total
@@ -197,7 +205,7 @@ def threaded_er_observed(
         raise SearchError("need at least one thread")
     if config is None:
         config = ERConfig()
-    ctx = _Context(problem, cost_model, config, trace=False, n_processors=n_threads)
+    ctx = _Context(problem, cost_model, config, trace=False, n_processors=n_threads, tt=tt)
     driver = _ThreadedDriver(ctx, timeout)
     stats = [SearchStats() for _ in range(n_threads)]
     if _trace.CURRENT is not None:
@@ -234,12 +242,15 @@ def threaded_er_observed(
     timings = tuple(
         driver.timings.get(i, ThreadTiming(0.0, 0.0, 0.0, 0.0)) for i in range(n_threads)
     )
+    counters = dict(ctx.counters)
+    if tt is not None:
+        counters.update(tt.counter_snapshot())
     return ThreadedRun(
         value=ctx.root.value,
         stats=merged,
         wall_time=wall_time,
         timings=timings,
-        counters=dict(ctx.counters),
+        counters=counters,
     )
 
 
@@ -250,6 +261,7 @@ def threaded_er(
     config: Optional[ERConfig] = None,
     cost_model: CostModel = DEFAULT_COST_MODEL,
     timeout: float = 60.0,
+    tt: Optional[AnyTT] = None,
 ) -> tuple[float, SearchStats]:
     """Compatibility wrapper over :func:`threaded_er_observed`.
 
@@ -257,6 +269,6 @@ def threaded_er(
         ``(root_value, merged_stats)``.
     """
     run = threaded_er_observed(
-        problem, n_threads, config=config, cost_model=cost_model, timeout=timeout
+        problem, n_threads, config=config, cost_model=cost_model, timeout=timeout, tt=tt
     )
     return run.value, run.stats

@@ -27,6 +27,8 @@ class SearchStats:
             (the overhead that makes serial ER beat alpha-beta on tree O1).
         nodes_generated: total successor positions created.
         cutoffs: number of beta cutoffs taken.
+        tt_probes: transposition-table lookups issued.
+        tt_stores: transposition-table entries written.
         cost: accumulated simulated time units.
         trace: if not ``None``, the set of visited node paths — consumed by
             the mandatory/speculative loss analysis (paper Section 3.1).
@@ -37,6 +39,8 @@ class SearchStats:
     ordering_evals: int = 0
     nodes_generated: int = 0
     cutoffs: int = 0
+    tt_probes: int = 0
+    tt_stores: int = 0
     cost: float = 0.0
     trace: Optional[set[Path]] = None
 
@@ -80,6 +84,20 @@ class SearchStats:
     def on_cutoff(self) -> None:
         self.cutoffs += 1
 
+    def on_tt_probe(self, cost_model: CostModel) -> float:
+        """Record one transposition-table lookup."""
+        self.tt_probes += 1
+        charged = cost_model.tt_probe
+        self.cost += charged
+        return charged
+
+    def on_tt_store(self, cost_model: CostModel) -> float:
+        """Record one transposition-table write."""
+        self.tt_stores += 1
+        charged = cost_model.tt_store
+        self.cost += charged
+        return charged
+
     # -- derived quantities ---------------------------------------------
 
     @property
@@ -94,6 +112,8 @@ class SearchStats:
         self.ordering_evals += other.ordering_evals
         self.nodes_generated += other.nodes_generated
         self.cutoffs += other.cutoffs
+        self.tt_probes += other.tt_probes
+        self.tt_stores += other.tt_stores
         self.cost += other.cost
         if self.trace is not None and other.trace is not None:
             self.trace.update(other.trace)

@@ -50,13 +50,27 @@ class TTEntry:
     best_move: Optional[int]  # child index that produced the value
 
 
+#: How many least-recently-used entries the capacity-eviction scan
+#: examines.  Bounds the cost of depth-preferred replacement: eviction
+#: picks the *shallowest* entry in this window rather than blindly
+#: dropping the LRU-oldest one (which may hold an expensive deep result).
+EVICTION_SCAN = 8
+
+
 class TranspositionTable:
-    """Bounded LRU position cache.
+    """Bounded position cache: LRU recency with depth-preferred eviction.
 
     Positions are used directly as keys (every game in this package has
     hashable positions); a production engine would use Zobrist keys, but
     the replacement and bound logic — the part that is easy to get wrong
-    — is identical.
+    — is identical.  (:class:`repro.cache.StripedTT` stripes instances
+    of this class by Zobrist key for the concurrent backends.)
+
+    Replacement policy: an existing entry for the same key is kept when
+    it is strictly deeper; on capacity overflow the victim is the
+    shallowest entry among the ``EVICTION_SCAN`` least recently used —
+    pure LRU eviction used to discard a depth-9 result to make room for
+    a depth-0 leaf, which is exactly backwards for search caches.
     """
 
     def __init__(self, capacity: int = 1 << 18):
@@ -89,7 +103,21 @@ class TranspositionTable:
         self._entries.move_to_end(position)
         self.stores += 1
         if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            # Depth-preferred eviction: scan the oldest EVICTION_SCAN
+            # entries (the just-stored key is at the MRU end and is
+            # skipped if the window reaches it) and drop the shallowest;
+            # ties fall to the least recently used.
+            victim = None
+            victim_depth = 0
+            for scanned, (key, candidate) in enumerate(self._entries.items()):
+                if scanned >= EVICTION_SCAN and victim is not None:
+                    break
+                if key == position:
+                    continue
+                if victim is None or candidate.depth < victim_depth:
+                    victim = key
+                    victim_depth = candidate.depth
+            self._entries.pop(victim)
             self.evictions += 1
 
     def clear(self) -> None:

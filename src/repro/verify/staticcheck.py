@@ -19,7 +19,8 @@ Five rules, each an invariant the rest of the codebase argues from:
   drops would corrupt the simulated clock.
 * **VER003 — determinism.**  No wall-clock reads (``time.*``,
   ``datetime.*``) and no unseeded randomness (``random.*`` other than
-  ``random.Random(seed)``) anywhere in ``sim/`` or ``core/``: identical
+  ``random.Random(seed)``) anywhere in ``sim/``, ``core/``, or
+  ``cache/``: identical
   runs must produce identical reports, which the determinism tests and
   the race-detector clean-trace gates both rely on.
 * **VER004 — picklable multiproc boundary.**  Every task submitted to
@@ -689,7 +690,7 @@ def check_repo(root: Optional[str] = None) -> list[LintFinding]:
         )
     )
 
-    for directory in (src / "sim", src / "core"):
+    for directory in (src / "sim", src / "core", src / "cache"):
         for path in sorted(directory.glob("*.py")):
             findings.extend(check_file(str(path), rules={"VER003"}))
 

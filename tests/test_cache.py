@@ -1,0 +1,245 @@
+"""Unit tests for :mod:`repro.cache` — striped, private, and shared-memory
+transposition tables, their op generators, and the keying seam."""
+
+import pytest
+
+from repro.cache import (
+    TT_MODES,
+    SharedMemoryTT,
+    SimStripedTT,
+    StripedTT,
+    WorkerLocalTT,
+    make_tt,
+)
+from repro.cache.sharedmem import WAYS
+from repro.costmodel import DEFAULT_COST_MODEL
+from repro.errors import SearchError
+from repro.games.base import hash_key
+from repro.games.random_tree import RandomGameTree
+from repro.search.transposition import Bound, TTEntry
+from repro.sim.ops import Acquire, Compute, Release
+
+
+def entry(value: float = 1.0, depth: int = 3, bound: Bound = Bound.EXACT) -> TTEntry:
+    return TTEntry(value, depth, bound, None)
+
+
+def drain(gen):
+    """Run an op generator to completion, returning (ops, result)."""
+    ops = []
+    try:
+        while True:
+            ops.append(next(gen))
+    except StopIteration as stop:
+        return ops, stop.value
+
+
+class TestStripedTT:
+    def test_stripe_routing_partitions_keys(self):
+        table = StripedTT(capacity=64, n_stripes=8)
+        for key in range(100):
+            assert table.stripe_of(key) == key % 8
+
+    def test_probe_store_roundtrip(self):
+        table = StripedTT(capacity=64)
+        table.store(42, entry(value=7.0))
+        got = table.probe(42)
+        assert got is not None and got.value == 7.0
+        assert table.probe(43) is None
+        assert table.hits == 1 and table.misses == 1 and table.stores == 1
+
+    def test_counter_snapshot_shape(self):
+        table = StripedTT(capacity=16)
+        snapshot = table.counter_snapshot()
+        assert set(snapshot) == {
+            "tt_hits", "tt_misses", "tt_stores", "tt_evictions", "tt_contended",
+        }
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(SearchError):
+            StripedTT(capacity=16, n_stripes=0)
+        with pytest.raises(SearchError):
+            StripedTT(capacity=0)
+
+    def test_clear_and_len(self):
+        table = StripedTT(capacity=64)
+        for key in range(10):
+            table.store(key, entry())
+        assert len(table) == 10
+        table.clear()
+        assert len(table) == 0
+
+
+class TestSimStripedTT:
+    def test_probe_op_charges_and_locks(self):
+        table = SimStripedTT(capacity=64)
+        table.store(5, entry(value=2.5))
+        ops, result = drain(table.probe_op(5))
+        assert result is not None and result.value == 2.5
+        kinds = [type(op) for op in ops]
+        assert kinds == [Acquire, Compute, Release]
+        compute = next(op for op in ops if isinstance(op, Compute))
+        assert compute.units == DEFAULT_COST_MODEL.tt_probe
+        acquire = next(op for op in ops if isinstance(op, Acquire))
+        assert acquire.lock.name == f"tt-stripe-{table.stripe_of(5)}"
+
+    def test_store_op_roundtrip(self):
+        table = SimStripedTT(capacity=64)
+        ops, _ = drain(table.store_op(9, entry(value=-1.0)))
+        assert [type(op) for op in ops] == [Acquire, Compute, Release]
+        got = table.probe(9)
+        assert got is not None and got.value == -1.0
+
+    def test_view_is_shared(self):
+        table = SimStripedTT(capacity=64)
+        assert table.view(0) is table and table.view(3) is table
+
+
+class TestWorkerLocalTT:
+    def test_views_are_isolated(self):
+        table = WorkerLocalTT(capacity=64)
+        table.view(0).store(7, entry(value=1.0))
+        assert table.view(0).probe(7) is not None
+        assert table.view(1).probe(7) is None
+
+    def test_capacity_is_per_worker(self):
+        table = WorkerLocalTT(capacity=4)
+        for pid in (0, 1):
+            for key in range(4):
+                table.view(pid).store(key * 8 + pid, entry())
+        assert len(table) == 8
+
+    def test_ops_charge_but_never_lock(self):
+        table = WorkerLocalTT(capacity=64)
+        ops, _ = drain(table.view(0).store_op(3, entry()))
+        assert [type(op) for op in ops] == [Compute]
+        ops, result = drain(table.view(0).probe_op(3))
+        assert [type(op) for op in ops] == [Compute]
+        assert result is not None
+
+
+class TestMakeTT:
+    def test_modes(self):
+        assert make_tt("off") is None
+        assert isinstance(make_tt("private"), WorkerLocalTT)
+        assert isinstance(make_tt("shared"), SimStripedTT)
+        assert set(TT_MODES) == {"off", "private", "shared"}
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(SearchError):
+            make_tt("on")
+
+
+class TestSharedMemoryTT:
+    def make(self, capacity=256, n_stripes=8) -> SharedMemoryTT:
+        return SharedMemoryTT(capacity=capacity, n_stripes=n_stripes)
+
+    def teardown_table(self, table: SharedMemoryTT) -> None:
+        table.close()
+        table.unlink()
+
+    def test_pack_unpack_roundtrip(self):
+        table = self.make()
+        try:
+            cases = [
+                (1, TTEntry(3.25, 4, Bound.EXACT, None)),
+                (2, TTEntry(-1e9, 0, Bound.LOWER, 5)),
+                (3, TTEntry(0.0, 31, Bound.UPPER, 0)),
+            ]
+            for key, e in cases:
+                table.store(key, e)
+            for key, e in cases:
+                got = table.probe(key)
+                assert got == e
+        finally:
+            self.teardown_table(table)
+
+    def test_zero_key_aliases(self):
+        table = self.make()
+        try:
+            table.store(0, entry(value=9.0))
+            got = table.probe(0)
+            assert got is not None and got.value == 9.0
+            assert len(table) == 1
+        finally:
+            self.teardown_table(table)
+
+    def test_same_key_keeps_deeper(self):
+        table = self.make()
+        try:
+            table.store(11, entry(value=1.0, depth=5))
+            table.store(11, entry(value=2.0, depth=3))  # shallower: dropped
+            got = table.probe(11)
+            assert got is not None and got.depth == 5 and got.value == 1.0
+            table.store(11, entry(value=3.0, depth=6))  # deeper: replaces
+            got = table.probe(11)
+            assert got is not None and got.value == 3.0
+        finally:
+            self.teardown_table(table)
+
+    def test_bucket_eviction_prefers_shallow_victim(self):
+        # One stripe with WAYS slots: the bucket window is the whole stripe.
+        table = SharedMemoryTT(capacity=WAYS, n_stripes=1)
+        try:
+            for i in range(WAYS):
+                table.store(i + 1, entry(value=float(i), depth=i + 2))
+            # Bucket full; a deep store evicts the shallowest (depth 2).
+            table.store(WAYS + 1, entry(value=50.0, depth=10))
+            assert table.evictions == 1
+            assert table.probe(1) is None
+            # A too-shallow store is dropped and counted as a collision.
+            table.store(WAYS + 2, entry(value=60.0, depth=1))
+            assert table.collisions == 1
+            assert table.probe(WAYS + 2) is None
+        finally:
+            self.teardown_table(table)
+
+    def test_attach_sees_owner_writes(self):
+        table = self.make()
+        try:
+            table.store(77, entry(value=4.5))
+            attached = SharedMemoryTT.attach(table.handle(), table.locks)
+            try:
+                got = attached.probe(77)
+                assert got is not None and got.value == 4.5
+                attached.store(78, entry(value=5.5))
+                got = table.probe(78)
+                assert got is not None and got.value == 5.5
+            finally:
+                attached.close()
+        finally:
+            self.teardown_table(table)
+
+    def test_counter_snapshot_includes_collisions(self):
+        table = self.make()
+        try:
+            assert "tt_collisions" in table.counter_snapshot()
+        finally:
+            self.teardown_table(table)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(SearchError):
+            SharedMemoryTT(capacity=4, n_stripes=8)
+        with pytest.raises(SearchError):
+            SharedMemoryTT(capacity=16, n_stripes=0)
+
+
+class TestHashKeySeam:
+    def test_games_supply_their_own_keys(self):
+        game = RandomGameTree(3, 4, seed=1)
+        root = game.root()
+        assert hash_key(game, root) == game.hash_key(root)
+
+    def test_sibling_keys_differ(self):
+        game = RandomGameTree(3, 4, seed=1)
+        children = game.children(game.root())
+        keys = {hash_key(game, child) for child in children}
+        assert len(keys) == len(children)
+
+    def test_rooted_game_forwards(self):
+        from repro.games.base import RootedGame
+
+        game = RandomGameTree(3, 4, seed=1)
+        child = game.children(game.root())[0]
+        rooted = RootedGame(game, child)
+        assert hash_key(rooted, child) == hash_key(game, child)

@@ -55,6 +55,28 @@ class TestTable:
         with pytest.raises(SearchError):
             TranspositionTable(capacity=0)
 
+    def test_eviction_prefers_shallow_victim(self):
+        """Regression: capacity eviction used to drop the LRU-oldest entry
+        even when it held the deepest result, keeping a shallower one
+        instead.  Depth-preferred replacement must sacrifice the shallow
+        entry and keep the deep one."""
+        table = TranspositionTable(capacity=2)
+        table.store("deep", TTEntry(5.0, 5, Bound.EXACT, None))
+        table.store("shallow", TTEntry(1.0, 1, Bound.EXACT, None))
+        # "deep" is now LRU-oldest; a pure-LRU table would evict it here.
+        table.store("new", TTEntry(0.0, 0, Bound.EXACT, None))
+        assert table.probe("deep") is not None
+        assert table.probe("shallow") is None
+        assert table.evictions == 1
+
+    def test_eviction_tie_falls_to_lru(self):
+        table = TranspositionTable(capacity=2)
+        table.store("a", TTEntry(1.0, 3, Bound.EXACT, None))
+        table.store("b", TTEntry(2.0, 3, Bound.EXACT, None))
+        table.store("c", TTEntry(3.0, 3, Bound.EXACT, None))
+        assert table.probe("a") is None  # equal depths: oldest goes
+        assert table.probe("b") is not None and table.probe("c") is not None
+
     def test_clear(self):
         table = TranspositionTable()
         table.store("a", TTEntry(1.0, 1, Bound.EXACT, None))

@@ -1,9 +1,16 @@
-"""Stateful property test for the transposition table's LRU semantics."""
+"""Stateful property test for the transposition table's replacement policy:
+LRU recency with depth-preferred capacity eviction (the victim is the
+shallowest entry in the eviction-scan window, ties to least recent)."""
 
 from hypothesis import strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
-from repro.search.transposition import Bound, TranspositionTable, TTEntry
+from repro.search.transposition import EVICTION_SCAN, Bound, TranspositionTable, TTEntry
+
+CAPACITY = 8
+# Capacity 8 with an 8-entry scan window means the reference eviction
+# below considers every old entry, exactly like the implementation.
+assert CAPACITY <= EVICTION_SCAN
 
 KEYS = st.integers(min_value=0, max_value=19)
 
@@ -13,7 +20,7 @@ class TranspositionMachine(RuleBasedStateMachine):
 
     def __init__(self):
         super().__init__()
-        self.table = TranspositionTable(capacity=8)
+        self.table = TranspositionTable(capacity=CAPACITY)
         self.model: dict[int, TTEntry] = {}
         self.recency: list[int] = []  # least recent first
 
@@ -31,9 +38,17 @@ class TranspositionMachine(RuleBasedStateMachine):
             return  # deeper entries are kept; no recency change either
         self.model[key] = entry
         self._touch(key)
-        if len(self.model) > 8:
-            evicted = self.recency.pop(0)
-            del self.model[evicted]
+        if len(self.model) > CAPACITY:
+            # Depth-preferred: evict the shallowest *old* entry; ties
+            # fall to the least recently used (earliest in recency).
+            victim = None
+            for candidate in self.recency:
+                if candidate == key:
+                    continue
+                if victim is None or self.model[candidate].depth < self.model[victim].depth:
+                    victim = candidate
+            self.recency.remove(victim)
+            del self.model[victim]
 
     @rule(key=KEYS)
     def probe(self, key):
@@ -53,7 +68,7 @@ class TranspositionMachine(RuleBasedStateMachine):
 
     @invariant()
     def capacity_respected(self):
-        assert len(self.table) <= 8
+        assert len(self.table) <= CAPACITY
 
 
 TestTranspositionMachine = TranspositionMachine.TestCase
