@@ -28,6 +28,26 @@ def scale() -> str:
     return bench_scale()
 
 
+@pytest.fixture(scope="session", autouse=True)
+def refresh_bench_obs():
+    """Always (re)write ``BENCH_obs.json`` from the committed ledger.
+
+    Individual benchmarks refresh the aggregate as they write records,
+    but a partial run (``-k``, a crash, or a session with no ledger
+    benchmarks selected) must still leave the top-level aggregate
+    consistent with ``results/ledger/`` — CI publishes the file as the
+    per-PR makespan/nodes/efficiency series.  Re-aggregating once more
+    at session end makes the rewrite unconditional.
+    """
+    yield
+    from repro.obs import ledger
+
+    root = RESULTS_DIR.parent.parent
+    directory = root / "results" / "ledger"
+    if directory.is_dir():
+        ledger.aggregate(directory, out_path=root / "BENCH_obs.json")
+
+
 @pytest.fixture()
 def record_table():
     """Write a rendered table to benchmarks/results/<name>.txt."""

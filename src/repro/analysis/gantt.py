@@ -8,6 +8,11 @@ combine, the idle processors before speculation kicks in.
 Legend: ``#`` busy · ``.`` starving (empty heap) · ``!`` blocked on a
 lock · `` `` (space) idle after the processor's last event.
 
+With a :class:`~repro.obs.critpath.CriticalPath` supplied, every
+processor row gains a marker row underneath: ``^`` under each time
+slice the critical path runs through on that processor, so the chain of
+work that bounds the makespan is visible hopping between lanes.
+
 For an interactive, zoomable view of the same schedule — plus queue
 depths and node-lifecycle instants — export a Chrome trace with
 ``repro-gametree trace`` (:mod:`repro.obs.export`) and load it in
@@ -16,7 +21,10 @@ Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..errors import SimulationError
+from ..obs.critpath import CriticalPath
 from ..sim.metrics import ProcessorMetrics, SimReport
 
 _GLYPHS = {"busy": "#", "starve": ".", "lock": "!"}
@@ -54,8 +62,40 @@ def _row(metrics: ProcessorMetrics, makespan: float, width: int) -> str:
     return "".join(cells)
 
 
-def render_gantt(report: SimReport, width: int = 72) -> str:
-    """Render every processor's schedule as one line of ``width`` chars."""
+def _critpath_row(critpath: CriticalPath, pid: int, makespan: float, width: int) -> str:
+    """``^`` under every time slice the critical path credits to ``pid``.
+
+    Any-overlap bucketing (unlike the majority-vote schedule cells): a
+    critical segment shorter than one bucket still marks it, because a
+    missing marker would misread as "the path skips this lane here".
+    """
+    if makespan <= 0:
+        return " " * width
+    bucket = makespan / width
+    cells = [" "] * width
+    for step in critpath.steps:
+        iv = step.interval
+        if iv.wid != pid or step.credit <= 0:
+            continue
+        start = iv.end - step.credit
+        first = min(width - 1, int(start / bucket))
+        last = min(width - 1, int(max(start, iv.end - 1e-12) / bucket))
+        for i in range(first, last + 1):
+            cells[i] = "^"
+    return "".join(cells)
+
+
+def render_gantt(
+    report: SimReport, width: int = 72, *, critpath: Optional[CriticalPath] = None
+) -> str:
+    """Render every processor's schedule as one line of ``width`` chars.
+
+    Args:
+        report: engine report recorded with ``record_timeline=True``.
+        width: chart width in characters.
+        critpath: extracted critical path to overlay — adds one ``^``
+            marker row under each processor row.
+    """
     if width < 8:
         raise SimulationError("gantt width must be at least 8 characters")
     lines = [
@@ -63,5 +103,10 @@ def render_gantt(report: SimReport, width: int = 72) -> str:
     ]
     for pid, metrics in enumerate(report.processors):
         lines.append(f"P{pid:<2d} {_row(metrics, report.makespan, width)}")
-    lines.append("legend: # busy   . starving   ! lock-blocked   (blank) finished")
+        if critpath is not None:
+            lines.append(f"    {_critpath_row(critpath, pid, report.makespan, width)}")
+    legend = "legend: # busy   . starving   ! lock-blocked   (blank) finished"
+    if critpath is not None:
+        legend += "   ^ critical path"
+    lines.append(legend)
     return "\n".join(lines)

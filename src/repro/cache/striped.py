@@ -198,7 +198,7 @@ class SimStripedTT(StripedTT):
         lock = self._sim_locks[index]
         self._note_contention(index, "probe")
         yield Acquire(lock)
-        yield Compute(self.cost_model.tt_probe)
+        yield Compute(self.cost_model.tt_probe, tag="tt_probe")
         with self._real_locks[index]:
             entry = self._tables[index].probe(key)
         if _obs.CURRENT is not None:
@@ -211,7 +211,7 @@ class SimStripedTT(StripedTT):
         lock = self._sim_locks[index]
         self._note_contention(index, "store")
         yield Acquire(lock)
-        yield Compute(self.cost_model.tt_store)
+        yield Compute(self.cost_model.tt_store, tag="tt_store")
         table = self._tables[index]
         with self._real_locks[index]:
             evictions_before = table.evictions
@@ -248,14 +248,14 @@ class _PrivateView:
         self._table.store(key, entry)
 
     def probe_op(self, key: int) -> TTProbeOp:
-        yield Compute(self._cost_model.tt_probe)
+        yield Compute(self._cost_model.tt_probe, tag="tt_probe")
         entry = self._table.probe(key)
         if _obs.CURRENT is not None:
             _obs.CURRENT.emit(_obs.EV_TT_PROBE, stripe=-1, hit=entry is not None)
         return entry
 
     def store_op(self, key: int, entry: TTEntry) -> TTStoreOp:
-        yield Compute(self._cost_model.tt_store)
+        yield Compute(self._cost_model.tt_store, tag="tt_store")
         evictions_before = self._table.evictions
         self._table.store(key, entry)
         if _obs.CURRENT is not None:

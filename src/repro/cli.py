@@ -7,6 +7,7 @@ Examples::
     repro-gametree serial --tree O1          # serial AB vs serial ER
     repro-gametree baselines                 # Section 4 algorithm claims
     repro-gametree losses --tree R1 -P 8     # Section 3.1 decomposition
+    repro-gametree explain --workload R3 --P 4   # critical path + what-if
     repro-gametree demo                      # 30-second tour
 """
 
@@ -244,6 +245,102 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Critical-path blame report plus causal what-if profile for one run.
+
+    The run happens once under a :class:`~repro.obs.critpath.ScheduleRecorder`
+    (and the telemetry bus, for the optional trace/ledger outputs); the
+    extracted path's length must equal the makespan exactly or the
+    command fails.  The what-if sweep then re-runs the same fixed-seed
+    workload under perturbed cost models and prints predicted-vs-actual
+    speedups per (primitive, factor) point.
+    """
+    from .costmodel import CostModel
+    from .obs import critpath, export, whatif
+    from .obs import events as obs_events
+    from .obs import snapshot as obs_snapshot
+
+    spec = table3_suite(args.scale)[args.tree]
+    config = er_config_for(spec)
+    count = args.processors_single
+    with obs_events.observing() as bus, critpath.recording() as rec:
+        result = parallel_er(
+            spec.problem(), count, config=config, record_timeline=True
+        )
+    cp = critpath.extract(rec, result.sim_time)
+    title = f"{spec.name} sim P={count} ({args.scale} scale)"
+    print(critpath.render_report(cp, title=title, top=args.top), end="")
+    if cp.length != result.sim_time:
+        print(
+            f"explain: path length {cp.length!r} != makespan {result.sim_time!r}",
+            file=sys.stderr,
+        )
+        return 1
+
+    points: list[whatif.WhatIfPoint] = []
+    if not args.skip_whatif:
+
+        def rerun(cm: CostModel) -> float:
+            return parallel_er(
+                spec.problem(), count, config=config, cost_model=cm
+            ).sim_time
+
+        points = whatif.sweep(
+            rerun,
+            cp.by_primitive(),
+            result.sim_time,
+            primitives=args.whatif,
+            factors=args.factors,
+            cost_model=DEFAULT_COST_MODEL,
+        )
+        print()
+        print(whatif.render_table(points), end="")
+
+    if args.trace_out:
+        path = export.write_chrome_trace(
+            args.trace_out,
+            bus.events,
+            report=result.report,
+            critpath=cp,
+            metadata={
+                "workload": spec.name,
+                "backend": "sim",
+                "n_processors": count,
+                "scale": args.scale,
+                "seed": spec.seed,
+            },
+        )
+        print(f"trace: {path}  (critical-path overlay under pid 1)")
+
+    if args.ledger_dir:
+        from .obs import ledger
+
+        snap = obs_snapshot.snapshot_from_sim(
+            result, workload=spec.name, bus=bus, critpath=cp.composition()
+        )
+        record = ledger.make_record(
+            snap,
+            workload=spec.name,
+            scale=args.scale,
+            seed=spec.seed,
+            config={
+                "serial_depth": spec.serial_depth,
+                "sort_below_root": spec.sort_below_root,
+                "tt": "off",
+            },
+            cost_model=_config_json(DEFAULT_COST_MODEL),
+            whatif=whatif.to_records(points) if points else None,
+        )
+        problems = ledger.validate_record(record)
+        if problems:
+            raise SystemExit("ledger record invalid: " + "; ".join(problems))
+        record_path = ledger.write_record(
+            record, args.ledger_dir, name=ledger.record_name(record) + "_explain"
+        )
+        print(f"ledger: {record_path}")
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     """Diff two ledger records (by file path or git SHA prefix)."""
     from .obs import ledger
@@ -379,19 +476,28 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_gantt(args: argparse.Namespace) -> int:
     from .analysis.gantt import render_gantt
+    from .obs import critpath
 
     spec = table3_suite(args.scale)[args.tree]
-    result = parallel_er(
-        spec.problem(),
-        args.processors_single,
-        config=er_config_for(spec),
-        record_timeline=True,
-    )
+    recorder = critpath.ScheduleRecorder() if args.critpath else None
+    if recorder is not None:
+        critpath.install(recorder)
+    try:
+        result = parallel_er(
+            spec.problem(),
+            args.processors_single,
+            config=er_config_for(spec),
+            record_timeline=True,
+        )
+    finally:
+        if recorder is not None:
+            critpath.uninstall()
+    cp = critpath.extract(recorder, result.sim_time) if recorder is not None else None
     print(
         f"{spec.name} on {args.processors_single} processors "
         f"(makespan {result.sim_time:.0f} simulated units):"
     )
-    print(render_gantt(result.report, width=args.width))
+    print(render_gantt(result.report, width=args.width, critpath=cp))
     return 0
 
 
@@ -602,6 +708,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.set_defaults(func=_cmd_compare)
 
+    explain = sub.add_parser(
+        "explain",
+        help="critical-path blame report + causal what-if profile for one sim run",
+    )
+    explain.add_argument(
+        "--workload",
+        "--tree",
+        dest="tree",
+        choices=("R1", "R2", "R3", "O1", "O2", "O3"),
+        default="R3",
+    )
+    explain.add_argument("--scale", choices=("reduced", "paper"), default="reduced")
+    explain.add_argument(
+        "-P", "--P", "--processors", dest="processors_single", type=int, default=4
+    )
+    explain.add_argument(
+        "--top", type=int, default=10, help="rows per blame/segment section"
+    )
+    explain.add_argument(
+        "--whatif",
+        nargs="*",
+        default=["static_eval", "heap_op", "expansion"],
+        help="cost primitives to perturb (see repro.obs.whatif.PRIMITIVE_FIELDS)",
+    )
+    explain.add_argument(
+        "--factors",
+        nargs="*",
+        type=float,
+        default=[0.0, 0.5],
+        help="scale factors per perturbed primitive (0 = free)",
+    )
+    explain.add_argument(
+        "--skip-whatif",
+        action="store_true",
+        help="print only the critical-path report (no perturbed re-runs)",
+    )
+    explain.add_argument(
+        "--trace-out",
+        default=None,
+        help="also write a Chrome trace with the critical-path overlay here",
+    )
+    explain.add_argument(
+        "--ledger-dir",
+        default=None,
+        help="also write a ledger record (critpath composition + what-if points)",
+    )
+    explain.set_defaults(func=_cmd_explain)
+
     report = sub.add_parser("report", help="regenerate the headline exhibits as markdown")
     report.add_argument("--scale", choices=("reduced", "paper"), default="reduced")
     report.add_argument("--processors", type=int, nargs="*", default=None)
@@ -612,6 +766,11 @@ def build_parser() -> argparse.ArgumentParser:
     gantt.add_argument("--scale", choices=("reduced", "paper"), default="reduced")
     gantt.add_argument("-P", "--processors", dest="processors_single", type=int, default=8)
     gantt.add_argument("--width", type=int, default=72)
+    gantt.add_argument(
+        "--critpath",
+        action="store_true",
+        help="overlay the extracted critical path as ^ marker rows",
+    )
     gantt.set_defaults(func=_cmd_gantt)
 
     demo = sub.add_parser("demo", help="30-second tour")

@@ -39,6 +39,7 @@ from ..cache.striped import AnyTT
 from ..costmodel import DEFAULT_COST_MODEL, CostModel
 from ..errors import SearchError, SimulationError
 from ..games.base import NEG_INF, POS_INF, Path, Position, SearchProblem, hash_key, subproblem
+from ..obs import critpath as _cp
 from ..obs import events as _obs
 from ..parallel.base import ParallelResult
 from ..search.stats import SearchStats
@@ -323,22 +324,27 @@ class _Context:
 
     # -- tree operations (caller holds tree_lock) ---------------------------
 
-    def expand_positions(self, node: PNode, stats: SearchStats) -> float:
+    def expand_positions(
+        self, node: PNode, stats: SearchStats
+    ) -> tuple[float, tuple[tuple[str, float], ...]]:
         """Generate and cache child positions; returns the cost to charge.
 
         Children of e-nodes keep the game's move order; all other nodes
         pre-sort by static value per the problem's ordering policy
         (Section 7: "successors of e-nodes were also not sorted").
+
+        Returns ``(cost, parts)`` where ``parts`` splits the charge into
+        its cost primitives (pure expansion vs the static evaluations of
+        move ordering) for critical-path attribution.
         """
         if node.child_positions is not None:
-            return 0.0
+            return 0.0, ()
         game = self.problem.game
         successors = (
             []
             if self.problem.is_horizon(node.ply)
             else list(game.children(node.position))
         )
-        cost = 0.0
         # Written without a lock: between pop and publish the popping
         # worker owns the node, and a first expansion cannot overlap any
         # other worker's access (children do not exist yet, so no combine
@@ -348,16 +354,20 @@ class _Context:
             node.is_leaf = True
             node.child_positions = []
             node.children = []
-            return 0.0
-        cost += stats.on_expand(node.path, len(successors), self.cost_model)
+            return 0.0, ()
+        expand_cost = stats.on_expand(node.path, len(successors), self.cost_model)
+        ordering_cost = 0.0
         if node.ntype != E_NODE and self.problem.should_sort(node.ply):
-            cost += stats.on_ordering(len(successors), self.cost_model)
+            ordering_cost = stats.on_ordering(len(successors), self.cost_model)
             static = [game.evaluate(child) for child in successors]
             order = sorted(range(len(successors)), key=static.__getitem__)
             successors = [successors[i] for i in order]
         node.child_positions = successors
         node.children = [None] * len(successors)
-        return cost
+        parts: tuple[tuple[str, float], ...] = (("expansion", expand_cost),)
+        if ordering_cost > 0:
+            parts += (("static_eval", ordering_cost),)
+        return expand_cost + ordering_cost, parts
 
     def make_child(self, node: PNode, index: int, ntype: str) -> PNode:
         assert node.child_positions is not None and node.children is not None
@@ -597,6 +607,37 @@ class _Context:
         self.maybe_push_spec(node, pushes)
 
 
+def _cp_path(node: PNode) -> str:
+    """Node path for critical-path blame — only built when recording."""
+    if _cp.CURRENT is None:
+        return ""
+    return "/".join(map(str, node.path)) or "root"
+
+
+def _serial_parts(cm: CostModel, sub: SearchStats) -> tuple[tuple[str, float], ...]:
+    """Decompose a serial subtree search's cost into its primitives.
+
+    Reconstructed from the substats counters with the same arithmetic
+    the stats hooks charged, so the weights sum to ``sub.cost`` exactly;
+    the critical-path walker splits each serial chunk's path time
+    proportionally.
+    """
+    static_eval = (sub.leaf_evals + sub.ordering_evals) * cm.static_eval
+    expansion = sub.interior_visits * cm.expand_base + sub.nodes_generated * cm.expand_per_child
+    tt_probe = sub.tt_probes * cm.tt_probe
+    tt_store = sub.tt_stores * cm.tt_store
+    return tuple(
+        (name, weight)
+        for name, weight in (
+            ("static_eval", static_eval),
+            ("expansion", expansion),
+            ("tt_probe", tt_probe),
+            ("tt_store", tt_store),
+        )
+        if weight > 0
+    )
+
+
 def _worker(ctx: _Context, stats: SearchStats, pid: int = 0) -> Generator[Op, None, None]:
     """The per-processor loop of Section 6."""
     cm = ctx.cost_model
@@ -605,7 +646,7 @@ def _worker(ctx: _Context, stats: SearchStats, pid: int = 0) -> Generator[Op, No
             node, from_spec, seen_version = yield from _pop_distributed(ctx, pid)
         else:
             yield Acquire(ctx.heap_lock)
-            yield Compute(cm.heap_op)
+            yield Compute(cm.heap_op, tag="heap_op")
             node, from_spec = ctx.pop_work()
             seen_version = ctx.work.version
             yield Release(ctx.heap_lock)
@@ -636,7 +677,7 @@ def _pop_distributed(
     seen_version = ctx.work.version
     own_lock = ctx.local_locks[pid]
     yield Acquire(own_lock)
-    yield Compute(cm.heap_op)
+    yield Compute(cm.heap_op, tag="heap_op")
     node = ctx.local_queues[pid].pop()
     if node is not None:
         ctx._bump("pops_primary")
@@ -649,7 +690,7 @@ def _pop_distributed(
         if len(ctx.local_queues[victim]) == 0:
             continue  # lock-free peek; emptiness races are benign
         yield Acquire(ctx.local_locks[victim])
-        yield Compute(cm.heap_op)
+        yield Compute(cm.heap_op, tag="heap_op")
         node = ctx.local_queues[victim].pop()
         if node is not None:
             ctx._bump("pops_primary")
@@ -659,7 +700,7 @@ def _pop_distributed(
         if node is not None:
             return node, False, seen_version
     yield Acquire(ctx.heap_lock)
-    yield Compute(cm.heap_op)
+    yield Compute(cm.heap_op, tag="heap_op")
     spec = ctx.speculative.pop()
     if spec is not None:
         # on_spec is cleared by _process_speculative under the tree lock.
@@ -680,20 +721,20 @@ def _push_all(
         speculatives = [n for q, n in pushes if q != "primary"]
         if primaries:
             yield Acquire(ctx.local_locks[pid])
-            yield Compute(ctx.cost_model.heap_op * len(primaries))
+            yield Compute(ctx.cost_model.heap_op * len(primaries), tag="heap_op")
             for node in primaries:
                 ctx.local_queues[pid].push(node)
             yield Release(ctx.local_locks[pid])
         if speculatives:
             yield Acquire(ctx.heap_lock)
-            yield Compute(ctx.cost_model.heap_op * len(speculatives))
+            yield Compute(ctx.cost_model.heap_op * len(speculatives), tag="heap_op")
             for node in speculatives:
                 ctx.speculative.push(node)
             yield Release(ctx.heap_lock)
         ctx.work.notify_all()
         return
     yield Acquire(ctx.heap_lock)
-    yield Compute(ctx.cost_model.heap_op * len(pushes))
+    yield Compute(ctx.cost_model.heap_op * len(pushes), tag="heap_op")
     for queue_name, node in pushes:
         if queue_name == "primary":
             ctx.primary.push(node)
@@ -731,7 +772,10 @@ def _finish_node(
     ctx._emit(_obs.EV_NODE_DONE, node, value=node.value, cutoff=False)
     pushes: list[tuple[str, PNode]] = []
     levels = ctx.combine(node, pushes)
-    yield Compute(ctx.cost_model.combine_step * max(1, levels))
+    yield Compute(
+        ctx.cost_model.combine_step * max(1, levels),
+        tag="combine_step", node=_cp_path(node), cls=node.ntype,
+    )
     if ctx.done:
         ctx.work.notify_all()
     yield Release(ctx.tree_lock)
@@ -744,7 +788,7 @@ def _process_speculative(
     """Pop from the speculative queue: select one more e-child."""
     cm = ctx.cost_model
     yield Acquire(ctx.tree_lock)
-    yield Compute(cm.bookkeeping)
+    yield Compute(cm.bookkeeping, tag="bookkeeping", node=_cp_path(node), cls=node.ntype)
     pushes: list[tuple[str, PNode]] = []
     ctx._note(node, _trace.WRITE)
     node.on_spec = False
@@ -834,7 +878,7 @@ def _process_primary(
 
     # Staleness and cutoff screening against the live tree.
     yield Acquire(ctx.tree_lock)
-    yield Compute(cm.bookkeeping)
+    yield Compute(cm.bookkeeping, tag="bookkeeping", node=_cp_path(node), cls=node.ntype)
     ctx._note(node, _trace.READ)
     if node.done or ctx.has_finished_ancestor(node):
         ctx._bump("stale_discards")
@@ -861,12 +905,18 @@ def _process_primary(
         return
 
     # Generate child positions (cheap move generation, outside the locks).
-    expand_cost = ctx.expand_positions(node, stats)
+    expand_cost, expand_parts = ctx.expand_positions(node, stats)
     if expand_cost:
-        yield Compute(expand_cost)
+        yield Compute(
+            expand_cost,
+            tag="expansion", node=_cp_path(node), cls=node.ntype, parts=expand_parts,
+        )
 
     if node.is_leaf:
-        yield Compute(stats.on_leaf(node.path, cm))
+        yield Compute(
+            stats.on_leaf(node.path, cm),
+            tag="static_eval", node=_cp_path(node), cls=node.ntype,
+        )
         leaf_value = ctx.problem.game.evaluate(node.position)
         yield from _tt_store_leaf(ctx, node, leaf_value, stats, pid)
         yield from _finish_node(ctx, node, stats, pid, value=leaf_value)
@@ -883,7 +933,7 @@ def _process_primary(
 
     pushes: list[tuple[str, PNode]] = []
     yield Acquire(ctx.tree_lock)
-    yield Compute(cm.bookkeeping)
+    yield Compute(cm.bookkeeping, tag="bookkeeping", node=_cp_path(node), cls=node.ntype)
     ctx._note(node, _trace.WRITE)
     if node.ntype == E_NODE:
         # Table 1: generate all (remaining) children as undecided nodes.
@@ -909,7 +959,11 @@ def _process_primary(
 
 
 def _charge_serial(
-    ctx: _Context, node: PNode, cost: float, stats: SearchStats
+    ctx: _Context,
+    node: PNode,
+    cost: float,
+    stats: SearchStats,
+    parts: tuple[tuple[str, float], ...] = (),
 ) -> Generator[Op, None, bool]:
     """Charge a serial search's time in abandonable chunks.
 
@@ -917,13 +971,16 @@ def _charge_serial(
     re-checks the live tree — under the tree lock, since other workers
     mutate ancestor state under it — and abandons the remainder if the
     subtree is now moot.  Returns via StopIteration-value whether the
-    work survived.
+    work survived.  ``parts`` (from :func:`_serial_parts`) rides on every
+    chunk so critical-path attribution can split the subtree's mixed
+    cost back into primitives.
     """
     cfg = ctx.config
+    npath = _cp_path(node)
     charged = 0.0
     while charged < cost:
         chunk = min(cfg.chunk_units, cost - charged)
-        yield Compute(chunk)
+        yield Compute(chunk, tag="serial", node=npath, cls=node.ntype, parts=parts)
         charged += chunk
         if charged < cost:
             yield Acquire(ctx.tree_lock)
@@ -973,7 +1030,9 @@ def _serial_evaluate(
         sub, alpha, beta, cost_model=ctx.cost_model, stats=substats, table=_tt_view(ctx, pid)
     )
     _merge_substats(ctx, stats, substats, node.path)
-    survived = yield from _charge_serial(ctx, node, substats.cost, stats)
+    survived = yield from _charge_serial(
+        ctx, node, substats.cost, stats, _serial_parts(ctx.cost_model, substats)
+    )
     yield from _finish_node(
         ctx,
         node,
@@ -1033,7 +1092,9 @@ def _serial_refute_remaining(
             table=_tt_view(ctx, pid),
         )
         _merge_substats(ctx, stats, substats, node.path + (index,))
-        survived = yield from _charge_serial(ctx, node, substats.cost, stats)
+        survived = yield from _charge_serial(
+            ctx, node, substats.cost, stats, _serial_parts(ctx.cost_model, substats)
+        )
         yield Acquire(ctx.tree_lock)
         ctx._bump("serial_searches")
         if survived:

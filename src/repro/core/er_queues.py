@@ -23,6 +23,11 @@ spec-heap-size traces for sim, threaded, and multiproc runs alike.
 ``__len__`` is reported as a *relaxed* read: the distributed-heap
 work-stealing pop deliberately peeks victim queue lengths without the
 lock (emptiness races are benign; the popper re-checks under the lock).
+
+With a :mod:`repro.obs.critpath` recorder installed, pops additionally
+log which queue handed out each tree node — the heap hand-off side of
+the dependency record, so critical-path blame rows can name the queue a
+path node travelled through.
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ import heapq
 from enum import Enum
 from typing import TYPE_CHECKING, Optional
 
+from ..obs import critpath as _cp
 from ..obs import events as _obs
 from ..verify import trace as _trace
 
@@ -58,6 +64,12 @@ def _emit_depth(name: str, depth: int) -> None:
         _obs.CURRENT.emit(_obs.EV_QUEUE_DEPTH, queue=name, depth=depth)
 
 
+def _note_pop(name: str, node: "PNode") -> None:
+    """Log a heap hand-off to the critical-path recorder, if installed."""
+    if _cp.CURRENT is not None:
+        _cp.CURRENT.on_pop(name, "/".join(map(str, node.path)) or "root")
+
+
 class PrimaryQueue:
     """Scheduled work, deepest node first."""
 
@@ -80,6 +92,7 @@ class PrimaryQueue:
             return None
         node = heapq.heappop(self._heap)[2]
         _emit_depth(self.name, len(self._heap))
+        _note_pop(self.name, node)
         return node
 
     def __len__(self) -> int:
@@ -123,6 +136,7 @@ class SpeculativeQueue:
             return None
         node = heapq.heappop(self._heap)[2]
         _emit_depth(self.name, len(self._heap))
+        _note_pop(self.name, node)
         return node
 
     def __len__(self) -> int:

@@ -10,9 +10,14 @@ Four layers, lowest first:
 * :mod:`repro.obs.snapshot` — the one comparable record of a run: a
   per-processor busy / starvation / interference / speculative / tail
   breakdown with the protocol counters and work stats attached;
+* :mod:`repro.obs.critpath` and :mod:`repro.obs.whatif` — exact
+  critical-path extraction over the simulated schedule (per-node blame,
+  per-primitive makespan attribution) and the causal what-if engine
+  that re-runs fixed-seed workloads under perturbed cost models;
 * :mod:`repro.obs.export` and :mod:`repro.obs.ledger` — Chrome
-  trace-event JSON (Perfetto) + JSONL exporters, and the persistent
-  run ledger with regression comparison.
+  trace-event JSON (Perfetto, with optional critical-path overlay) +
+  JSONL exporters, and the persistent run ledger with regression
+  comparison over counters, fractions, and critical-path composition.
 
 Only the first two are imported at package load: the engine and queue
 modules import this package from the bottom of the dependency graph, so
@@ -25,6 +30,7 @@ from __future__ import annotations
 from .events import (
     ALL_EVENT_TYPES,
     EV_CLASS_FLIP,
+    EV_CRIT_SEGMENT,
     EV_ENGINE_CHOICE,
     EV_NODE_CREATED,
     EV_NODE_DONE,
@@ -42,6 +48,7 @@ from .registry import EVENT_METRICS, OP_METRICS, MetricsRegistry, aggregate
 __all__ = [
     "ALL_EVENT_TYPES",
     "EV_CLASS_FLIP",
+    "EV_CRIT_SEGMENT",
     "EV_ENGINE_CHOICE",
     "EV_NODE_CREATED",
     "EV_NODE_DONE",
@@ -74,13 +81,18 @@ def self_check() -> list[str]:
     from ..core.er_parallel import parallel_er
     from ..games.base import SearchProblem
     from ..games.random_tree import RandomGameTree
-    from . import export, ledger, snapshot
+    from . import critpath, export, ledger, snapshot
     from .events import observing as _observing
 
     problems: list[str] = []
     problem = SearchProblem(RandomGameTree(3, 5, seed=7), depth=5)
-    with _observing() as bus:
+    with _observing() as bus, critpath.recording() as rec:
         result = parallel_er(problem, 4)
+    path = critpath.extract(rec, result.sim_time)
+    if path.length != result.sim_time:
+        problems.append(
+            f"critical-path length {path.length!r} != makespan {result.sim_time!r}"
+        )
     snap = snapshot.snapshot_from_sim(result, workload="selfcheck", bus=bus)
     problems.extend(snap.check_accounting())
     if not bus.events:

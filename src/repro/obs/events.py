@@ -61,6 +61,10 @@ EV_TT_STORE = "tt-store"
 #: A worker found its table stripe's lock already held (`stripe`, `op`) —
 #: the cache's contribution to interference loss.
 EV_TT_CONTENTION = "tt-contention"
+#: One element of an extracted critical path, synthesized after a run by
+#: :func:`repro.obs.critpath.bus_events` (`kind`, `end`, `credit`, `tag`,
+#: `node`) — never emitted live.
+EV_CRIT_SEGMENT = "crit-segment"
 
 #: Every event type the bus may carry, in documentation order.
 ALL_EVENT_TYPES: tuple[str, ...] = (
@@ -76,6 +80,7 @@ ALL_EVENT_TYPES: tuple[str, ...] = (
     EV_TT_PROBE,
     EV_TT_STORE,
     EV_TT_CONTENTION,
+    EV_CRIT_SEGMENT,
 )
 
 

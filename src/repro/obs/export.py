@@ -13,6 +13,12 @@ load the Chrome trace-event JSON format emitted here:
   task flow;
 * ``"M"`` (metadata) events naming the process and processor tracks.
 
+With a :class:`~repro.obs.critpath.CriticalPath` supplied, a second
+Perfetto process group (pid 1, "critical-path") overlays the extracted
+path: one ``"X"`` row per path segment on the owning processor's lane,
+one ``"i"`` marker per traversed lock/starve hand-off — so the exact
+chain that bounds the makespan renders right under the full schedule.
+
 Timestamps are Chrome-trace microseconds.  Simulated time maps one unit
 to one microsecond, so the trace is byte-stable for a fixed seed; wall
 clocks are rebased to the earliest event so traces start near zero.
@@ -26,6 +32,8 @@ from typing import Iterable, Mapping, Optional, Union
 
 from ..sim.metrics import SimReport
 from . import events as _events
+from .critpath import BUSY as _CP_BUSY
+from .critpath import UNTAGGED, CriticalPath
 from .snapshot import SECONDS, SIM_UNITS
 
 #: Chrome-trace category names per event origin.
@@ -33,6 +41,10 @@ _CAT_PROC = "processor"
 _CAT_NODES = "nodes"
 _CAT_TASKS = "tasks"
 _CAT_ENGINE = "engine"
+_CAT_CRITPATH = "critpath"
+
+#: Perfetto process id of the critical-path overlay group.
+_CRITPATH_PID = 1
 
 _INSTANT_CATEGORIES: Mapping[str, str] = {
     _events.EV_NODE_CREATED: _CAT_NODES,
@@ -74,6 +86,58 @@ def _timeline_events(report: SimReport) -> list[TraceEvent]:
                     "tid": pid,
                     "ts": start,
                     "dur": end - start,
+                }
+            )
+    return out
+
+
+def _critpath_events(path: CriticalPath) -> list[TraceEvent]:
+    """Overlay rows for one extracted critical path (pid 1 group)."""
+    out: list[TraceEvent] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": _CRITPATH_PID,
+            "tid": 0,
+            "args": {"name": "critical-path"},
+        }
+    ]
+    for pid in sorted({s.interval.wid for s in path.steps}):
+        out.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": _CRITPATH_PID,
+                "tid": pid,
+                "args": {"name": f"P{pid} (on path)"},
+            }
+        )
+    for step in path.steps:
+        iv = step.interval
+        if iv.kind == _CP_BUSY:
+            out.append(
+                {
+                    "ph": "X",
+                    "name": iv.tag or UNTAGGED,
+                    "cat": _CAT_CRITPATH,
+                    "pid": _CRITPATH_PID,
+                    "tid": iv.wid,
+                    "ts": iv.end - step.credit,
+                    "dur": step.credit,
+                    "args": {"node": iv.node, "cls": iv.cls},
+                }
+            )
+        else:
+            out.append(
+                {
+                    "ph": "i",
+                    "name": f"handoff {iv.kind}:{iv.tag}",
+                    "cat": _CAT_CRITPATH,
+                    "pid": _CRITPATH_PID,
+                    "tid": iv.wid,
+                    "ts": iv.end,
+                    "s": "t",
+                    "args": {"src": iv.src, "waited": iv.end - iv.start},
                 }
             )
     return out
@@ -134,6 +198,7 @@ def render_chrome_trace(
     report: Optional[SimReport] = None,
     time_unit: str = SIM_UNITS,
     metadata: Optional[Mapping[str, object]] = None,
+    critpath: Optional[CriticalPath] = None,
 ) -> str:
     """Render one run as deterministic Chrome trace-event JSON.
 
@@ -147,6 +212,8 @@ def render_chrome_trace(
             fixed seed); :data:`~repro.obs.snapshot.SECONDS` rebases to
             the earliest event and scales to microseconds.
         metadata: extra key/values stored in the trace envelope.
+        critpath: extracted critical path to overlay as a second process
+            group (simulated time only — timestamps are used unscaled).
 
     Returns:
         JSON text with sorted keys and no incidental whitespace, so a
@@ -168,6 +235,8 @@ def render_chrome_trace(
     if report is not None:
         trace_events.extend(_timeline_events(report))
     trace_events.extend(_bus_events(event_list, scale=_scale_for(time_unit), offset=offset))
+    if critpath is not None:
+        trace_events.extend(_critpath_events(critpath))
     payload: dict[str, object] = {
         "displayTimeUnit": "ms",
         "metadata": dict(metadata) if metadata else {},
@@ -183,12 +252,15 @@ def write_chrome_trace(
     report: Optional[SimReport] = None,
     time_unit: str = SIM_UNITS,
     metadata: Optional[Mapping[str, object]] = None,
+    critpath: Optional[CriticalPath] = None,
 ) -> Path:
     """Write :func:`render_chrome_trace` output to ``path``; returns it."""
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     target.write_text(
-        render_chrome_trace(events, report=report, time_unit=time_unit, metadata=metadata),
+        render_chrome_trace(
+            events, report=report, time_unit=time_unit, metadata=metadata, critpath=critpath
+        ),
         encoding="utf-8",
     )
     return target

@@ -3,11 +3,18 @@
 ``results/ledger/`` accumulates one record per run — git SHA, seed,
 workload, backend, processor count, cost model, and the full
 :class:`~repro.obs.snapshot.Snapshot` — so any two points in the repo's
-history can be compared.  :func:`compare_records` flags efficiency and
-node-count regressions beyond a tolerance; the ``repro-gametree
-compare`` subcommand and the warn-only CI gate are thin wrappers over
-it.  The simulated backend is deterministic across machines, which is
-what makes a *committed* baseline record a meaningful CI reference.
+history can be compared.  :func:`compare_records` flags efficiency,
+node-count, and critical-path-composition regressions beyond a
+tolerance; the ``repro-gametree compare`` subcommand and the failing CI
+gate (±10 %, ``[skip-ledger-gate]`` commit-message escape hatch) are
+thin wrappers over it.  The simulated backend is deterministic across
+machines, which is what makes a *committed* baseline record a
+meaningful CI reference.
+
+Records may additionally carry a ``whatif`` array (causal what-if sweep
+points from :mod:`repro.obs.whatif`) and a ``snapshot.critpath`` block
+(flat :meth:`~repro.obs.critpath.CriticalPath.composition`); both are
+optional so pre-critpath records stay valid.
 """
 
 from __future__ import annotations
@@ -54,6 +61,21 @@ LEDGER_SCHEMA: dict[str, object] = {
         "n_processors": {"type": "integer", "minimum": 1},
         "cost_model": {"type": "object"},
         "config": {"type": "object"},
+        # Optional: causal what-if sweep (repro.obs.whatif), one point per
+        # perturbed (primitive, factor) pair.  Absent on pre-critpath
+        # records and on runs that skipped the sweep.
+        "whatif": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": [
+                    "primitive",
+                    "factor",
+                    "predicted_makespan",
+                    "actual_makespan",
+                ],
+            },
+        },
         "snapshot": {
             "type": "object",
             "required": [
@@ -70,6 +92,9 @@ LEDGER_SCHEMA: dict[str, object] = {
             "properties": {
                 "time_unit": {"enum": [SIM_UNITS, "seconds"]},
                 "makespan": {"type": "number", "minimum": 0},
+                # Optional: flat critical-path composition
+                # (CriticalPath.composition()); absent pre-critpath.
+                "critpath": {"type": "object"},
                 "processors": {
                     "type": "array",
                     "items": {
@@ -118,9 +143,15 @@ def make_record(
     cost_model: Optional[Mapping[str, object]] = None,
     config: Optional[Mapping[str, object]] = None,
     git_sha: Optional[str] = None,
+    whatif: Optional[list[Mapping[str, object]]] = None,
 ) -> Record:
-    """Assemble one ledger record from a snapshot plus run identity."""
-    return {
+    """Assemble one ledger record from a snapshot plus run identity.
+
+    ``whatif`` — the flat points of a causal sweep
+    (:func:`repro.obs.whatif.to_records`) — is stored only when given, so
+    records from runs without a sweep stay byte-identical to schema v1.
+    """
+    record: Record = {
         "schema_version": SCHEMA_VERSION,
         "git_sha": git_sha if git_sha is not None else current_git_sha(),
         "created_at": time.time(),
@@ -133,6 +164,9 @@ def make_record(
         "config": dict(config) if config else {},
         "snapshot": snap.to_dict(),
     }
+    if whatif is not None:
+        record["whatif"] = [dict(point) for point in whatif]
+    return record
 
 
 def validate_record(record: Record) -> list[str]:
@@ -197,6 +231,18 @@ def validate_record(record: Record) -> list[str]:
             ):
                 if key not in row:
                     problems.append(f"processor row missing field: {key}")
+    whatif = record.get("whatif")
+    if whatif is not None:
+        if not isinstance(whatif, list):
+            problems.append("whatif must be a list")
+        else:
+            for i, point in enumerate(whatif):
+                if not isinstance(point, dict):
+                    problems.append(f"whatif[{i}] must be an object")
+                    continue
+                for key in ("primitive", "factor", "predicted_makespan", "actual_makespan"):
+                    if key not in point:
+                        problems.append(f"whatif[{i}] missing field: {key}")
     snap = Snapshot.from_dict(snapshot)
     problems.extend(snap.check_accounting())
     return problems
@@ -299,11 +345,15 @@ def compare_records(
     * **work counters** — ``nodes_examined``, ``leaf_evals``, ``cost``
       growing by more than ``tolerance`` (relative);
     * **makespan** — growing by more than ``tolerance`` (relative; for
-      wall-clock backends this is noisy, which is why the CI gate that
-      wraps this is warn-only);
+      wall-clock backends this is noisy — the failing CI gate compares
+      simulated records only, where makespan is exactly reproducible);
     * **loss fractions** — starvation / interference / speculative
       fractions growing by more than ``tolerance`` (absolute, since they
-      are already normalized).
+      are already normalized);
+    * **critical-path composition** — when both snapshots carry a
+      ``critpath`` block, each primitive's share of the makespan growing
+      by more than ``tolerance`` (absolute).  A record without critpath
+      data (pre-critpath baseline) is noted, not flagged.
 
     Shrinking any of those is reported as an improvement, never a
     regression.
@@ -356,11 +406,76 @@ def compare_records(
             report.regressions.append(f"{name}: {old:.4f} -> {new:.4f} (+{delta:.4f})")
         elif delta < -tolerance:
             report.improvements.append(f"{name}: {old:.4f} -> {new:.4f} ({delta:+.4f})")
+
+    _compare_critpath(report, base_snap.critpath, cand_snap.critpath, tolerance)
     return report
 
 
+def _critpath_shares(composition: Mapping[str, float]) -> dict[str, float]:
+    """Per-primitive share of the makespan from a flat critpath block."""
+    makespan = composition.get("makespan", 0.0)
+    if makespan <= 0:
+        return {}
+    prefix = "primitive."
+    return {
+        key[len(prefix) :]: value / makespan
+        for key, value in composition.items()
+        if key.startswith(prefix)
+    }
+
+
+def _compare_critpath(
+    report: CompareReport,
+    base: Mapping[str, float],
+    cand: Mapping[str, float],
+    tolerance: float,
+) -> None:
+    """Diff critical-path composition; shares are absolute-delta checked."""
+    if not base and not cand:
+        return
+    if not base:
+        report.notes.append("baseline has no critical-path data; composition not compared")
+        return
+    if not cand:
+        report.notes.append("candidate has no critical-path data; composition not compared")
+        return
+    base_shares = _critpath_shares(base)
+    cand_shares = _critpath_shares(cand)
+    for primitive in sorted(base_shares.keys() | cand_shares.keys()):
+        old = base_shares.get(primitive, 0.0)
+        new = cand_shares.get(primitive, 0.0)
+        delta = new - old
+        label = f"critpath share {primitive}"
+        if delta > tolerance:
+            report.regressions.append(f"{label}: {old:.4f} -> {new:.4f} (+{delta:.4f})")
+        elif delta < -tolerance:
+            report.improvements.append(f"{label}: {old:.4f} -> {new:.4f} ({delta:+.4f})")
+
+
+def _series_point(summary: Record) -> Record:
+    """One per-PR sample for the makespan/nodes/efficiency series."""
+    fractions = summary.get("fractions")
+    work = summary.get("work")
+    efficiency = fractions.get("busy") if isinstance(fractions, dict) else None
+    nodes = work.get("nodes_examined") if isinstance(work, dict) else None
+    return {
+        "git_sha": summary.get("git_sha"),
+        "created_at": summary.get("created_at"),
+        "makespan": summary.get("makespan"),
+        "nodes": nodes,
+        "efficiency": efficiency,
+    }
+
+
 def aggregate(directory: Union[str, Path], out_path: Optional[Union[str, Path]] = None) -> Record:
-    """Summarize every record in ``directory`` into one ``BENCH_obs.json`` payload."""
+    """Summarize every record in ``directory`` into one ``BENCH_obs.json`` payload.
+
+    Besides the flat per-record summaries, the payload carries one
+    ``series`` entry per (backend, workload, scale, P) configuration:
+    the records of that configuration ordered by ``created_at``, reduced
+    to {git_sha, created_at, makespan, nodes, efficiency} — the per-PR
+    trend lines CI appends to across commits.
+    """
     summaries: list[Record] = []
     for path in sorted(Path(directory).glob("*.json")):
         try:
@@ -370,22 +485,36 @@ def aggregate(directory: Union[str, Path], out_path: Optional[Union[str, Path]] 
         snapshot = record.get("snapshot")
         if not isinstance(snapshot, dict):
             continue
-        summaries.append(
-            {
-                "file": path.name,
-                "backend": record.get("backend"),
-                "workload": record.get("workload"),
-                "scale": record.get("scale"),
-                "seed": record.get("seed"),
-                "n_processors": record.get("n_processors"),
-                "git_sha": record.get("git_sha"),
-                "makespan": snapshot.get("makespan"),
-                "time_unit": snapshot.get("time_unit"),
-                "value": snapshot.get("value"),
-                "fractions": snapshot.get("fractions"),
-                "work": snapshot.get("work"),
-            }
+        summary: Record = {
+            "file": path.name,
+            "backend": record.get("backend"),
+            "workload": record.get("workload"),
+            "scale": record.get("scale"),
+            "seed": record.get("seed"),
+            "n_processors": record.get("n_processors"),
+            "git_sha": record.get("git_sha"),
+            "created_at": record.get("created_at"),
+            "makespan": snapshot.get("makespan"),
+            "time_unit": snapshot.get("time_unit"),
+            "value": snapshot.get("value"),
+            "fractions": snapshot.get("fractions"),
+            "work": snapshot.get("work"),
+        }
+        critpath = snapshot.get("critpath")
+        if isinstance(critpath, dict) and critpath:
+            summary["critpath"] = critpath
+        if record.get("whatif") is not None:
+            summary["whatif"] = record.get("whatif")
+        summaries.append(summary)
+    series: dict[str, list[Record]] = {}
+    for summary in summaries:
+        key = (
+            f"{summary.get('backend')}/{summary.get('workload')}"
+            f"/{summary.get('scale')}/P{summary.get('n_processors')}"
         )
+        series.setdefault(key, []).append(_series_point(summary))
+    for points in series.values():
+        points.sort(key=lambda p: (float(p.get("created_at") or 0.0), str(p.get("git_sha"))))
     ledger_dir = Path(directory)
     try:
         # Relative paths keep the aggregate portable across checkouts.
@@ -397,6 +526,7 @@ def aggregate(directory: Union[str, Path], out_path: Optional[Union[str, Path]] 
         "ledger_dir": str(ledger_dir),
         "n_records": len(summaries),
         "records": summaries,
+        "series": {key: series[key] for key in sorted(series)},
     }
     if out_path is not None:
         target = Path(out_path)

@@ -162,6 +162,7 @@ EVENT_METRICS: Mapping[str, str] = {
     events.EV_TT_PROBE: "tt.probes",
     events.EV_TT_STORE: "tt.stores",
     events.EV_TT_CONTENTION: "tt.contention",
+    events.EV_CRIT_SEGMENT: "critpath.segments",
 }
 
 

@@ -105,6 +105,11 @@ class Snapshot:
     counters: dict[str, float] = field(default_factory=dict)
     work: dict[str, float] = field(default_factory=dict)
     metrics: dict[str, _registry.MetricValue] = field(default_factory=dict)
+    #: Critical-path composition from
+    #: :meth:`repro.obs.critpath.CriticalPath.composition` (sim backend
+    #: only; empty when no path was extracted).  Flat ``primitive.*`` /
+    #: ``handoffs.*`` keys so the ledger can diff composition shifts.
+    critpath: dict[str, float] = field(default_factory=dict)
 
     # -- derived fractions (denominator: processor-time of the run) --------
 
@@ -168,7 +173,7 @@ class Snapshot:
     # -- serialization ------------------------------------------------------
 
     def to_dict(self) -> dict[str, object]:
-        return {
+        out: dict[str, object] = {
             "backend": self.backend,
             "time_unit": self.time_unit,
             "workload": self.workload,
@@ -186,6 +191,11 @@ class Snapshot:
                 "speculative": self.speculative_fraction,
             },
         }
+        # Omitted when empty so pre-critpath records and golden bytes
+        # stay unchanged.
+        if self.critpath:
+            out["critpath"] = dict(self.critpath)
+        return out
 
     @classmethod
     def from_dict(cls, data: dict[str, object]) -> "Snapshot":
@@ -204,6 +214,7 @@ class Snapshot:
             counters=dict(data.get("counters", {})),  # type: ignore[arg-type]
             work=dict(data.get("work", {})),  # type: ignore[arg-type]
             metrics=dict(data.get("metrics", {})),  # type: ignore[arg-type]
+            critpath=dict(data.get("critpath", {})),  # type: ignore[arg-type]
         )
 
 
@@ -238,8 +249,14 @@ def snapshot_from_sim(
     *,
     workload: str = "",
     bus: Optional[_events.EventBus] = None,
+    critpath: Optional[dict[str, float]] = None,
 ) -> Snapshot:
-    """Freeze a simulated run (exact decomposition, simulated units)."""
+    """Freeze a simulated run (exact decomposition, simulated units).
+
+    ``critpath`` takes a flat composition dict
+    (:meth:`repro.obs.critpath.CriticalPath.composition`) when the run
+    was recorded under a schedule recorder.
+    """
     processors = tuple(
         ProcBreakdown(
             pid=pid,
@@ -263,6 +280,7 @@ def snapshot_from_sim(
         counters={k: float(v) for k, v in result.extras.items()},
         work=work_dict(result.stats),
         metrics=_metrics_from(bus),
+        critpath=dict(critpath) if critpath else {},
     )
 
 

@@ -1,0 +1,162 @@
+"""Causal "what-if" profiling over perturbed cost models.
+
+Critical-path attribution (:mod:`repro.obs.critpath`) says how much of
+the makespan the schedule *spent* on each cost primitive; this module
+asks the sharper causal question: what would the makespan become if a
+primitive were cheaper?  Two answers are produced per ``(primitive,
+factor)`` point:
+
+* **predicted** — the Coz-style virtual speedup computed from the base
+  run alone: scaling a primitive's cost by ``factor`` removes
+  ``(1 - factor)`` of the path time attributed to it, so
+  ``predicted = base_makespan - (1 - factor) * attributed``.  This is
+  exact only if the schedule's shape were frozen.
+* **actual** — the makespan of a genuine re-run of the same fixed-seed
+  workload under a ``CostModel`` with the primitive's fields scaled by
+  ``factor`` (``dataclasses.replace``; zero means free).  The schedule
+  *reshapes*: pops land in different orders, speculation changes, other
+  primitives rotate onto the critical path.
+
+The gap between the two is the causal-profile signal — how much of the
+naive headroom survives contact with the scheduler.  Everything is a
+deterministic pure function of the runner, so sweeps are
+byte-reproducible and ledger-recordable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, Mapping
+
+from ..costmodel import CostModel
+from ..errors import SimulationError
+
+#: Cost primitives a sweep may perturb, mapped to the ``CostModel``
+#: fields they scale.  ``expansion`` covers both the per-node base and
+#: the per-child increment; the rest are one field each.
+PRIMITIVE_FIELDS: dict[str, tuple[str, ...]] = {
+    "static_eval": ("static_eval",),
+    "expansion": ("expand_base", "expand_per_child"),
+    "heap_op": ("heap_op",),
+    "combine_step": ("combine_step",),
+    "bookkeeping": ("bookkeeping",),
+    "tt_probe": ("tt_probe",),
+    "tt_store": ("tt_store",),
+}
+
+#: A runner maps a cost model to the resulting makespan for the fixed
+#: workload under study (same problem, seed, P, config every call).
+Runner = Callable[[CostModel], float]
+
+
+def perturbed(cost_model: CostModel, primitive: str, factor: float) -> CostModel:
+    """Return ``cost_model`` with ``primitive``'s fields scaled by ``factor``."""
+    try:
+        fields = PRIMITIVE_FIELDS[primitive]
+    except KeyError:
+        raise SimulationError(
+            f"unknown cost primitive {primitive!r}; "
+            f"choose from {sorted(PRIMITIVE_FIELDS)}"
+        ) from None
+    if factor < 0:
+        raise SimulationError("perturbation factor must be non-negative")
+    changes = {name: getattr(cost_model, name) * factor for name in fields}
+    return replace(cost_model, **changes)
+
+
+@dataclass(frozen=True)
+class WhatIfPoint:
+    """One point of a causal profile: a primitive scaled by a factor."""
+
+    primitive: str
+    factor: float
+    base_makespan: float
+    attributed: float
+    predicted_makespan: float
+    actual_makespan: float
+
+    @property
+    def predicted_speedup(self) -> float:
+        return self.base_makespan / max(self.predicted_makespan, 1e-12)
+
+    @property
+    def actual_speedup(self) -> float:
+        return self.base_makespan / max(self.actual_makespan, 1e-12)
+
+    @property
+    def prediction_error(self) -> float:
+        """Predicted minus actual makespan (positive: run beat the model)."""
+        return self.predicted_makespan - self.actual_makespan
+
+    def to_record(self) -> dict[str, float | str]:
+        """Flat, JSON/ledger-friendly form."""
+        return {
+            "primitive": self.primitive,
+            "factor": self.factor,
+            "base_makespan": self.base_makespan,
+            "attributed": self.attributed,
+            "predicted_makespan": self.predicted_makespan,
+            "actual_makespan": self.actual_makespan,
+            "predicted_speedup": self.predicted_speedup,
+            "actual_speedup": self.actual_speedup,
+        }
+
+
+def sweep(
+    runner: Runner,
+    attribution: Mapping[str, float],
+    base_makespan: float,
+    *,
+    primitives: Iterable[str],
+    factors: Iterable[float],
+    cost_model: CostModel,
+) -> list[WhatIfPoint]:
+    """Run the full ``primitives x factors`` causal-profile grid.
+
+    ``attribution`` is ``CriticalPath.by_primitive()`` from the *base*
+    run; primitives absent from it get zero attributed time (predicted
+    makespan unchanged), which is itself informative when the actual
+    re-run still moves.
+    """
+    points: list[WhatIfPoint] = []
+    for primitive in primitives:
+        attributed = attribution.get(primitive, 0.0)
+        for factor in factors:
+            predicted = base_makespan - (1.0 - factor) * attributed
+            actual = (
+                base_makespan
+                if factor == 1.0
+                else runner(perturbed(cost_model, primitive, factor))
+            )
+            points.append(
+                WhatIfPoint(
+                    primitive=primitive,
+                    factor=factor,
+                    base_makespan=base_makespan,
+                    attributed=attributed,
+                    predicted_makespan=predicted,
+                    actual_makespan=actual,
+                )
+            )
+    return points
+
+
+def to_records(points: Iterable[WhatIfPoint]) -> list[dict[str, float | str]]:
+    """Serialise a sweep for the run ledger (``record["whatif"]``)."""
+    return [p.to_record() for p in points]
+
+
+def render_table(points: Iterable[WhatIfPoint]) -> str:
+    """Deterministic text table of predicted-vs-actual speedups."""
+    lines = [
+        "what-if causal profile (virtual speedup vs re-run):",
+        f"  {'primitive':<14} {'factor':>6} {'attributed':>12} "
+        f"{'predicted':>12} {'actual':>12} {'pred-x':>7} {'act-x':>7}",
+    ]
+    for p in points:
+        lines.append(
+            f"  {p.primitive:<14} {p.factor:>6.2f} {p.attributed:>12.1f} "
+            f"{p.predicted_makespan:>12.1f} {p.actual_makespan:>12.1f} "
+            f"{p.predicted_speedup:>7.3f} {p.actual_speedup:>7.3f}"
+        )
+    return "\n".join(lines) + "\n"

@@ -13,7 +13,10 @@ tracks each processor's held locks, aborts with
 inversion (see :class:`~repro.sim.locks.LockOrderGraph`), and — when a
 :mod:`repro.verify.trace` recorder is installed — emits the
 acquire/release/wait/wake event stream the offline race detector
-consumes.
+consumes.  With a :mod:`repro.obs.critpath` recorder installed it also
+captures every charged interval together with its dependency edge
+(program order, lock grant, work wake-up), which is exactly the DAG the
+critical-path walker needs.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from enum import Enum
 from typing import Generator, Iterable
 
 from ..errors import DeadlockError, LockOrderError, SimulationError, WorkerProtocolError
+from ..obs import critpath as _cp
 from ..obs import events as _obs
 from ..verify import trace as _trace
 from .locks import LockOrderGraph, SimLock, WorkSignal
@@ -73,6 +77,10 @@ class Engine:
                 proc.metrics.timeline = []
         self._max_events = max_events
         self.now = 0.0
+        #: Worker currently driven by the run loop; grant/wake calls made
+        #: while it executes record it as the hand-off source (the
+        #: dependency edge the critical-path walker follows).
+        self._current = -1
         self._seq = 0
         self._queue: list[tuple[float, int, int]] = []
         self._events = 0
@@ -92,6 +100,10 @@ class Engine:
         proc.metrics.starve_wait += self.now - proc.blocked_since
         if proc.metrics.timeline is not None and self.now > proc.blocked_since:
             proc.metrics.timeline.append(("starve", proc.blocked_since, self.now))
+        if _cp.CURRENT is not None and self.now > proc.blocked_since:
+            _cp.CURRENT.on_wait(
+                wid, _cp.STARVE, proc.blocked_since, self.now, signal.name, self._current
+            )
         if _trace.CURRENT is not None:
             _trace.on_wake(signal.name, task=wid)
         proc.state = _State.READY
@@ -104,6 +116,10 @@ class Engine:
         proc.metrics.lock_wait += self.now - proc.blocked_since
         if proc.metrics.timeline is not None and self.now > proc.blocked_since:
             proc.metrics.timeline.append(("lock", proc.blocked_since, self.now))
+        if _cp.CURRENT is not None and self.now > proc.blocked_since:
+            _cp.CURRENT.on_wait(
+                wid, _cp.LOCK_WAIT, proc.blocked_since, self.now, lock.name, self._current
+            )
         if _trace.CURRENT is not None:
             _trace.on_acquire(lock.name, task=wid)
         proc.state = _State.READY
@@ -119,6 +135,11 @@ class Engine:
             proc.metrics.busy += op.units
             if proc.metrics.timeline is not None and op.units > 0:
                 proc.metrics.timeline.append(("busy", self.now, self.now + op.units))
+            if _cp.CURRENT is not None and op.units > 0:
+                _cp.CURRENT.on_busy(
+                    wid, self.now, self.now + op.units,
+                    tag=op.tag, node=op.node, cls=op.cls, parts=op.parts,
+                )
             self._schedule(wid, self.now + op.units)
         elif isinstance(op, Acquire):
             lock = op.lock
@@ -212,6 +233,7 @@ class Engine:
                 proc = self._procs[wid]
                 if proc.state is _State.FINISHED:
                     continue
+                self._current = wid
                 _trace.set_task(wid)
                 _obs.set_task(wid)
                 try:

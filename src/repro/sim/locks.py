@@ -63,7 +63,14 @@ class WorkSignal:
             raise SimulationError(f"signal {self.name!r} used by two engines")
 
     def notify_all(self) -> None:
-        """Wake every blocked waiter at the engine's current time."""
+        """Wake every blocked waiter at the engine's current time.
+
+        The wake-ups run inside the notifying worker's turn, so the
+        engine attributes each one to that worker — the starvation
+        hand-off edge :mod:`repro.obs.critpath` follows when a work wait
+        sits on the critical path (lock grants are attributed to the
+        releasing worker the same way).
+        """
         self.version += 1
         if _trace.CURRENT is not None:
             _trace.on_notify(self.name, self.version)

@@ -6,6 +6,13 @@ and come straight out of the engine: time blocked on :class:`WaitWork` is
 starvation, time blocked on :class:`Acquire` is interference.  Speculative
 loss is semantic and is computed separately by
 :mod:`repro.analysis.losses` from node traces.
+
+The exact-tiling invariants (``accounted == finish_time`` and
+``accounted + tail_idle == makespan``, checked to 1e-9 by the snapshot
+layer) are also what makes :mod:`repro.obs.critpath` sound: every
+instant of every processor's schedule belongs to exactly one recorded
+interval, so the backward critical-path walk can never fall into an
+unaccounted gap and its busy credits telescope to the makespan exactly.
 """
 
 from __future__ import annotations

@@ -29,9 +29,23 @@ class Op:
 
 @dataclass(frozen=True)
 class Compute(Op):
-    """Advance this processor's clock by ``units`` of busy time."""
+    """Advance this processor's clock by ``units`` of busy time.
+
+    The optional attribution fields do not affect scheduling — the
+    engine charges ``units`` regardless — but an installed
+    :mod:`repro.obs.critpath` recorder copies them onto the charged
+    interval so the critical-path walker can blame path time on a cost
+    primitive (``tag``), a tree node (``node``), and the node's e/r
+    classification at charge time (``cls``).  ``parts`` decomposes a
+    mixed charge (e.g. a serial-subtree chunk) into raw
+    ``(primitive, weight)`` components.
+    """
 
     units: float
+    tag: str = ""
+    node: str = ""
+    cls: str = ""
+    parts: tuple[tuple[str, float], ...] = ()
 
     def __post_init__(self) -> None:
         if self.units < 0:

@@ -1,6 +1,6 @@
 """AST lint enforcing the repo's concurrency and determinism invariants.
 
-Five rules, each an invariant the rest of the codebase argues from:
+Six rules, each an invariant the rest of the codebase argues from:
 
 * **VER001 — lock discipline in the parallel ER workers.**  Every
   module-level worker generator in ``core/er_parallel.py`` is walked
@@ -34,6 +34,13 @@ Five rules, each an invariant the rest of the codebase argues from:
   ``EVENT_METRICS`` — an op or event the metrics registry cannot name
   would vanish from every snapshot; conversely a registry key naming a
   nonexistent op or event is dead mapping.
+* **VER006 — critical-path attribution coverage.**  Every ``Op``
+  subclass in ``sim/ops.py`` must have an entry in
+  ``repro.obs.critpath.OP_ATTRIBUTION`` whose value names a real loss
+  class (``busy`` / ``interference`` / ``starvation``) — an op kind the
+  critical-path profiler cannot classify would silently escape makespan
+  attribution; conversely an entry naming a nonexistent op is dead
+  mapping.
 
 The multiproc coordinator itself is exempt from VER001 by design: it is
 single-threaded, and worker processes share nothing (DESIGN.md
@@ -562,6 +569,103 @@ def check_obs_coverage(
     return findings
 
 
+def _mapping_items(
+    module_tree: ast.Module, name: str
+) -> Optional[list[tuple[ast.expr, ast.expr]]]:
+    """(key, value) expression pairs of the dict literal bound to ``name``."""
+    for node in module_tree.body:
+        if isinstance(node, ast.AnnAssign):
+            targets: list[ast.expr] = [node.target]
+            value = node.value
+        elif isinstance(node, ast.Assign):
+            targets = list(node.targets)
+            value = node.value
+        else:
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == name for t in targets):
+            continue
+        if isinstance(value, ast.Dict):
+            return [
+                (k, v) for k, v in zip(value.keys, value.values) if k is not None
+            ]
+        return None
+    return None
+
+
+#: Loss classes a VER006 attribution value may name.
+_ATTRIBUTION_CLASSES = frozenset({"busy", "interference", "starvation"})
+
+
+def check_critpath_coverage(
+    ops_path: str,
+    ops_source: str,
+    critpath_path: str,
+    critpath_source: str,
+) -> list[LintFinding]:
+    """VER006: the critical-path profiler classifies every op kind."""
+    findings: list[LintFinding] = []
+    critpath_tree = ast.parse(critpath_source, filename=critpath_path)
+
+    op_classes = _op_class_names(ops_source, ops_path)
+    items = _mapping_items(critpath_tree, "OP_ATTRIBUTION")
+    if items is None:
+        findings.append(
+            LintFinding(
+                "VER006", critpath_path, 1, "OP_ATTRIBUTION dict literal not found"
+            )
+        )
+        return findings
+    covered: set[str] = set()
+    for key, value in items:
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            findings.append(
+                LintFinding(
+                    "VER006",
+                    critpath_path,
+                    key.lineno,
+                    f"OP_ATTRIBUTION key {ast.unparse(key)!r} must be a string "
+                    "literal naming an Op subclass",
+                )
+            )
+            continue
+        covered.add(key.value)
+        if not (
+            isinstance(value, ast.Constant)
+            and isinstance(value.value, str)
+            and value.value in _ATTRIBUTION_CLASSES
+        ):
+            findings.append(
+                LintFinding(
+                    "VER006",
+                    critpath_path,
+                    value.lineno,
+                    f"OP_ATTRIBUTION[{key.value!r}] is {ast.unparse(value)!r}; "
+                    f"must be one of {sorted(_ATTRIBUTION_CLASSES)}",
+                )
+            )
+    for name in sorted(op_classes - covered):
+        findings.append(
+            LintFinding(
+                "VER006",
+                critpath_path,
+                1,
+                f"op {name} has no OP_ATTRIBUTION entry; the critical-path "
+                "profiler could not classify its time",
+            )
+        )
+    for name in sorted(covered - op_classes):
+        findings.append(
+            LintFinding(
+                "VER006",
+                critpath_path,
+                1,
+                f"OP_ATTRIBUTION names {name!r}, which is not an Op subclass "
+                "in sim/ops.py (dead mapping)",
+            )
+        )
+    return findings
+
+
 def check_determinism(path: str, source: str) -> list[LintFinding]:
     """VER003: no wall clock, no unseeded randomness."""
     findings: list[LintFinding] = []
@@ -708,6 +812,13 @@ def check_repo(root: Optional[str] = None) -> list[LintFinding]:
             events_py.read_text(),
             str(registry_py),
             registry_py.read_text(),
+        )
+    )
+
+    critpath_py = src / "obs" / "critpath.py"
+    findings.extend(
+        check_critpath_coverage(
+            str(ops), ops.read_text(), str(critpath_py), critpath_py.read_text()
         )
     )
     return findings

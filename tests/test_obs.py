@@ -279,6 +279,40 @@ class TestLedger:
 
 
 # ---------------------------------------------------------------------------
+# Threaded decompositions close exactly, mirroring the sim-side invariant:
+# busy is defined as the residual of each thread's lifetime, so
+# accounted == finish_time and accounted + tail_idle == makespan hold to
+# float round-off even though every quantity is wall-clock-measured.
+# ---------------------------------------------------------------------------
+
+
+class TestThreadedAccounting:
+    @pytest.mark.parametrize("seed", [3, 7, 11])
+    def test_accounted_plus_tail_idle_is_makespan(self, seed):
+        problem = SearchProblem(RandomGameTree(3, 4, seed=seed), depth=4)
+        run = threaded_er_observed(problem, 2, config=ERConfig(serial_depth=2))
+        snap = snapshot_from_threaded(run, workload=f"G{seed}")
+        assert snap.check_accounting() == []
+        for proc in snap.processors:
+            assert proc.accounted == pytest.approx(proc.finish_time, abs=1e-9)
+            assert proc.accounted + proc.tail_idle == pytest.approx(
+                snap.makespan, abs=1e-9
+            )
+
+    @pytest.mark.parametrize("seed", [3, 7])
+    def test_thread_timings_partition_each_lifetime(self, seed):
+        problem = SearchProblem(RandomGameTree(3, 4, seed=seed), depth=4)
+        run = threaded_er_observed(problem, 3, config=ERConfig(serial_depth=2))
+        assert len(run.timings) == 3
+        for t in run.timings:
+            assert t.busy >= 0 and t.lock_wait >= 0 and t.starve_wait >= 0
+            assert t.busy + t.lock_wait + t.starve_wait == pytest.approx(
+                t.wall, abs=1e-9
+            )
+            assert t.wall <= run.wall_time + 1e-9
+
+
+# ---------------------------------------------------------------------------
 # Snapshot serialization.
 # ---------------------------------------------------------------------------
 

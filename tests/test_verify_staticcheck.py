@@ -11,6 +11,7 @@ import textwrap
 
 from repro.verify.staticcheck import (
     LintFinding,
+    check_critpath_coverage,
     check_file,
     check_lock_discipline,
     check_obs_coverage,
@@ -273,6 +274,58 @@ def test_ver005_missing_mapping_dict_flagged() -> None:
     findings = _obs_findings("OTHER = 1")
     assert any("OP_METRICS dict literal not found" in f.message for f in findings)
     assert any("EVENT_METRICS dict literal not found" in f.message for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# VER006: critical-path attribution covers every op kind.
+# ---------------------------------------------------------------------------
+
+
+def _critpath_findings(critpath: str) -> list[LintFinding]:
+    return check_critpath_coverage("ops.py", _OPS, "critpath.py", _src(critpath))
+
+
+def test_ver006_full_coverage_passes() -> None:
+    findings = _critpath_findings(
+        """
+        OP_ATTRIBUTION = {"Compute": "busy", "Acquire": "interference"}
+        """
+    )
+    assert findings == [], "\n".join(str(f) for f in findings)
+
+
+def test_ver006_uncovered_op_flagged() -> None:
+    findings = _critpath_findings('OP_ATTRIBUTION = {"Compute": "busy"}')
+    assert any("op Acquire has no OP_ATTRIBUTION entry" in f.message for f in findings)
+
+
+def test_ver006_dead_mapping_and_bad_class_flagged() -> None:
+    findings = _critpath_findings(
+        """
+        OP_ATTRIBUTION = {
+            "Compute": "busy",
+            "Acquire": "waiting-around",
+            "Ghost": "busy",
+        }
+        """
+    )
+    messages = [f.message for f in findings]
+    assert any("'Ghost'" in m and "dead mapping" in m for m in messages)
+    assert any("must be one of" in m for m in messages)
+
+
+def test_ver006_non_literal_key_flagged() -> None:
+    findings = _critpath_findings(
+        'OP_ATTRIBUTION = {Compute: "busy", "Acquire": "interference"}'
+    )
+    messages = [f.message for f in findings]
+    assert any("must be a string literal" in m for m in messages)
+    assert any("op Compute has no OP_ATTRIBUTION entry" in m for m in messages)
+
+
+def test_ver006_missing_mapping_dict_flagged() -> None:
+    findings = _critpath_findings("OTHER = 1")
+    assert any("OP_ATTRIBUTION dict literal not found" in f.message for f in findings)
 
 
 # ---------------------------------------------------------------------------
