@@ -151,15 +151,22 @@ def _config_json(config: object) -> dict[str, object]:
 
 
 def _observed_run(
-    spec: TreeSpec, backend: str, count: int, tt_mode: str = "off"
+    spec: TreeSpec,
+    backend: str,
+    count: int,
+    tt_mode: str = "off",
+    eval_mode: str = "off",
+    batch: bool = False,
 ) -> "tuple[EventBus, Snapshot, SimReport | None]":
     """Run one tree on one backend under a telemetry bus.
 
     Returns ``(bus, snapshot, sim_report_or_None)`` — the report carries
     the per-processor timelines the Perfetto exporter renders as tracks
-    (only the simulated backend has exact timelines).
+    (only the simulated backend has exact timelines).  Each call builds
+    a fresh eval cache, so the telemetry run is self-contained.
     """
     from .cache import make_tt
+    from .eval import make_eval_cache
     from .obs import observing
     from .obs import snapshot as obs_snapshot
 
@@ -167,24 +174,39 @@ def _observed_run(
     config = er_config_for(spec)
     with observing() as bus:
         if backend == "sim":
-            result = parallel_er(problem, count, config=config, tt=make_tt(tt_mode))
+            result = parallel_er(
+                problem, count, config=config, tt=make_tt(tt_mode),
+                eval_cache=make_eval_cache(eval_mode), batch_eval=batch,
+            )
             snap = obs_snapshot.snapshot_from_sim(result, workload=spec.name, bus=bus)
             return bus, snap, result.report
         if backend == "threaded":
             from .parallel.threaded import threaded_er_observed
 
-            run = threaded_er_observed(problem, count, config=config, tt=make_tt(tt_mode))
+            run = threaded_er_observed(
+                problem, count, config=config, tt=make_tt(tt_mode),
+                eval_cache=make_eval_cache(eval_mode), batch_eval=batch,
+            )
             snap = obs_snapshot.snapshot_from_threaded(run, workload=spec.name, bus=bus)
             return bus, snap, None
         from .parallel.multiproc import multiproc_er
 
-        mp_result = multiproc_er(problem, count, config=config, tt_mode=tt_mode)
+        mp_result = multiproc_er(
+            problem, count, config=config, tt_mode=tt_mode,
+            eval_cache_mode=eval_mode, batch_eval=batch,
+        )
         snap = obs_snapshot.snapshot_from_multiproc(mp_result, workload=spec.name, bus=bus)
         return bus, snap, None
 
 
 def _write_ledger_record(
-    spec: TreeSpec, snap: "Snapshot", directory: str, scale: str, tt_mode: str = "off"
+    spec: TreeSpec,
+    snap: "Snapshot",
+    directory: str,
+    scale: str,
+    tt_mode: str = "off",
+    eval_mode: str = "off",
+    batch: bool = False,
 ) -> Path:
     from .obs import ledger
 
@@ -197,6 +219,8 @@ def _write_ledger_record(
             "serial_depth": spec.serial_depth,
             "sort_below_root": spec.sort_below_root,
             "tt": tt_mode,
+            "eval_cache": eval_mode,
+            "batch_eval": batch,
         },
         cost_model=_config_json(DEFAULT_COST_MODEL),
     )
@@ -256,6 +280,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     speedups per (primitive, factor) point.
     """
     from .costmodel import CostModel
+    from .eval import make_eval_cache
     from .obs import critpath, export, whatif
     from .obs import events as obs_events
     from .obs import snapshot as obs_snapshot
@@ -265,7 +290,8 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     count = args.processors_single
     with obs_events.observing() as bus, critpath.recording() as rec:
         result = parallel_er(
-            spec.problem(), count, config=config, record_timeline=True
+            spec.problem(), count, config=config, record_timeline=True,
+            eval_cache=make_eval_cache(args.eval_cache), batch_eval=args.batch_eval,
         )
     cp = critpath.extract(rec, result.sim_time)
     title = f"{spec.name} sim P={count} ({args.scale} scale)"
@@ -281,8 +307,13 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     if not args.skip_whatif:
 
         def rerun(cm: CostModel) -> float:
+            # A fresh cache per re-run: every point of the sweep starts
+            # from the same cold-cache state as the base run, and the
+            # cache's own op costs scale with the perturbed model.
             return parallel_er(
-                spec.problem(), count, config=config, cost_model=cm
+                spec.problem(), count, config=config, cost_model=cm,
+                eval_cache=make_eval_cache(args.eval_cache, cost_model=cm),
+                batch_eval=args.batch_eval,
             ).sim_time
 
         points = whatif.sweep(
@@ -327,6 +358,8 @@ def _cmd_explain(args: argparse.Namespace) -> int:
                 "serial_depth": spec.serial_depth,
                 "sort_below_root": spec.sort_below_root,
                 "tt": "off",
+                "eval_cache": args.eval_cache,
+                "batch_eval": args.batch_eval,
             },
             cost_model=_config_json(DEFAULT_COST_MODEL),
             whatif=whatif.to_records(points) if points else None,
@@ -381,27 +414,35 @@ def _cmd_speedup(args: argparse.Namespace) -> int:
     )
     from .parallel.threaded import threaded_er
 
+    from .eval import make_eval_cache
+
     spec = table3_suite(args.scale)[args.tree]
     counts = tuple(args.processors) if args.processors else (1, 2, 4, 8)
     status = 0
     if args.backend == "sim":
-        if args.tt == "off":
+        if args.tt == "off" and args.eval_cache == "off" and not args.batch_eval:
             curve = cached_curve(args.scale, args.tree, counts)
             print(f"{spec.name} — simulated backend (discrete-event engine)")
             print(format_efficiency_table({args.tree: curve}))
             print(format_speedup_summary({args.tree: curve}))
         else:
-            status = _sim_tt_sweep(spec, args.tt, counts)
+            status = _sim_cache_sweep(
+                spec, args.tt, counts, eval_mode=args.eval_cache, batch=args.batch_eval
+            )
     elif args.backend == "threaded":
         problem = spec.problem()
         config = er_config_for(spec)
         tt = make_tt(args.tt)
+        eval_cache = make_eval_cache(args.eval_cache)
         serial_seconds = measure_serial_seconds(problem)
         print(f"{spec.name} — serial ER wall time {serial_seconds:.3f}s")
         print(f"threaded backend (protocol check; the GIL forbids speedup; tt={args.tt}):")
         for count in counts:
             t0 = _time.perf_counter()
-            threaded_er(problem, count, config=config, tt=tt)
+            threaded_er(
+                problem, count, config=config, tt=tt,
+                eval_cache=eval_cache, batch_eval=args.batch_eval,
+            )
             wall = _time.perf_counter() - t0
             print(f"  P={count:2d}  wall={wall:.3f}s  speedup={serial_seconds / wall:5.2f}")
     else:
@@ -410,58 +451,81 @@ def _cmd_speedup(args: argparse.Namespace) -> int:
         serial_seconds = measure_serial_seconds(problem)
         print(f"{spec.name} — serial ER wall time {serial_seconds:.3f}s")
         _, points = scaling_run(
-            problem, counts, config=config, serial_seconds=serial_seconds, tt_mode=args.tt
+            problem, counts, config=config, serial_seconds=serial_seconds, tt_mode=args.tt,
+            eval_cache_mode=args.eval_cache, batch_eval=args.batch_eval,
         )
         print(f"multiproc backend (worker processes; real parallelism; tt={args.tt}):")
         print(format_scaling_table(spec.name, serial_seconds, points))
     if args.obs:
         for count in counts:
-            _, snap, _ = _observed_run(spec, args.backend, count, tt_mode=args.tt)
+            _, snap, _ = _observed_run(
+                spec, args.backend, count, tt_mode=args.tt,
+                eval_mode=args.eval_cache, batch=args.batch_eval,
+            )
             problems = snap.check_accounting()
             if problems:
                 status = 1
                 for problem_text in problems:
                     print(f"accounting violation (P={count}): {problem_text}", file=sys.stderr)
                 continue
-            path = _write_ledger_record(spec, snap, args.obs_dir, args.scale, tt_mode=args.tt)
+            path = _write_ledger_record(
+                spec, snap, args.obs_dir, args.scale, tt_mode=args.tt,
+                eval_mode=args.eval_cache, batch=args.batch_eval,
+            )
             print(f"ledger: {path}")
     return status
 
 
-def _sim_tt_sweep(spec: TreeSpec, tt_mode: str, counts: tuple[int, ...]) -> int:
-    """Simulated sweep with a transposition table persisted across counts.
+def _sim_cache_sweep(
+    spec: TreeSpec,
+    tt_mode: str,
+    counts: tuple[int, ...],
+    *,
+    eval_mode: str = "off",
+    batch: bool = False,
+) -> int:
+    """Simulated sweep with the caches persisted across counts.
 
-    Random trees have no within-run transpositions, so the table's value
+    Random trees have no within-run transpositions, so a table's value
     shows up *across* the sweep: results proven at one processor count
-    answer whole subtrees at the next.  Each count is also run ``--tt
-    off`` so the node savings and the value equality are visible in one
-    report.
+    answer whole subtrees (TT) or leaves (eval cache) at the next.  Each
+    count is also run with everything off so the cost savings and the
+    value equality are visible in one report.
     """
     from .core.serial_er import er_search
+    from .eval import make_eval_cache
 
     problem = spec.problem()
     config = er_config_for(spec)
     serial_cost = er_search(problem).stats.cost
     tt = make_tt(tt_mode)
-    print(f"{spec.name} — simulated backend, --tt {tt_mode} (one table across the sweep)")
-    print(f"  {'P':>3s}  {'speedup':>7s}  {'nodes(off)':>10s}  {'nodes(tt)':>10s}  value")
+    eval_cache = make_eval_cache(eval_mode)
+    print(
+        f"{spec.name} — simulated backend, --tt {tt_mode} --eval-cache {eval_mode}"
+        f"{' --batch-eval' if batch else ''} (caches persist across the sweep)"
+    )
+    print(f"  {'P':>3s}  {'speedup':>7s}  {'cost(off)':>12s}  {'cost(on)':>12s}  value")
     status = 0
     for count in counts:
         off = parallel_er(problem, count, config=config)
-        cached = parallel_er(problem, count, config=config, tt=tt)
+        cached = parallel_er(
+            problem, count, config=config, tt=tt, eval_cache=eval_cache, batch_eval=batch
+        )
         if cached.value != off.value:
-            print(f"  P={count}: VALUE MISMATCH tt={cached.value} off={off.value}", file=sys.stderr)
+            print(f"  P={count}: VALUE MISMATCH on={cached.value} off={off.value}", file=sys.stderr)
             status = 1
         print(
             f"  {count:3d}  {serial_cost / cached.sim_time:7.2f}  "
-            f"{off.stats.nodes_examined:10d}  {cached.stats.nodes_examined:10d}  "
+            f"{off.sim_time:12.1f}  {cached.sim_time:12.1f}  "
             f"{cached.value:g}"
         )
-    snapshot = tt.counter_snapshot() if tt is not None else {}
-    print(
-        "  table: "
-        + "  ".join(f"{key.removeprefix('tt_')}={value}" for key, value in snapshot.items())
-    )
+    snapshot: dict[str, int] = {}
+    if tt is not None:
+        snapshot.update(tt.counter_snapshot())
+    if eval_cache is not None:
+        snapshot.update(eval_cache.counter_snapshot())
+    if snapshot:
+        print("  caches: " + "  ".join(f"{key}={value}" for key, value in snapshot.items()))
     return status
 
 
@@ -650,6 +714,19 @@ def build_parser() -> argparse.ArgumentParser:
         "(one concurrent table; on sim it persists across the sweep)",
     )
     speed.add_argument(
+        "--eval-cache",
+        choices=("off", "private", "shared"),
+        default="off",
+        help="Zobrist-keyed static-value cache: off, private (per worker), "
+        "or shared (one concurrent cache; implies batched misses)",
+    )
+    speed.add_argument(
+        "--batch-eval",
+        action="store_true",
+        help="batch frontier static evaluations (cheaper per leaf) even "
+        "without a cache",
+    )
+    speed.add_argument(
         "--obs",
         action="store_true",
         help="also run each count under the telemetry bus and write ledger records",
@@ -725,6 +802,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explain.add_argument(
         "--top", type=int, default=10, help="rows per blame/segment section"
+    )
+    explain.add_argument(
+        "--eval-cache",
+        choices=("off", "private", "shared"),
+        default="off",
+        help="run (and what-if re-run) with this eval-cache mode; each "
+        "re-run gets a fresh cache so the sweep stays deterministic",
+    )
+    explain.add_argument(
+        "--batch-eval",
+        action="store_true",
+        help="batch frontier static evaluations in the profiled run",
     )
     explain.add_argument(
         "--whatif",

@@ -32,13 +32,24 @@ Faithfulness notes (deviations are deliberate and documented):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Generator, Optional
 
 from ..cache.striped import AnyTT
 from ..costmodel import DEFAULT_COST_MODEL, CostModel
 from ..errors import SearchError, SimulationError
-from ..games.base import NEG_INF, POS_INF, Path, Position, SearchProblem, hash_key, subproblem
+from ..eval.cache import AnyEvalCache
+from ..eval.evaluator import Evaluator
+from ..games.base import (
+    NEG_INF,
+    POS_INF,
+    Game,
+    Path,
+    Position,
+    SearchProblem,
+    hash_key,
+    subproblem,
+)
 from ..obs import critpath as _cp
 from ..obs import events as _obs
 from ..parallel.base import ParallelResult
@@ -194,6 +205,8 @@ class _Context:
         trace: bool,
         n_processors: int = 1,
         tt: Optional[AnyTT] = None,
+        eval_cache: Optional[AnyEvalCache] = None,
+        batch_eval: bool = False,
     ) -> None:
         self.problem = problem
         self.cost_model = cost_model
@@ -201,6 +214,8 @@ class _Context:
         self.trace = trace
         self.n_processors = n_processors
         self.tt = tt
+        self.eval_cache = eval_cache
+        self.batch_eval = batch_eval
         self.heap_lock = SimLock("heap")
         self.tree_lock = SimLock("tree")
         self.work = WorkSignal("er-work")
@@ -324,8 +339,23 @@ class _Context:
 
     # -- tree operations (caller holds tree_lock) ---------------------------
 
+    def evaluator_for(self, pid: int, game: Optional[Game] = None) -> Optional[Evaluator]:
+        """This worker's batched evaluator, or ``None`` when both the
+        batching flag and the eval cache are off.
+
+        ``game`` overrides the evaluation substrate (serial subtrees pass
+        their :class:`~repro.games.base.RootedGame`, which forwards
+        ``hash_key`` and ``batch_eval`` to the base game, so keys and
+        values stay identical across workers).
+        """
+        if not self.batch_eval and self.eval_cache is None:
+            return None
+        cache = None if self.eval_cache is None else self.eval_cache.view(pid)
+        target = self.problem.game if game is None else game
+        return Evaluator(target, self.cost_model, cache)
+
     def expand_positions(
-        self, node: PNode, stats: SearchStats
+        self, node: PNode, stats: SearchStats, pid: int = 0
     ) -> tuple[float, tuple[tuple[str, float], ...]]:
         """Generate and cache child positions; returns the cost to charge.
 
@@ -357,16 +387,24 @@ class _Context:
             return 0.0, ()
         expand_cost = stats.on_expand(node.path, len(successors), self.cost_model)
         ordering_cost = 0.0
+        ordering_parts: tuple[tuple[str, float], ...] = ()
         if node.ntype != E_NODE and self.problem.should_sort(node.ply):
-            ordering_cost = stats.on_ordering(len(successors), self.cost_model)
-            static = [game.evaluate(child) for child in successors]
+            evaluator = self.evaluator_for(pid)
+            if evaluator is not None:
+                # Batched (and possibly cached) ordering evaluations; the
+                # evaluator charges stats directly and reports the split.
+                stats.note_ordering(len(successors))
+                static, ordering_parts = evaluator.frontier_values(successors, stats)
+                ordering_cost = sum(weight for _, weight in ordering_parts)
+            else:
+                ordering_cost = stats.on_ordering(len(successors), self.cost_model)
+                ordering_parts = (("static_eval", ordering_cost),)
+                static = [game.evaluate(child) for child in successors]
             order = sorted(range(len(successors)), key=static.__getitem__)
             successors = [successors[i] for i in order]
         node.child_positions = successors
         node.children = [None] * len(successors)
-        parts: tuple[tuple[str, float], ...] = (("expansion", expand_cost),)
-        if ordering_cost > 0:
-            parts += (("static_eval", ordering_cost),)
+        parts: tuple[tuple[str, float], ...] = (("expansion", expand_cost),) + ordering_parts
         return expand_cost + ordering_cost, parts
 
     def make_child(self, node: PNode, index: int, ntype: str) -> PNode:
@@ -620,12 +658,17 @@ def _serial_parts(cm: CostModel, sub: SearchStats) -> tuple[tuple[str, float], .
     Reconstructed from the substats counters with the same arithmetic
     the stats hooks charged, so the weights sum to ``sub.cost`` exactly;
     the critical-path walker splits each serial chunk's path time
-    proportionally.
+    proportionally.  ``static_evals`` (full-price evaluations) is the
+    counter to use here — with batching or a cache, ``leaf_evals`` and
+    ``ordering_evals`` count work whose cost was charged under
+    ``batch_eval``/``eval_cache`` instead.
     """
-    static_eval = (sub.leaf_evals + sub.ordering_evals) * cm.static_eval
+    static_eval = sub.static_evals * cm.static_eval
     expansion = sub.interior_visits * cm.expand_base + sub.nodes_generated * cm.expand_per_child
     tt_probe = sub.tt_probes * cm.tt_probe
     tt_store = sub.tt_stores * cm.tt_store
+    batch = sub.batch_calls * cm.batch_eval_base + sub.batch_leaves * cm.batch_eval_per_leaf
+    eval_cache = sub.eval_probes * cm.eval_cache_probe + sub.eval_stores * cm.eval_cache_store
     return tuple(
         (name, weight)
         for name, weight in (
@@ -633,6 +676,8 @@ def _serial_parts(cm: CostModel, sub: SearchStats) -> tuple[tuple[str, float], .
             ("expansion", expansion),
             ("tt_probe", tt_probe),
             ("tt_store", tt_store),
+            ("batch_eval", batch),
+            ("eval_cache", eval_cache),
         )
         if weight > 0
     )
@@ -861,11 +906,43 @@ def _tt_store_leaf(
     yield from ctx.tt.view(pid).store_op(hash_key(ctx.problem.game, node.position), entry)
 
 
+def _eval_probe_parallel(
+    ctx: _Context, node: PNode, stats: SearchStats, pid: int
+) -> Generator[Op, None, Optional[float]]:
+    """Probe the eval cache for a parallel-level leaf's static value.
+
+    Runs with no locks held (the stripe SimLock is acquired inside the
+    op, and the internal stripe locks are leaves).  Every hit is
+    unconditionally usable — static values carry no window or depth.
+    """
+    if ctx.eval_cache is None:
+        return None
+    value = yield from ctx.eval_cache.view(pid).probe_op(
+        hash_key(ctx.problem.game, node.position)
+    )
+    stats.on_eval_probe(ctx.cost_model, hit=value is not None)
+    return value
+
+
+def _eval_store_parallel(
+    ctx: _Context, node: PNode, value: float, stats: SearchStats, pid: int
+) -> Generator[Op, None, None]:
+    """Record a parallel-level leaf's static value in the eval cache."""
+    if ctx.eval_cache is None:
+        return
+    stats.on_eval_store(ctx.cost_model)
+    yield from ctx.eval_cache.view(pid).store_op(
+        hash_key(ctx.problem.game, node.position), value
+    )
+
+
 def _extras_with_tt(ctx: _Context) -> dict[str, int]:
-    """Protocol counters plus the table's own hit/miss/eviction tallies."""
+    """Protocol counters plus the cache subsystems' own tallies."""
     extras = dict(ctx.counters)
     if ctx.tt is not None:
         extras.update(ctx.tt.counter_snapshot())
+    if ctx.eval_cache is not None:
+        extras.update(ctx.eval_cache.counter_snapshot())
     return extras
 
 
@@ -905,7 +982,7 @@ def _process_primary(
         return
 
     # Generate child positions (cheap move generation, outside the locks).
-    expand_cost, expand_parts = ctx.expand_positions(node, stats)
+    expand_cost, expand_parts = ctx.expand_positions(node, stats, pid)
     if expand_cost:
         yield Compute(
             expand_cost,
@@ -913,11 +990,19 @@ def _process_primary(
         )
 
     if node.is_leaf:
-        yield Compute(
-            stats.on_leaf(node.path, cm),
-            tag="static_eval", node=_cp_path(node), cls=node.ntype,
-        )
-        leaf_value = ctx.problem.game.evaluate(node.position)
+        # The eval cache may already hold this position's static value
+        # (no locks held; hits need no window/depth qualification).
+        cached = yield from _eval_probe_parallel(ctx, node, stats, pid)
+        if cached is not None:
+            stats.note_leaf(node.path)
+            leaf_value = cached
+        else:
+            yield Compute(
+                stats.on_leaf(node.path, cm),
+                tag="static_eval", node=_cp_path(node), cls=node.ntype,
+            )
+            leaf_value = ctx.problem.game.evaluate(node.position)
+            yield from _eval_store_parallel(ctx, node, leaf_value, stats, pid)
         yield from _tt_store_leaf(ctx, node, leaf_value, stats, pid)
         yield from _finish_node(ctx, node, stats, pid, value=leaf_value)
         return
@@ -1004,6 +1089,12 @@ def _merge_substats(ctx: _Context, stats: SearchStats, sub: SearchStats, prefix:
     stats.ordering_evals += sub.ordering_evals
     stats.nodes_generated += sub.nodes_generated
     stats.cutoffs += sub.cutoffs
+    stats.static_evals += sub.static_evals
+    stats.batch_calls += sub.batch_calls
+    stats.batch_leaves += sub.batch_leaves
+    stats.eval_probes += sub.eval_probes
+    stats.eval_hits += sub.eval_hits
+    stats.eval_stores += sub.eval_stores
     stats.cost += sub.cost
 
 
@@ -1025,9 +1116,11 @@ def _serial_evaluate(
     # The serial search probes and stores through this worker's view; its
     # windows are pinned for the whole subtree, so every store classifies
     # soundly (serial_er module docstring).  Subtree keys match parallel
-    # keys because RootedGame forwards hash_key to the base game.
+    # keys because RootedGame forwards hash_key (and batch_eval) to the
+    # base game — the evaluator's cache entries are shared either way.
     result = er_search(
-        sub, alpha, beta, cost_model=ctx.cost_model, stats=substats, table=_tt_view(ctx, pid)
+        sub, alpha, beta, cost_model=ctx.cost_model, stats=substats,
+        table=_tt_view(ctx, pid), evaluator=ctx.evaluator_for(pid, sub.game),
     )
     _merge_substats(ctx, stats, substats, node.path)
     survived = yield from _charge_serial(
@@ -1089,7 +1182,7 @@ def _serial_refute_remaining(
         substats = SearchStats.with_trace() if ctx.trace else SearchStats()
         result = er_search(
             sub, -beta, -value, cost_model=ctx.cost_model, stats=substats,
-            table=_tt_view(ctx, pid),
+            table=_tt_view(ctx, pid), evaluator=ctx.evaluator_for(pid, sub.game),
         )
         _merge_substats(ctx, stats, substats, node.path + (index,))
         survived = yield from _charge_serial(
@@ -1120,6 +1213,8 @@ def parallel_er(
     trace: bool = False,
     record_timeline: bool = False,
     tt: Optional[AnyTT] = None,
+    eval_cache: Optional[AnyEvalCache] = None,
+    batch_eval: bool = False,
 ) -> ParallelResult:
     """Run parallel ER on ``n_processors`` simulated processors.
 
@@ -1138,6 +1233,12 @@ def parallel_er(
             (:func:`repro.cache.make_tt`); a shared table passed across
             successive calls carries results between runs, which is where
             the node savings come from on transposition-free random trees.
+        eval_cache: optional Zobrist-keyed static-value cache
+            (:func:`repro.eval.make_eval_cache`); parallel-level leaves
+            probe/store it through simulator ops, serial subtrees through
+            an :class:`~repro.eval.Evaluator`.  Implies batched misses.
+        batch_eval: batch frontier evaluations in serial subtrees even
+            without a cache (``batch_eval_base``/``per_leaf`` charging).
 
     Returns:
         A :class:`~repro.parallel.base.ParallelResult` whose ``value``
@@ -1155,7 +1256,10 @@ def parallel_er(
         prev_clock = bus.use_clock(lambda: 0.0)
         _obs.set_task(-1)
     try:
-        ctx = _Context(problem, cost_model, config, trace, n_processors=n_processors, tt=tt)
+        ctx = _Context(
+            problem, cost_model, config, trace, n_processors=n_processors,
+            tt=tt, eval_cache=eval_cache, batch_eval=batch_eval,
+        )
         worker_stats = [
             SearchStats.with_trace() if trace else SearchStats() for _ in range(n_processors)
         ]

@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Protocol
 
 from ..costmodel import DEFAULT_COST_MODEL, CostModel
+from ..eval.evaluator import Evaluator
 from ..games.base import NEG_INF, POS_INF, Path, Position, SearchProblem, hash_key
 from ..search.stats import SearchResult, SearchStats
 from ..search.transposition import Bound, TTEntry
@@ -79,6 +80,9 @@ class ERRecord:
     children: Optional[list["ERRecord"]] = None
     is_leaf: bool = False
     key: Optional[int] = None  # lazily computed transposition key
+    #: Static value prefetched by a horizon-frontier batch (cost already
+    #: charged as a batch share); consumed by ``_leaf_value``.
+    prefetched: Optional[float] = None
 
 
 class _SerialER:
@@ -90,11 +94,13 @@ class _SerialER:
         cost_model: CostModel,
         stats: SearchStats,
         table: Optional[TTView] = None,
+        evaluator: Optional[Evaluator] = None,
     ):
         self.problem = problem
         self.cost_model = cost_model
         self.stats = stats
         self.table = table
+        self.evaluator = evaluator
 
     # -- transposition table ---------------------------------------------
 
@@ -174,17 +180,44 @@ class _SerialER:
             return record.children
         self.stats.on_expand(record.path, len(successors), self.cost_model)
         order = list(range(len(successors)))
+        batched: Optional[list[float]] = None
         if sort and self.problem.should_sort(record.ply):
-            self.stats.on_ordering(len(successors), self.cost_model)
-            static = [game.evaluate(child) for child in successors]
+            if self.evaluator is not None:
+                self.stats.note_ordering(len(successors))
+                batched, _ = self.evaluator.frontier_values(successors, self.stats)
+                static = batched
+            else:
+                self.stats.on_ordering(len(successors), self.cost_model)
+                static = [game.evaluate(child) for child in successors]
             order.sort(key=static.__getitem__)
         record.children = [
             ERRecord(successors[index], record.path + (index,), record.ply + 1)
             for index in order
         ]
+        # Horizon-frontier prefetch: when every child sits on the horizon,
+        # evaluate them as one batch now and stash the values (reusing the
+        # ordering batch when one was just computed).  Children skipped by
+        # a later cutoff were evaluated speculatively — that is the
+        # batching trade (amortized cost for possible over-eval); the
+        # values themselves are pinned to the scalar evaluator, so the
+        # root value cannot change.
+        if self.evaluator is not None and self.problem.is_horizon(record.ply + 1):
+            if batched is None:
+                batched, _ = self.evaluator.frontier_values(successors, self.stats)
+            for child, index in zip(record.children, order):
+                child.prefetched = batched[index]
         return record.children
 
     def _leaf_value(self, record: ERRecord) -> float:
+        if record.prefetched is not None:
+            self.stats.note_leaf(record.path)
+            return record.prefetched
+        if self.evaluator is not None:
+            # A leaf outside any prefetched frontier (game-terminal above
+            # the horizon, or the subtree root itself): a batch of one,
+            # through the cache if attached.
+            self.stats.note_leaf(record.path)
+            return self.evaluator.single_value(record.position, self.stats)
         self.stats.on_leaf(record.path, self.cost_model)
         return self.problem.game.evaluate(record.position)
 
@@ -291,6 +324,7 @@ def er_search(
     cost_model: CostModel = DEFAULT_COST_MODEL,
     stats: Optional[SearchStats] = None,
     table: Optional[TTView] = None,
+    evaluator: Optional[Evaluator] = None,
 ) -> SearchResult:
     """Evaluate the root of ``problem`` with serial ER.
 
@@ -299,12 +333,16 @@ def er_search(
     synthetic, and real game trees).  ``table``, when given, caches and
     reuses finished results across transpositions — and, when shared,
     across searches (module docstring explains the probe/store rules).
+    ``evaluator``, when given, batches horizon-frontier leaf evaluations
+    (and routes them through its eval cache, if attached) — the values
+    are pinned to the scalar evaluator, so the result is unchanged and
+    only the cost accounting moves.
     """
     if stats is None:
         stats = SearchStats()
     if not alpha < beta:
         raise ValueError("ER window requires alpha < beta")
-    searcher = _SerialER(problem, cost_model, stats, table)
+    searcher = _SerialER(problem, cost_model, stats, table, evaluator)
     root = ERRecord(problem.game.root(), (), 0)
     value = searcher.evaluate(root, alpha, beta)
     return SearchResult(value=value, stats=stats)

@@ -20,7 +20,7 @@ paper's effects:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 
 
 @dataclass(frozen=True)
@@ -41,6 +41,16 @@ class CostModel:
             the stripe lock is held.
         tt_store: cost of one transposition-table store (including the
             replacement decision), charged while the stripe lock is held.
+        batch_eval_base: fixed dispatch cost of one ``batch_eval`` call
+            (argument marshalling, array setup) regardless of batch size.
+        batch_eval_per_leaf: incremental cost per position inside a
+            batch.  The default makes a batched leaf ~5x cheaper than a
+            scalar ``static_eval`` — the amortization a vectorized
+            evaluator buys (see DESIGN.md §10 for the calibration).
+        eval_cache_probe: cost of one evaluation-cache lookup, charged
+            while the stripe lock is held.
+        eval_cache_store: cost of one evaluation-cache store, charged
+            while the stripe lock is held.
     """
 
     expand_base: float = 2.0
@@ -51,20 +61,15 @@ class CostModel:
     bookkeeping: float = 0.5
     tt_probe: float = 0.5
     tt_store: float = 0.5
+    batch_eval_base: float = 5.0
+    batch_eval_per_leaf: float = 4.0
+    eval_cache_probe: float = 0.5
+    eval_cache_store: float = 0.5
 
     def __post_init__(self) -> None:
-        for field in (
-            "expand_base",
-            "expand_per_child",
-            "static_eval",
-            "heap_op",
-            "combine_step",
-            "bookkeeping",
-            "tt_probe",
-            "tt_store",
-        ):
-            if getattr(self, field) < 0:
-                raise ValueError(f"CostModel.{field} must be non-negative")
+        for field in fields(self):
+            if getattr(self, field.name) < 0:
+                raise ValueError(f"CostModel.{field.name} must be non-negative")
 
     def expansion(self, n_children: int) -> float:
         """Cost of generating ``n_children`` successors of one node."""
@@ -78,20 +83,17 @@ class CostModel:
         """
         return self.static_eval * n_children
 
+    def batch_eval(self, n_leaves: int) -> float:
+        """Cost of evaluating ``n_leaves`` positions as one vectorized batch."""
+        return self.batch_eval_base + self.batch_eval_per_leaf * n_leaves
+
     def scaled(self, factor: float) -> "CostModel":
         """Return a copy with every cost multiplied by ``factor``."""
         if factor < 0:
             raise ValueError("scale factor must be non-negative")
         return replace(
             self,
-            expand_base=self.expand_base * factor,
-            expand_per_child=self.expand_per_child * factor,
-            static_eval=self.static_eval * factor,
-            heap_op=self.heap_op * factor,
-            combine_step=self.combine_step * factor,
-            bookkeeping=self.bookkeeping * factor,
-            tt_probe=self.tt_probe * factor,
-            tt_store=self.tt_store * factor,
+            **{f.name: getattr(self, f.name) * factor for f in fields(self)},
         )
 
 

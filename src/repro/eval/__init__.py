@@ -1,0 +1,38 @@
+"""Batched static evaluation and the Zobrist-keyed evaluation cache.
+
+One value seam (:func:`repro.games.base.batch_eval`), one charging model
+(``CostModel.batch_eval_base``/``batch_eval_per_leaf``), three cache
+concurrency models mirroring :mod:`repro.cache`:
+:class:`StripedEvalCache`/:class:`SimStripedEvalCache` for threads and
+the discrete-event simulator, :class:`WorkerLocalEvalCache` for the
+private baseline, and :class:`SharedMemoryEvalCache` for worker
+processes.  See DESIGN.md section "Batched evaluation and the eval
+cache".
+"""
+
+from .cache import (
+    EVAL_CACHE_MODES,
+    AnyEvalCache,
+    EvalProbeOp,
+    EvalStoreOp,
+    SharedMemoryEvalCache,
+    SimStripedEvalCache,
+    StripedEvalCache,
+    WorkerLocalEvalCache,
+    make_eval_cache,
+)
+from .evaluator import EvalCacheView, Evaluator
+
+__all__ = [
+    "EVAL_CACHE_MODES",
+    "AnyEvalCache",
+    "EvalCacheView",
+    "EvalProbeOp",
+    "EvalStoreOp",
+    "Evaluator",
+    "SharedMemoryEvalCache",
+    "SimStripedEvalCache",
+    "StripedEvalCache",
+    "WorkerLocalEvalCache",
+    "make_eval_cache",
+]

@@ -1,0 +1,381 @@
+"""Zobrist-keyed static-evaluation caches for all three ER backends.
+
+A transposition table caches *search results* (value, depth, bound); an
+evaluation cache caches something much cheaper to reason about: the
+static evaluator's value of a position, keyed by the same 64-bit Zobrist
+keys (:func:`repro.games.base.hash_key`).  Since a static value has no
+window, depth, or bound attached, every hit is unconditionally usable —
+which is why a leaf-heavy workload hits far more often in the eval cache
+than in the TT, and why sharing it across workers is almost pure win.
+
+Storage piggybacks on :class:`~repro.search.transposition.TranspositionTable`
+stripes holding ``TTEntry(value, 0, EXACT, None)`` records, so bounded
+capacity, LRU recency, and counters are inherited rather than
+reimplemented; the float-only ``probe``/``store`` surface here keeps
+callers from ever seeing the entry wrapper.
+
+The variant structure mirrors :mod:`repro.cache.striped` exactly:
+
+* :class:`StripedEvalCache` — direct thread-safe ``probe``/``store``;
+  the threaded backend's serial subtrees and the stress tests use it.
+* :class:`SimStripedEvalCache` — adds ``probe_op``/``store_op``
+  generator fragments that contend for per-stripe
+  :class:`~repro.sim.locks.SimLock` objects and charge
+  ``CostModel.eval_cache_probe``/``eval_cache_store``, so the simulator
+  accounts cache traffic (and stripe contention) exactly like TT
+  traffic.
+* :class:`WorkerLocalEvalCache` — the ``--eval-cache private``
+  baseline: per-worker caches, same costs, no contention, no sharing.
+* :class:`SharedMemoryEvalCache` — a float-surface adapter over
+  :class:`~repro.cache.sharedmem.SharedMemoryTT` for worker processes.
+
+The locking discipline is inherited from the TT module docstring: real
+mutual exclusion comes from the internal per-stripe ``threading.Lock``
+(a leaf lock), SimLocks exist for simulated-time accounting only, and op
+generators must be issued with no heap or tree lock held.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Generator, Optional, Sequence, Union
+
+from ..cache.sharedmem import SharedMemoryTT, TTHandle
+from ..costmodel import DEFAULT_COST_MODEL, CostModel
+from ..errors import SearchError
+from ..obs import events as _obs
+from ..search.transposition import Bound, TranspositionTable, TTEntry
+from ..sim.locks import SimLock
+from ..sim.ops import Acquire, Compute, Op, Release
+from ..verify import trace as _trace
+
+#: Generator type of a cache op: yields simulator ops, returns the
+#: cached value (or ``None`` for a miss / for stores).
+EvalProbeOp = Generator[Op, None, Optional[float]]
+EvalStoreOp = Generator[Op, None, None]
+
+#: Accepted values of every ``--eval-cache`` flag and config field.
+EVAL_CACHE_MODES = ("off", "private", "shared")
+
+
+def _entry(value: float) -> TTEntry:
+    """A static value wrapped for storage: depth 0, EXACT, no move."""
+    return TTEntry(value, 0, Bound.EXACT, None)
+
+
+class StripedEvalCache:
+    """Concurrent evaluation cache: N independently locked stripes.
+
+    Args:
+        capacity: total entry budget, split evenly across stripes.
+        n_stripes: independent partitions; keys land on ``key % n_stripes``.
+    """
+
+    def __init__(self, capacity: int = 1 << 16, n_stripes: int = 8):
+        if n_stripes < 1:
+            raise SearchError("need at least one stripe")
+        if capacity < 1:
+            raise SearchError("cache capacity must be positive")
+        self.n_stripes = n_stripes
+        self.capacity = capacity
+        per_stripe = max(1, capacity // n_stripes)
+        self._tables = tuple(TranspositionTable(capacity=per_stripe) for _ in range(n_stripes))
+        self._real_locks = tuple(threading.Lock() for _ in range(n_stripes))
+        #: Times an op generator found its stripe's SimLock already held.
+        self.contended = 0
+
+    def stripe_of(self, key: int) -> int:
+        return key % self.n_stripes
+
+    def __len__(self) -> int:
+        return sum(len(table) for table in self._tables)
+
+    def view(self, pid: int) -> "StripedEvalCache":
+        """The per-worker handle — every worker shares this one cache."""
+        return self
+
+    def probe(self, key: int) -> Optional[float]:
+        index = self.stripe_of(key)
+        with self._real_locks[index]:
+            if _trace.CURRENT is not None:
+                # Same discipline as StripedTT: a probe refreshes LRU
+                # order, so it is a WRITE under the stripe lock.
+                _trace.on_acquire(f"eval-stripe-{index}")
+                _trace.on_access(f"eval.stripe{index}", _trace.WRITE)
+                entry = self._tables[index].probe(key)
+                _trace.on_release(f"eval-stripe-{index}")
+            else:
+                entry = self._tables[index].probe(key)
+        return None if entry is None else entry.value
+
+    def store(self, key: int, value: float) -> None:
+        index = self.stripe_of(key)
+        with self._real_locks[index]:
+            if _trace.CURRENT is not None:
+                _trace.on_acquire(f"eval-stripe-{index}")
+                _trace.on_access(f"eval.stripe{index}", _trace.WRITE)
+                self._tables[index].store(key, _entry(value))
+                _trace.on_release(f"eval-stripe-{index}")
+            else:
+                self._tables[index].store(key, _entry(value))
+
+    def clear(self) -> None:
+        for index, table in enumerate(self._tables):
+            with self._real_locks[index]:
+                table.clear()
+
+    @property
+    def hits(self) -> int:
+        return sum(table.hits for table in self._tables)
+
+    @property
+    def misses(self) -> int:
+        return sum(table.misses for table in self._tables)
+
+    @property
+    def stores(self) -> int:
+        return sum(table.stores for table in self._tables)
+
+    @property
+    def evictions(self) -> int:
+        return sum(table.evictions for table in self._tables)
+
+    def counter_snapshot(self) -> dict[str, int]:
+        """Counters in the shape the drivers' ``extras`` dicts carry."""
+        return {
+            "eval_hits": self.hits,
+            "eval_misses": self.misses,
+            "eval_stores": self.stores,
+            "eval_evictions": self.evictions,
+            "eval_contended": self.contended,
+        }
+
+
+class SimStripedEvalCache(StripedEvalCache):
+    """:class:`StripedEvalCache` whose ops run on the simulated clock.
+
+    ``probe_op``/``store_op`` are worker-generator fragments: call them
+    with ``yield from`` and no locks held.  Direct ``probe``/``store``
+    calls (serial subtrees, ordering batches) stay silent on the bus but
+    still land in the cache counters — the TT convention.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1 << 16,
+        n_stripes: int = 8,
+        *,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+    ):
+        super().__init__(capacity, n_stripes)
+        self.cost_model = cost_model
+        self._sim_locks = tuple(SimLock(f"eval-stripe-{i}") for i in range(n_stripes))
+
+    def view(self, pid: int) -> "SimStripedEvalCache":
+        return self
+
+    def _note_contention(self, index: int, op: str) -> None:
+        if self._sim_locks[index].holder is not None:
+            self.contended += 1
+            if _obs.CURRENT is not None:
+                _obs.CURRENT.emit(_obs.EV_EVAL_CONTENTION, stripe=index, op=op)
+
+    def probe_op(self, key: int) -> EvalProbeOp:
+        index = self.stripe_of(key)
+        lock = self._sim_locks[index]
+        self._note_contention(index, "probe")
+        yield Acquire(lock)
+        yield Compute(self.cost_model.eval_cache_probe, tag="eval_cache_probe")
+        with self._real_locks[index]:
+            entry = self._tables[index].probe(key)
+        if _obs.CURRENT is not None:
+            _obs.CURRENT.emit(_obs.EV_EVAL_PROBE, stripe=index, hit=entry is not None)
+        yield Release(lock)
+        return None if entry is None else entry.value
+
+    def store_op(self, key: int, value: float) -> EvalStoreOp:
+        index = self.stripe_of(key)
+        lock = self._sim_locks[index]
+        self._note_contention(index, "store")
+        yield Acquire(lock)
+        yield Compute(self.cost_model.eval_cache_store, tag="eval_cache_store")
+        table = self._tables[index]
+        with self._real_locks[index]:
+            evictions_before = table.evictions
+            table.store(key, _entry(value))
+            evicted = table.evictions > evictions_before
+        if _obs.CURRENT is not None:
+            _obs.CURRENT.emit(_obs.EV_EVAL_STORE, stripe=index, evicted=evicted)
+        yield Release(lock)
+
+
+class _PrivateEvalView:
+    """One worker's private cache plus cost-charging op wrappers.
+
+    No locks anywhere: only its owning worker ever touches it.
+    """
+
+    def __init__(self, capacity: int, cost_model: CostModel, pid: int):
+        self.pid = pid
+        self._table = TranspositionTable(capacity=capacity)
+        self._cost_model = cost_model
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    @property
+    def table(self) -> TranspositionTable:
+        return self._table
+
+    def probe(self, key: int) -> Optional[float]:
+        entry = self._table.probe(key)
+        return None if entry is None else entry.value
+
+    def store(self, key: int, value: float) -> None:
+        self._table.store(key, _entry(value))
+
+    def probe_op(self, key: int) -> EvalProbeOp:
+        yield Compute(self._cost_model.eval_cache_probe, tag="eval_cache_probe")
+        entry = self._table.probe(key)
+        if _obs.CURRENT is not None:
+            _obs.CURRENT.emit(_obs.EV_EVAL_PROBE, stripe=-1, hit=entry is not None)
+        return None if entry is None else entry.value
+
+    def store_op(self, key: int, value: float) -> EvalStoreOp:
+        yield Compute(self._cost_model.eval_cache_store, tag="eval_cache_store")
+        evictions_before = self._table.evictions
+        self._table.store(key, _entry(value))
+        if _obs.CURRENT is not None:
+            _obs.CURRENT.emit(
+                _obs.EV_EVAL_STORE, stripe=-1, evicted=self._table.evictions > evictions_before
+            )
+
+
+class WorkerLocalEvalCache:
+    """Per-worker private caches — the ``--eval-cache private`` baseline.
+
+    Args:
+        capacity: entry budget **per worker** (not split; same rationale
+            as :class:`~repro.cache.striped.WorkerLocalTT`).
+    """
+
+    def __init__(self, capacity: int = 1 << 16, *, cost_model: CostModel = DEFAULT_COST_MODEL):
+        if capacity < 1:
+            raise SearchError("cache capacity must be positive")
+        self.capacity = capacity
+        self.cost_model = cost_model
+        self.contended = 0  # private caches never contend; kept for shape
+        self._views: dict[int, _PrivateEvalView] = {}
+
+    def view(self, pid: int) -> _PrivateEvalView:
+        return self._views.setdefault(pid, _PrivateEvalView(self.capacity, self.cost_model, pid))
+
+    def __len__(self) -> int:
+        return sum(len(view) for view in self._views.values())
+
+    def clear(self) -> None:
+        for view in self._views.values():
+            view.table.clear()
+
+    @property
+    def hits(self) -> int:
+        return sum(view.table.hits for view in self._views.values())
+
+    @property
+    def misses(self) -> int:
+        return sum(view.table.misses for view in self._views.values())
+
+    @property
+    def stores(self) -> int:
+        return sum(view.table.stores for view in self._views.values())
+
+    @property
+    def evictions(self) -> int:
+        return sum(view.table.evictions for view in self._views.values())
+
+    def counter_snapshot(self) -> dict[str, int]:
+        return {
+            "eval_hits": self.hits,
+            "eval_misses": self.misses,
+            "eval_stores": self.stores,
+            "eval_evictions": self.evictions,
+            "eval_contended": 0,
+        }
+
+
+class SharedMemoryEvalCache:
+    """Float-surface adapter over a cross-process :class:`SharedMemoryTT`.
+
+    Worker processes cannot share Python dict stripes, so the multiproc
+    backend stores static values as depth-0 EXACT entries in a
+    shared-memory table.  Lifecycle (create / ``handle`` / ``attach`` /
+    ``close`` / ``unlink``) passes straight through to the wrapped table.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1 << 14,
+        n_stripes: int = 8,
+        *,
+        _table: Optional[SharedMemoryTT] = None,
+    ):
+        self._table = _table if _table is not None else SharedMemoryTT(capacity, n_stripes)
+
+    def handle(self) -> TTHandle:
+        return self._table.handle()
+
+    @property
+    def locks(self) -> Sequence[object]:
+        return self._table.locks
+
+    @classmethod
+    def attach(cls, handle: TTHandle, locks: Sequence[object]) -> "SharedMemoryEvalCache":
+        return cls(_table=SharedMemoryTT.attach(handle, locks))
+
+    def close(self) -> None:
+        self._table.close()
+
+    def unlink(self) -> None:
+        self._table.unlink()
+
+    def probe(self, key: int) -> Optional[float]:
+        entry = self._table.probe(key)
+        return None if entry is None else entry.value
+
+    def store(self, key: int, value: float) -> None:
+        self._table.store(key, _entry(value))
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def counter_snapshot(self) -> dict[str, int]:
+        return {
+            "eval_hits": self._table.hits,
+            "eval_misses": self._table.misses,
+            "eval_stores": self._table.stores,
+            "eval_evictions": self._table.evictions,
+            "eval_collisions": self._table.collisions,
+        }
+
+
+#: What the sim/threaded drivers accept as an evaluation cache.
+AnyEvalCache = Union[SimStripedEvalCache, WorkerLocalEvalCache]
+
+
+def make_eval_cache(
+    mode: str,
+    *,
+    capacity: int = 1 << 16,
+    n_stripes: int = 8,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> Optional[AnyEvalCache]:
+    """Build the cache for one ``--eval-cache`` mode (``None`` for ``off``)."""
+    if mode == "off":
+        return None
+    if mode == "private":
+        return WorkerLocalEvalCache(capacity, cost_model=cost_model)
+    if mode == "shared":
+        return SimStripedEvalCache(capacity, n_stripes, cost_model=cost_model)
+    raise SearchError(
+        f"unknown eval-cache mode {mode!r}; expected one of {EVAL_CACHE_MODES}"
+    )

@@ -4,7 +4,7 @@ Every substrate implements the :class:`~repro.games.base.Game` protocol so
 search algorithms are written once and run on all of them.
 """
 
-from .base import Game, Line, Path, Position, SearchProblem, follow_path
+from .base import Game, Line, Path, Position, SearchProblem, batch_eval, follow_path
 from .connect4 import C4Position, ConnectFour
 from .explicit import ExplicitTree, negmax_of_spec
 from .nim import Nim, grundy_value, theoretical_value
@@ -22,6 +22,7 @@ __all__ = [
     "Path",
     "Position",
     "SearchProblem",
+    "batch_eval",
     "follow_path",
     "RandomGameTree",
     "IncrementalGameTree",

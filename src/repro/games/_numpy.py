@@ -1,0 +1,16 @@
+"""Optional-numpy gate shared by the vectorized game evaluators.
+
+numpy is deliberately not a hard dependency: every ``batch_eval``
+implementation falls back to its scalar loop when ``HAVE_NUMPY`` is
+``False``.  Tests monkeypatch this flag to pin fallback parity.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised via the HAVE_NUMPY flag in tests
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - numpy is present in CI
+    np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False

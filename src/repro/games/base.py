@@ -77,6 +77,23 @@ def hash_key(game: Game, position: Position) -> int:
     return splitmix64(hash(position) & ((1 << 64) - 1))
 
 
+def batch_eval(game: Game, positions: Sequence[Position]) -> list[float]:
+    """Statically evaluate many positions at once — the batching seam.
+
+    Games that define a ``batch_eval`` method supply a vectorized
+    evaluator (bitboard arrays under numpy for Othello and Connect Four);
+    any other game falls back to a scalar loop.  Either way the result is
+    element-wise identical to calling :meth:`Game.evaluate` on each
+    position — pinned bit-for-bit by the differential battery in
+    ``tests/test_eval_differential.py`` — so enabling batching can never
+    change a search's value, only its cost accounting.
+    """
+    method = getattr(game, "batch_eval", None)
+    if method is not None:
+        return list(method(positions))
+    return [game.evaluate(position) for position in positions]
+
+
 @dataclass(frozen=True)
 class SearchProblem:
     """A game bound to a search horizon — the unit every search consumes.
@@ -152,6 +169,12 @@ class RootedGame:
         required for the serial-depth cutover to share one table with the
         parallel layer."""
         return hash_key(self._game, position)
+
+    def batch_eval(self, positions: Sequence[Position]) -> list[float]:
+        """Forward to the underlying game so serial subtree searches keep
+        the vectorized fast path (the serial-depth cutover is where the
+        horizon frontiers — hence the batches — actually live)."""
+        return batch_eval(self._game, positions)
 
 
 def subproblem(problem: SearchProblem, position: Position, ply: int) -> SearchProblem:

@@ -10,9 +10,10 @@ lines) in the examples and tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Sequence
 
 from ..errors import GameError, IllegalMoveError
+from . import _numpy
 from .zobrist import side_to_move_key, zobrist_table
 
 
@@ -118,6 +119,72 @@ class ConnectFour:
             self._threat_count(position.current, position.mask)
             - self._threat_count(position.current ^ position.mask, position.mask)
         )
+
+    def batch_eval(self, positions: Sequence[C4Position]) -> list[float]:
+        """Vectorized evaluation of many positions (numpy fast path).
+
+        Element-wise identical to :meth:`evaluate`; the uint64 path is
+        gated on the board fitting 64 bits with all shift distances below
+        the word size, so oversized boards (and numpy-less installs) take
+        the scalar loop.
+        """
+        stride = self._column_stride
+        fits_uint64 = stride * self.width <= 64 and 3 * (stride + 1) < 64
+        if not (_numpy.HAVE_NUMPY and fits_uint64 and len(positions) > 0):
+            return [self.evaluate(position) for position in positions]
+        np = _numpy.np
+        n = len(positions)
+        current = np.fromiter((p.current for p in positions), dtype=np.uint64, count=n)
+        mask = np.fromiter((p.mask for p in positions), dtype=np.uint64, count=n)
+        moves_made = np.fromiter(
+            (p.moves_made for p in positions), dtype=np.int64, count=n
+        )
+        opponent = current ^ mask
+        lost = self._has_won_arrays(np, opponent)
+        full = mask == np.uint64(self._full_mask)
+        heuristic = self._threat_count_arrays(np, current, mask) - (
+            self._threat_count_arrays(np, opponent, mask)
+        )
+        return [
+            float(v)
+            for v in np.where(
+                lost, -10_000.0 + moves_made, np.where(full, 0.0, heuristic)
+            )
+        ]
+
+    def _has_won_arrays(self, np: Any, board: Any) -> Any:
+        """Vector form of :meth:`_has_won` over a uint64 board array."""
+        stride = self._column_stride
+        won = None
+        for shift in (1, stride, stride + 1, stride - 1):
+            paired = board & (board >> np.uint64(shift))
+            hit = (paired & (paired >> np.uint64(2 * shift))) != 0
+            won = hit if won is None else (won | hit)
+        return won
+
+    def _threat_count_arrays(self, np: Any, board: Any, mask: Any) -> Any:
+        """Vector form of :meth:`_threat_count` over uint64 arrays.
+
+        Bits a Python-int shift would carry past the mask are discarded
+        by uint64 arithmetic instead; they can never land in ``empties``,
+        which lives below ``2 ** (stride * width)``.
+        """
+        stride = self._column_stride
+        empties = np.uint64(self._full_mask) & ~mask
+        threats = np.zeros(board.shape, dtype=np.int64)
+        for shift in (1, stride, stride + 1, stride - 1):
+            trio = (
+                board
+                & (board >> np.uint64(shift))
+                & (board >> np.uint64(2 * shift))
+            )
+            threats += np.bitwise_count((trio << np.uint64(3 * shift)) & empties).astype(
+                np.int64
+            )
+            threats += np.bitwise_count((trio >> np.uint64(shift)) & empties).astype(
+                np.int64
+            )
+        return threats
 
     def hash_key(self, position: C4Position) -> int:
         """Full Zobrist rehash over every placed stone plus side to move.

@@ -68,6 +68,11 @@ class ExplicitTree:
             return float(negmax_of_spec(node))
         return 0.0
 
+    def batch_eval(self, positions: Sequence[Path]) -> list[float]:
+        """Batch seam; a pure-python loop — nested-spec resolution walks
+        heterogeneous lists, which vectorization cannot amortize."""
+        return [self.evaluate(position) for position in positions]
+
     @property
     def height(self) -> int:
         def depth(spec: Spec) -> int:

@@ -85,6 +85,11 @@ class Nim:
             return LOSS
         return 0.0
 
+    def batch_eval(self, positions: Sequence[NimPosition]) -> list[float]:
+        """Batch seam; a pure-python loop, since the two-valued evaluator
+        has nothing for vectorization to amortize."""
+        return [LOSS if not position else 0.0 for position in positions]
+
     def total_stones(self) -> int:
         return sum(self._root)
 

@@ -88,6 +88,19 @@ class Othello:
     def evaluate(self, position: OthelloPosition) -> float:
         return evaluate_boards(position.own, position.opp)
 
+    def batch_eval(self, positions: Sequence[OthelloPosition]) -> list[float]:
+        """Vectorized evaluation of many positions (numpy fast path).
+
+        Element-wise identical to :meth:`evaluate` — the batch module
+        mirrors the scalar evaluator's operation order in float64 — with
+        a scalar-loop fallback when numpy is unavailable.
+        """
+        from . import batch as _batch
+
+        if _batch.HAVE_NUMPY and len(positions) > 0:
+            return _batch.evaluate_positions(list(positions))
+        return [evaluate_boards(p.own, p.opp) for p in positions]
+
     @staticmethod
     def hash_key(position: OthelloPosition) -> int:
         """Full Zobrist rehash: XOR of every disc's key plus side to move."""

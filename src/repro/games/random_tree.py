@@ -25,15 +25,51 @@ and every random quantity is recomputed from a splittable hash.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Sequence
 
 from ..errors import GameError
+from . import _numpy
 from .base import Path
-from ._hashing import path_hash, uniform_int
+from ._hashing import _GOLDEN, _MIX1, _MIX2, path_hash, uniform_int
 
 #: Hash stream reserved for transposition keys (streams 0-7 carry leaf
 #: values, ordering noise, and tree-shape draws).
 _KEY_STREAM = 9
+
+
+def _splitmix64_arrays(np: Any, state: Any) -> Any:
+    """SplitMix64 over a uint64 array; wrap-around is the scalar's mask."""
+    z = state + np.uint64(_GOLDEN)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(_MIX1)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(_MIX2)
+    return z ^ (z >> np.uint64(31))
+
+
+def _hash_fold(np: Any, h: Any, column: Any) -> Any:
+    """One path element folded into the running hash (vector form of the
+    ``h = splitmix64(h ^ (index + 1))`` step of :func:`path_hash`)."""
+    return _splitmix64_arrays(np, h ^ (column + np.uint64(1)))
+
+
+def _hash_start(np: Any, seed: int, stream: int, n: int) -> Any:
+    """Stream-initial hash, broadcast: ``path_hash(seed, (), stream)``."""
+    return np.full(n, path_hash(seed, (), stream), dtype=np.uint64)
+
+
+def _group_by_length(positions: Sequence["TreePosition"]) -> dict[int, list[int]]:
+    """Row indices grouped by path length — hash chains are length-bound."""
+    groups: dict[int, list[int]] = {}
+    for row, position in enumerate(positions):
+        groups.setdefault(len(position.path), []).append(row)
+    return groups
+
+
+def _path_matrix(
+    np: Any, positions: Sequence["TreePosition"], rows: list[int], length: int
+) -> Any:
+    return np.array(
+        [positions[row].path for row in rows], dtype=np.uint64
+    ).reshape(len(rows), length)
 
 
 @dataclass(frozen=True)
@@ -85,6 +121,30 @@ class RandomGameTree:
         return float(
             uniform_int(self.seed, position.path, -self.value_range, self.value_range, stream)
         )
+
+    def batch_eval(self, positions: Sequence[TreePosition]) -> list[float]:
+        """Vectorized evaluation of many positions (numpy fast path).
+
+        Element-wise identical to :meth:`evaluate`: positions are grouped
+        by path length (the hash chain is length-bound), the SplitMix64
+        fold runs column-wise over uint64 path matrices, and every value
+        is an exact small integer in float64.
+        """
+        if not (_numpy.HAVE_NUMPY and len(positions) > 0):
+            return [self.evaluate(position) for position in positions]
+        np = _numpy.np
+        out = [0.0] * len(positions)
+        span = 2 * self.value_range + 1
+        for length, rows in _group_by_length(positions).items():
+            stream = 0 if length >= self.height else 1
+            h = _hash_start(np, self.seed, stream, len(rows))
+            matrix = _path_matrix(np, positions, rows, length)
+            for column in range(length):
+                h = _hash_fold(np, h, matrix[:, column])
+            values = (h % np.uint64(span)).astype(np.int64) - self.value_range
+            for i, row in enumerate(rows):
+                out[row] = float(values[i])
+        return out
 
     def hash_key(self, position: TreePosition) -> int:
         """Transposition key: synthetic positions *are* their paths, so the
@@ -157,6 +217,41 @@ class IncrementalGameTree:
             bound = max(1, int(self.increment_range * self.noise))
             noise = uniform_int(self.seed, position.path, -bound, bound, stream=2)
         return float(score + noise)
+
+    def batch_eval(self, positions: Sequence[TreePosition]) -> list[float]:
+        """Vectorized evaluation of many positions (numpy fast path).
+
+        Element-wise identical to :meth:`evaluate`: the running hash after
+        folding columns ``0..ply-1`` *is* ``path_hash`` of that prefix, so
+        the negamax-alternating increment sum of :meth:`_score` runs as a
+        column-wise recurrence over each path-length group.
+        """
+        if not (_numpy.HAVE_NUMPY and len(positions) > 0):
+            return [self.evaluate(position) for position in positions]
+        np = _numpy.np
+        out = [0.0] * len(positions)
+        inc_span = 2 * self.increment_range + 1
+        for length, rows in _group_by_length(positions).items():
+            n = len(rows)
+            matrix = _path_matrix(np, positions, rows, length)
+            score = np.zeros(n, dtype=np.int64)
+            h = _hash_start(np, self.seed, 0, n)
+            for column in range(length):
+                h = _hash_fold(np, h, matrix[:, column])
+                inc = (h % np.uint64(inc_span)).astype(np.int64) - self.increment_range
+                score = -score + inc
+            if length >= self.height or self.noise == 0:
+                values = score
+            else:
+                bound = max(1, int(self.increment_range * self.noise))
+                h2 = _hash_start(np, self.seed, 2, n)
+                for column in range(length):
+                    h2 = _hash_fold(np, h2, matrix[:, column])
+                noise = (h2 % np.uint64(2 * bound + 1)).astype(np.int64) - bound
+                values = score + noise
+            for i, row in enumerate(rows):
+                out[row] = float(values[i])
+        return out
 
 
 class SyntheticOrderedTree:
@@ -239,3 +334,37 @@ class SyntheticOrderedTree:
 
     def evaluate(self, position: TreePosition) -> float:
         return float(self.assigned_value(position.path))
+
+    def batch_eval(self, positions: Sequence[TreePosition]) -> list[float]:
+        """Vectorized evaluation of many positions (numpy fast path).
+
+        Element-wise identical to :meth:`evaluate`: the best-child draw
+        (stream 3) hashes each *prefix*, so it is read before folding the
+        column; the delta draw (stream 4) hashes the prefix *plus* the
+        column, so it is read after.
+        """
+        if not (_numpy.HAVE_NUMPY and len(positions) > 0):
+            return [self.evaluate(position) for position in positions]
+        np = _numpy.np
+        out = [0.0] * len(positions)
+        for length, rows in _group_by_length(positions).items():
+            n = len(rows)
+            matrix = _path_matrix(np, positions, rows, length)
+            value = np.full(n, self.root_value, dtype=np.int64)
+            h3 = _hash_start(np, self.seed, 3, n)
+            h4 = _hash_start(np, self.seed, 4, n)
+            for column in range(length):
+                indices = matrix[:, column].astype(np.int64)
+                if self.best_child == "first":
+                    best = np.zeros(n, dtype=np.int64)
+                elif self.best_child == "last":
+                    best = np.full(n, self.degree - 1, dtype=np.int64)
+                else:
+                    best = (h3 % np.uint64(self.degree)).astype(np.int64)
+                h3 = _hash_fold(np, h3, matrix[:, column])
+                h4 = _hash_fold(np, h4, matrix[:, column])
+                delta = (h4 % np.uint64(self.delta_range)).astype(np.int64) + 1
+                value = np.where(indices == best, -value, -value + delta)
+            for i, row in enumerate(rows):
+                out[row] = float(value[i])
+        return out

@@ -61,6 +61,16 @@ EV_TT_STORE = "tt-store"
 #: A worker found its table stripe's lock already held (`stripe`, `op`) —
 #: the cache's contribution to interference loss.
 EV_TT_CONTENTION = "tt-contention"
+#: An evaluation-cache probe at the parallel level (`stripe`, `hit`).
+#: Serial-subtree probes stay in the cache's own counters, like TT ones.
+EV_EVAL_PROBE = "eval-probe"
+#: An evaluation-cache store at the parallel level (`stripe`, `evicted`).
+EV_EVAL_STORE = "eval-store"
+#: One batched static evaluation (`n` leaves amortized in the call).
+EV_EVAL_BATCH = "eval-batch"
+#: A worker found its eval-cache stripe's lock already held
+#: (`stripe`, `op`) — the cache's contribution to interference loss.
+EV_EVAL_CONTENTION = "eval-contention"
 #: One element of an extracted critical path, synthesized after a run by
 #: :func:`repro.obs.critpath.bus_events` (`kind`, `end`, `credit`, `tag`,
 #: `node`) — never emitted live.
@@ -80,6 +90,10 @@ ALL_EVENT_TYPES: tuple[str, ...] = (
     EV_TT_PROBE,
     EV_TT_STORE,
     EV_TT_CONTENTION,
+    EV_EVAL_PROBE,
+    EV_EVAL_STORE,
+    EV_EVAL_BATCH,
+    EV_EVAL_CONTENTION,
     EV_CRIT_SEGMENT,
 )
 

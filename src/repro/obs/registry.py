@@ -162,6 +162,10 @@ EVENT_METRICS: Mapping[str, str] = {
     events.EV_TT_PROBE: "tt.probes",
     events.EV_TT_STORE: "tt.stores",
     events.EV_TT_CONTENTION: "tt.contention",
+    events.EV_EVAL_PROBE: "eval.probes",
+    events.EV_EVAL_STORE: "eval.stores",
+    events.EV_EVAL_BATCH: "eval.batches",
+    events.EV_EVAL_CONTENTION: "eval.contention",
     events.EV_CRIT_SEGMENT: "critpath.segments",
 }
 
@@ -194,4 +198,10 @@ def aggregate(bus: events.EventBus) -> MetricsRegistry:
         elif event.etype == events.EV_TT_STORE:
             if bool(event.data.get("evicted", False)):
                 registry.counter("tt.evictions").inc()
+        elif event.etype == events.EV_EVAL_PROBE:
+            outcome = "eval.hits" if bool(event.data.get("hit", False)) else "eval.misses"
+            registry.counter(outcome).inc()
+        elif event.etype == events.EV_EVAL_BATCH:
+            leaves = float(event.data.get("n", 0))  # type: ignore[arg-type]
+            registry.histogram("eval.batch_leaves").observe(leaves)
     return registry

@@ -42,6 +42,8 @@ PRIMITIVE_FIELDS: dict[str, tuple[str, ...]] = {
     "bookkeeping": ("bookkeeping",),
     "tt_probe": ("tt_probe",),
     "tt_store": ("tt_store",),
+    "batch_eval": ("batch_eval_base", "batch_eval_per_leaf"),
+    "eval_cache": ("eval_cache_probe", "eval_cache_store"),
 }
 
 #: A runner maps a cost model to the resulting makespan for the fixed

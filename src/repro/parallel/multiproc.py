@@ -55,13 +55,15 @@ from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wai
 from dataclasses import dataclass, field, replace
 from typing import Any, Optional, Sequence
 
-from ..cache.sharedmem import SharedMemoryTT, TTHandle
+from ..cache.sharedmem import SharedMemoryTT
 from ..cache.striped import TT_MODES
 from ..core.er_parallel import E_NODE, R_NODE, UNDECIDED, ERConfig, PNode, _Context
 from ..core.serial_er import TTView, er_search
 from ..costmodel import DEFAULT_COST_MODEL, CostModel
 from ..errors import SearchError, SimulationError
-from ..games.base import RootedGame, SearchProblem, hash_key, subproblem
+from ..eval.cache import EVAL_CACHE_MODES, SharedMemoryEvalCache, StripedEvalCache
+from ..eval.evaluator import EvalCacheView, Evaluator
+from ..games.base import Game, RootedGame, SearchProblem, hash_key, subproblem
 from ..obs import events as _obs
 from ..search.stats import SearchStats
 from ..search.transposition import Bound, TranspositionTable, TTEntry
@@ -97,7 +99,7 @@ def default_serial_depth(depth: int) -> int:
 # ---------------------------------------------------------------------------
 
 
-_PackedStats = tuple[int, int, int, int, int, int, int, float]
+_PackedStats = tuple[int, int, int, int, int, int, int, int, int, int, int, int, int, float]
 
 
 def _pack_stats(stats: SearchStats) -> _PackedStats:
@@ -109,12 +111,22 @@ def _pack_stats(stats: SearchStats) -> _PackedStats:
         stats.cutoffs,
         stats.tt_probes,
         stats.tt_stores,
+        stats.static_evals,
+        stats.batch_calls,
+        stats.batch_leaves,
+        stats.eval_probes,
+        stats.eval_hits,
+        stats.eval_stores,
         stats.cost,
     )
 
 
 def _unpack_stats(packed: _PackedStats) -> SearchStats:
-    interior, leaves, ordering, generated, cutoffs, tt_probes, tt_stores, cost = packed
+    (
+        interior, leaves, ordering, generated, cutoffs, tt_probes, tt_stores,
+        static_evals, batch_calls, batch_leaves, eval_probes, eval_hits,
+        eval_stores, cost,
+    ) = packed
     return SearchStats(
         interior_visits=interior,
         leaf_evals=leaves,
@@ -123,34 +135,61 @@ def _unpack_stats(packed: _PackedStats) -> SearchStats:
         cutoffs=cutoffs,
         tt_probes=tt_probes,
         tt_stores=tt_stores,
+        static_evals=static_evals,
+        batch_calls=batch_calls,
+        batch_leaves=batch_leaves,
+        eval_probes=eval_probes,
+        eval_hits=eval_hits,
+        eval_stores=eval_stores,
         cost=cost,
     )
 
 
-#: Per-process transposition table set by the pool initializers below;
+#: Per-process transposition table set by the pool initializer below;
 #: ``None`` runs the subtree searches uncached (``--tt off``).
 _WORKER_TT: Optional[TTView] = None
+#: Per-process evaluation cache; ``None`` means ``--eval-cache off``.
+_WORKER_EVAL_CACHE: Optional[EvalCacheView] = None
+#: Whether subtree searches batch frontier evaluations.
+_WORKER_BATCH_EVAL: bool = False
 
 
-def _init_worker_shared_tt(handle: TTHandle, locks: Sequence[Any]) -> None:
-    """Pool initializer: map the coordinator's shared-memory table.
+def _init_worker(tt_spec: tuple[Any, ...], eval_spec: tuple[Any, ...]) -> None:
+    """Pool initializer: attach this process's caches from their specs.
 
-    The locks ride in as initializer args because ``multiprocessing``
-    primitives may only cross process boundaries by inheritance — they
-    cannot be pickled inside :class:`~repro.cache.sharedmem.TTHandle`.
+    ``tt_spec`` is ``("off",)``, ``("private", capacity)``, or
+    ``("shared", handle, locks)``; ``eval_spec`` is the same with a
+    trailing batch-eval flag.  Lock sequences ride in as initializer
+    args because ``multiprocessing`` primitives may only cross process
+    boundaries by inheritance — they cannot be pickled inside
+    :class:`~repro.cache.sharedmem.TTHandle`.  Pool processes persist
+    across tasks, so private caches accumulate over every subtree
+    search the same worker happens to receive.
     """
-    global _WORKER_TT
-    _WORKER_TT = SharedMemoryTT.attach(handle, locks)
+    global _WORKER_TT, _WORKER_EVAL_CACHE, _WORKER_BATCH_EVAL
+    if tt_spec[0] == "shared":
+        _WORKER_TT = SharedMemoryTT.attach(tt_spec[1], tt_spec[2])
+    elif tt_spec[0] == "private":
+        _WORKER_TT = TranspositionTable(capacity=tt_spec[1])
+    else:
+        _WORKER_TT = None
+    _WORKER_BATCH_EVAL = bool(eval_spec[-1])
+    if eval_spec[0] == "shared":
+        _WORKER_EVAL_CACHE = SharedMemoryEvalCache.attach(eval_spec[1], eval_spec[2])
+    elif eval_spec[0] == "private":
+        # Single-stripe: a worker process is single-threaded, so the
+        # stripe lock is uncontended; this buys the float surface and
+        # the bounded-capacity table for free.
+        _WORKER_EVAL_CACHE = StripedEvalCache(eval_spec[1], n_stripes=1)
+    else:
+        _WORKER_EVAL_CACHE = None
 
 
-def _init_worker_private_tt(capacity: int) -> None:
-    """Pool initializer: a plain per-process table (``--tt private``).
-
-    Pool processes persist across tasks, so the table accumulates over
-    every subtree search the same worker happens to receive.
-    """
-    global _WORKER_TT
-    _WORKER_TT = TranspositionTable(capacity=capacity)
+def _worker_evaluator(game: Game) -> Optional[Evaluator]:
+    """The evaluator a subtree search should use in this process."""
+    if not _WORKER_BATCH_EVAL and _WORKER_EVAL_CACHE is None:
+        return None
+    return Evaluator(game, DEFAULT_COST_MODEL, _WORKER_EVAL_CACHE)
 
 
 _TaskOutcome = tuple[str, float, _PackedStats, float, float, int, int]
@@ -169,14 +208,20 @@ def _run_task(payload: tuple[Any, ...]) -> _TaskOutcome:
     children_done = 0
     if kind == "eval":
         _, problem, alpha, beta = payload
-        value = er_search(problem, alpha, beta, stats=stats, table=_WORKER_TT).value
+        value = er_search(
+            problem, alpha, beta, stats=stats, table=_WORKER_TT,
+            evaluator=_worker_evaluator(problem.game),
+        ).value
     else:  # "refute": remaining children, sequentially, tightening bound
         _, game, positions, child_depth, child_sort, value, beta = payload
         for position in positions:
             sub = SearchProblem(
                 game=RootedGame(game, position), depth=child_depth, sort_below_root=child_sort
             )
-            result = er_search(sub, -beta, -value, stats=stats, table=_WORKER_TT)
+            result = er_search(
+                sub, -beta, -value, stats=stats, table=_WORKER_TT,
+                evaluator=_worker_evaluator(sub.game),
+            )
             children_done += 1
             if -result.value > value:
                 value = -result.value
@@ -301,6 +346,9 @@ def multiproc_er(
     timeout: float = 300.0,
     tt_mode: str = "off",
     tt_capacity: int = 1 << 14,
+    eval_cache_mode: str = "off",
+    eval_cache_capacity: int = 1 << 14,
+    batch_eval: bool = False,
 ) -> MultiprocResult:
     """Run ER with a coordinator-hosted problem heap and worker processes.
 
@@ -330,6 +378,15 @@ def multiproc_er(
             before submitting an eval task, skipping the task on a
             usable hit).  Modes other than ``off`` require an owned pool.
         tt_capacity: slot/entry budget for the table(s).
+        eval_cache_mode: ``off``, ``private`` (one single-stripe cache
+            per worker process), or ``shared`` (one
+            :class:`~repro.eval.SharedMemoryEvalCache` segment every
+            worker maps; the coordinator also probes/stores it for its
+            own leaves).  Modes other than ``off`` require an owned
+            pool, like ``tt_mode``.
+        eval_cache_capacity: entry budget for the eval cache(s).
+        batch_eval: batch frontier evaluations inside worker subtree
+            searches and coordinator move ordering even without a cache.
 
     Raises:
         SimulationError: on a worker crash, a wedged pool, or a protocol
@@ -344,26 +401,35 @@ def multiproc_er(
         config = replace(config, distributed_heap=False)
     if tt_mode not in TT_MODES:
         raise SearchError(f"unknown tt mode {tt_mode!r}; expected one of {TT_MODES}")
-    if tt_mode != "off" and executor is not None:
+    if eval_cache_mode not in EVAL_CACHE_MODES:
         raise SearchError(
-            "tt modes other than 'off' need an owned pool: the worker "
-            "initializer is what attaches each process's table"
+            f"unknown eval-cache mode {eval_cache_mode!r}; expected one of {EVAL_CACHE_MODES}"
+        )
+    if (tt_mode != "off" or eval_cache_mode != "off" or batch_eval) and executor is not None:
+        raise SearchError(
+            "tt/eval-cache modes other than 'off' (and batch_eval) need an "
+            "owned pool: the worker initializer is what attaches each "
+            "process's caches"
         )
 
-    ctx = _Context(problem, cost_model, config, trace=False, n_processors=n_workers)
+    ctx = _Context(
+        problem, cost_model, config, trace=False, n_processors=n_workers,
+        batch_eval=batch_eval,
+    )
     coord_stats = SearchStats()
     merged_workers = SearchStats()
 
     shared_tt: Optional[SharedMemoryTT] = None
+    shared_eval: Optional[SharedMemoryEvalCache] = None
     tt_snapshot: dict[str, int] = {}
+    eval_snapshot: dict[str, int] = {}
     if executor is None:
         own_pool = True
         method = start_method or preferred_start_method()
         mp_ctx = multiprocessing.get_context(method)
-        initializer: Optional[Any] = None
-        initargs: tuple[Any, ...] = ()
+        stripes = 8
+        tt_spec: tuple[Any, ...] = ("off",)
         if tt_mode == "shared":
-            stripes = 8
             # Locks come from the pool's own context so they survive the
             # trip through the initializer under any start method.
             shared_tt = SharedMemoryTT(
@@ -371,14 +437,26 @@ def multiproc_er(
                 n_stripes=stripes,
                 locks=[mp_ctx.Lock() for _ in range(stripes)],
             )
-            initializer, initargs = _init_worker_shared_tt, (shared_tt.handle(), shared_tt.locks)
+            tt_spec = ("shared", shared_tt.handle(), shared_tt.locks)
         elif tt_mode == "private":
-            initializer, initargs = _init_worker_private_tt, (tt_capacity,)
+            tt_spec = ("private", tt_capacity)
+        eval_spec: tuple[Any, ...] = ("off", batch_eval)
+        if eval_cache_mode == "shared":
+            shared_eval = SharedMemoryEvalCache(
+                _table=SharedMemoryTT(
+                    capacity=eval_cache_capacity,
+                    n_stripes=stripes,
+                    locks=[mp_ctx.Lock() for _ in range(stripes)],
+                )
+            )
+            eval_spec = ("shared", shared_eval.handle(), shared_eval.locks, batch_eval)
+        elif eval_cache_mode == "private":
+            eval_spec = ("private", eval_cache_capacity, batch_eval)
         pool = ProcessPoolExecutor(
             max_workers=n_workers,
             mp_context=mp_ctx,
-            initializer=initializer,
-            initargs=initargs,
+            initializer=_init_worker,
+            initargs=(tt_spec, eval_spec),
         )
     else:
         own_pool = False
@@ -493,8 +571,19 @@ def multiproc_er(
         alpha, beta = ctx.window(node)
         ctx.expand_positions(node, coord_stats)
         if node.is_leaf:
-            coord_stats.on_leaf(node.path, cost_model)
-            node.value = problem.game.evaluate(node.position)
+            cached: Optional[float] = None
+            if shared_eval is not None:
+                cached = shared_eval.probe(hash_key(problem.game, node.position))
+                coord_stats.on_eval_probe(cost_model, hit=cached is not None)
+            if cached is not None:
+                coord_stats.note_leaf(node.path)
+                node.value = cached
+            else:
+                coord_stats.on_leaf(node.path, cost_model)
+                node.value = problem.game.evaluate(node.position)
+                if shared_eval is not None:
+                    coord_stats.on_eval_store(cost_model)
+                    shared_eval.store(hash_key(problem.game, node.position), node.value)
             if shared_tt is not None:
                 coord_stats.on_tt_store(cost_model)
                 shared_tt.store(
@@ -621,6 +710,10 @@ def multiproc_er(
             tt_snapshot = shared_tt.counter_snapshot()
             shared_tt.close()
             shared_tt.unlink()
+        if shared_eval is not None:
+            eval_snapshot = shared_eval.counter_snapshot()
+            shared_eval.close()
+            shared_eval.unlink()
 
     if not ctx.done:
         raise SimulationError("multiproc ER finished without combining the root")
@@ -630,9 +723,11 @@ def multiproc_er(
     merged.merge(merged_workers)
     extras: dict[str, Any] = dict(ctx.counters)
     extras.update(counters)
-    # Coordinator-side table counters only; worker probe/store totals are
-    # process-local and arrive through the merged stats instead.
+    # Coordinator-side table/cache counters only; worker probe/store
+    # totals are process-local and arrive through the merged stats
+    # instead.
     extras.update(tt_snapshot)
+    extras.update(eval_snapshot)
     busy = busy_applied + busy_wasted
     starvation = min(idle.starved_seconds, max(0.0, n_workers * wall - busy))
     interference = max(0.0, n_workers * wall - busy - starvation)
@@ -684,6 +779,8 @@ def scaling_run(
     serial_seconds: Optional[float] = None,
     start_method: Optional[str] = None,
     tt_mode: str = "off",
+    eval_cache_mode: str = "off",
+    batch_eval: bool = False,
 ) -> tuple[float, list[ScalingPoint]]:
     """Serial baseline plus one multiproc run per worker count."""
     if serial_seconds is None:
@@ -691,7 +788,8 @@ def scaling_run(
     points: list[ScalingPoint] = []
     for count in counts:
         result = multiproc_er(
-            problem, count, config=config, start_method=start_method, tt_mode=tt_mode
+            problem, count, config=config, start_method=start_method, tt_mode=tt_mode,
+            eval_cache_mode=eval_cache_mode, batch_eval=batch_eval,
         )
         points.append(
             ScalingPoint(

@@ -47,6 +47,7 @@ from ..cache.striped import AnyTT
 from ..core.er_parallel import ERConfig, _Context, _worker
 from ..costmodel import DEFAULT_COST_MODEL, CostModel
 from ..errors import LockOrderError, SearchError, SimulationError
+from ..eval.cache import AnyEvalCache
 from ..games.base import SearchProblem
 from ..search.stats import SearchStats
 from ..sim.locks import LockOrderGraph, SimLock
@@ -181,6 +182,8 @@ def threaded_er_observed(
     cost_model: CostModel = DEFAULT_COST_MODEL,
     timeout: float = 60.0,
     tt: Optional[AnyTT] = None,
+    eval_cache: Optional[AnyEvalCache] = None,
+    batch_eval: bool = False,
 ) -> ThreadedRun:
     """Run parallel ER's problem-heap protocol on real OS threads.
 
@@ -188,7 +191,11 @@ def threaded_er_observed(
     the worker generators' table ops yield ``Acquire``/``Release`` on the
     per-stripe SimLocks, which this driver maps to real locks like any
     other, while the serial subtrees call the table's thread-safe
-    ``probe``/``store`` directly.
+    ``probe``/``store`` directly.  ``eval_cache`` and ``batch_eval``
+    attach the batched static-evaluation subsystem the same way: the
+    parallel leaf path probes/stores the cache through its SimLock ops,
+    and serial subtrees go through an :class:`~repro.eval.Evaluator`
+    whose cache calls are internally thread-safe.
 
     Returns:
         A :class:`ThreadedRun` with the root value, merged stats, total
@@ -205,7 +212,10 @@ def threaded_er_observed(
         raise SearchError("need at least one thread")
     if config is None:
         config = ERConfig()
-    ctx = _Context(problem, cost_model, config, trace=False, n_processors=n_threads, tt=tt)
+    ctx = _Context(
+        problem, cost_model, config, trace=False, n_processors=n_threads,
+        tt=tt, eval_cache=eval_cache, batch_eval=batch_eval,
+    )
     driver = _ThreadedDriver(ctx, timeout)
     stats = [SearchStats() for _ in range(n_threads)]
     if _trace.CURRENT is not None:
@@ -245,6 +255,8 @@ def threaded_er_observed(
     counters = dict(ctx.counters)
     if tt is not None:
         counters.update(tt.counter_snapshot())
+    if eval_cache is not None:
+        counters.update(eval_cache.counter_snapshot())
     return ThreadedRun(
         value=ctx.root.value,
         stats=merged,
@@ -262,6 +274,8 @@ def threaded_er(
     cost_model: CostModel = DEFAULT_COST_MODEL,
     timeout: float = 60.0,
     tt: Optional[AnyTT] = None,
+    eval_cache: Optional[AnyEvalCache] = None,
+    batch_eval: bool = False,
 ) -> tuple[float, SearchStats]:
     """Compatibility wrapper over :func:`threaded_er_observed`.
 
@@ -269,6 +283,7 @@ def threaded_er(
         ``(root_value, merged_stats)``.
     """
     run = threaded_er_observed(
-        problem, n_threads, config=config, cost_model=cost_model, timeout=timeout, tt=tt
+        problem, n_threads, config=config, cost_model=cost_model, timeout=timeout,
+        tt=tt, eval_cache=eval_cache, batch_eval=batch_eval,
     )
     return run.value, run.stats

@@ -29,6 +29,17 @@ class SearchStats:
         cutoffs: number of beta cutoffs taken.
         tt_probes: transposition-table lookups issued.
         tt_stores: transposition-table entries written.
+        static_evals: evaluations charged at the full ``static_eval``
+            rate.  ``leaf_evals``/``ordering_evals`` stay *semantic*
+            counts — with batching or a cache, a leaf may be counted
+            there while its cost was charged as a batch share or a cache
+            probe instead, so this is the counter the cost decomposition
+            (``_serial_parts``) must use.
+        batch_calls: ``batch_eval`` invocations issued.
+        batch_leaves: positions evaluated inside those batches.
+        eval_probes: evaluation-cache lookups issued.
+        eval_hits: evaluation-cache lookups that found a value.
+        eval_stores: evaluation-cache entries written.
         cost: accumulated simulated time units.
         trace: if not ``None``, the set of visited node paths — consumed by
             the mandatory/speculative loss analysis (paper Section 3.1).
@@ -41,6 +52,12 @@ class SearchStats:
     cutoffs: int = 0
     tt_probes: int = 0
     tt_stores: int = 0
+    static_evals: int = 0
+    batch_calls: int = 0
+    batch_leaves: int = 0
+    eval_probes: int = 0
+    eval_hits: int = 0
+    eval_stores: int = 0
     cost: float = 0.0
     trace: Optional[set[Path]] = None
 
@@ -68,16 +85,56 @@ class SearchStats:
     def on_leaf(self, path: Path, cost_model: CostModel) -> float:
         """Record statically evaluating the leaf at ``path``."""
         self.leaf_evals += 1
+        self.static_evals += 1
         if self.trace is not None:
             self.trace.add(path)
         charged = cost_model.static_eval
         self.cost += charged
         return charged
 
+    def note_leaf(self, path: Path) -> float:
+        """Count a leaf evaluation whose cost was charged elsewhere
+        (a batched frontier prefetch or an eval-cache hit)."""
+        self.leaf_evals += 1
+        if self.trace is not None:
+            self.trace.add(path)
+        return 0.0
+
     def on_ordering(self, n_children: int, cost_model: CostModel) -> float:
         """Record the static evaluations used to sort ``n_children``."""
         self.ordering_evals += n_children
+        self.static_evals += n_children
         charged = cost_model.ordering(n_children)
+        self.cost += charged
+        return charged
+
+    def note_ordering(self, n_children: int) -> float:
+        """Count ordering evaluations whose cost was charged elsewhere
+        (a batched evaluator call instead of full-price scalar evals)."""
+        self.ordering_evals += n_children
+        return 0.0
+
+    def on_batch_eval(self, n_leaves: int, cost_model: CostModel) -> float:
+        """Record one batched static evaluation of ``n_leaves`` positions."""
+        self.batch_calls += 1
+        self.batch_leaves += n_leaves
+        charged = cost_model.batch_eval(n_leaves)
+        self.cost += charged
+        return charged
+
+    def on_eval_probe(self, cost_model: CostModel, *, hit: bool) -> float:
+        """Record one evaluation-cache lookup."""
+        self.eval_probes += 1
+        if hit:
+            self.eval_hits += 1
+        charged = cost_model.eval_cache_probe
+        self.cost += charged
+        return charged
+
+    def on_eval_store(self, cost_model: CostModel) -> float:
+        """Record one evaluation-cache write."""
+        self.eval_stores += 1
+        charged = cost_model.eval_cache_store
         self.cost += charged
         return charged
 
@@ -114,6 +171,12 @@ class SearchStats:
         self.cutoffs += other.cutoffs
         self.tt_probes += other.tt_probes
         self.tt_stores += other.tt_stores
+        self.static_evals += other.static_evals
+        self.batch_calls += other.batch_calls
+        self.batch_leaves += other.batch_leaves
+        self.eval_probes += other.eval_probes
+        self.eval_hits += other.eval_hits
+        self.eval_stores += other.eval_stores
         self.cost += other.cost
         if self.trace is not None and other.trace is not None:
             self.trace.update(other.trace)

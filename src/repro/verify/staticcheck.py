@@ -1,6 +1,6 @@
 """AST lint enforcing the repo's concurrency and determinism invariants.
 
-Six rules, each an invariant the rest of the codebase argues from:
+Seven rules, each an invariant the rest of the codebase argues from:
 
 * **VER001 — lock discipline in the parallel ER workers.**  Every
   module-level worker generator in ``core/er_parallel.py`` is walked
@@ -41,6 +41,13 @@ Six rules, each an invariant the rest of the codebase argues from:
   critical-path profiler cannot classify would silently escape makespan
   attribution; conversely an entry naming a nonexistent op is dead
   mapping.
+* **VER007 — eval-parity coverage.**  Every class in ``games/`` that
+  implements ``batch_eval`` must be named in
+  ``tests/test_eval_differential.py`` — a vectorized evaluator the
+  differential battery never exercises could silently diverge from its
+  scalar twin, and every search result computed through the batching
+  seam would be wrong with all parity gates still green.  ``Protocol``
+  classes are declarations, not implementations, and are skipped.
 
 The multiproc coordinator itself is exempt from VER001 by design: it is
 single-threaded, and worker processes share nothing (DESIGN.md
@@ -666,6 +673,62 @@ def check_critpath_coverage(
     return findings
 
 
+def _batch_eval_classes(source: str, path: str) -> list[tuple[str, int]]:
+    """(name, line) of classes in ``source`` defining ``batch_eval``.
+
+    ``Protocol`` classes (structural interfaces such as ``Game``) declare
+    the method without implementing it and are skipped.
+    """
+    tree = ast.parse(source, filename=path)
+    found: list[tuple[str, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if any(
+            (isinstance(base, ast.Name) and base.id == "Protocol")
+            or (isinstance(base, ast.Attribute) and base.attr == "Protocol")
+            for base in node.bases
+        ):
+            continue
+        for item in node.body:
+            if (
+                isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and item.name == "batch_eval"
+            ):
+                found.append((node.name, node.lineno))
+                break
+    return found
+
+
+def check_eval_parity_coverage(
+    game_sources: Iterable[tuple[str, str]], battery_source: str
+) -> list[LintFinding]:
+    """VER007: the differential battery names every ``batch_eval`` class.
+
+    ``game_sources`` is ``(path, source)`` per module under ``games/``;
+    ``battery_source`` is the text of ``tests/test_eval_differential.py``.
+    Name presence is textual on purpose: the battery constructs games
+    through factories and adapters, so requiring the class name anywhere
+    in the file is the strongest check that survives refactors.
+    """
+    findings: list[LintFinding] = []
+    for path, source in game_sources:
+        for name, lineno in _batch_eval_classes(source, path):
+            if name not in battery_source:
+                findings.append(
+                    LintFinding(
+                        "VER007",
+                        path,
+                        lineno,
+                        f"class {name} implements batch_eval but is never "
+                        "named in tests/test_eval_differential.py; its "
+                        "vectorized evaluator could diverge from the scalar "
+                        "one with every parity gate still green",
+                    )
+                )
+    return findings
+
+
 def check_determinism(path: str, source: str) -> list[LintFinding]:
     """VER003: no wall clock, no unseeded randomness."""
     findings: list[LintFinding] = []
@@ -821,6 +884,16 @@ def check_repo(root: Optional[str] = None) -> list[LintFinding]:
             str(ops), ops.read_text(), str(critpath_py), critpath_py.read_text()
         )
     )
+
+    battery = base / "tests" / "test_eval_differential.py"
+    if battery.exists():
+        game_sources = [
+            (str(path), path.read_text())
+            for path in sorted((src / "games").rglob("*.py"))
+        ]
+        findings.extend(
+            check_eval_parity_coverage(game_sources, battery.read_text())
+        )
     return findings
 
 

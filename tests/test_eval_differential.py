@@ -1,0 +1,201 @@
+"""Differential eval-parity battery: ``batch_eval`` == scalar ``evaluate``.
+
+Every ``batch_eval`` implementation must agree element-wise with its
+scalar evaluator on all three execution paths — the numpy fast path, the
+pure-python fallback (numpy masked off), and the generic scalar loop in
+:func:`repro.games.base.batch_eval` — including empty and single-element
+batches.  The battery pins every implementing class by name (checked by
+staticcheck rule VER007): :class:`Othello`, :class:`ConnectFour`,
+:class:`TicTacToe`, :class:`Nim`, :class:`RandomGameTree`,
+:class:`IncrementalGameTree`, :class:`SyntheticOrderedTree`,
+:class:`ExplicitTree`, and the :class:`RootedGame` forwarding adapter.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.games import (
+    ConnectFour,
+    ExplicitTree,
+    IncrementalGameTree,
+    Nim,
+    RandomGameTree,
+    SyntheticOrderedTree,
+    TicTacToe,
+    TreePosition,
+    batch_eval,
+)
+from repro.games import _numpy
+from repro.games.explicit import FIGURE6, FIGURE7
+from repro.games.nim import normalize
+from repro.games.othello import Othello
+from repro.games.othello import batch as othello_batch
+
+
+def assert_parity(game, positions) -> None:
+    """Batch values equal scalar values on the fast path AND the fallback."""
+    scalar = [game.evaluate(p) for p in positions]
+    assert batch_eval(game, list(positions)) == scalar
+    with pytest.MonkeyPatch.context() as mp:
+        mp.setattr(_numpy, "HAVE_NUMPY", False)
+        mp.setattr(othello_batch, "HAVE_NUMPY", False)
+        assert batch_eval(game, list(positions)) == scalar
+
+
+def walk_positions(game, budget: int, seed: int = 0):
+    """A deterministic sample of reachable positions (shuffled DFS)."""
+    rng = random.Random(seed)
+    positions = []
+    frontier = [game.root()]
+    while frontier and len(positions) < budget:
+        position = frontier.pop()
+        positions.append(position)
+        children = list(game.children(position))
+        rng.shuffle(children)
+        frontier.extend(children[:3])
+    return positions
+
+
+GAMES = {
+    "random-tree": lambda: RandomGameTree(4, 5, seed=7),
+    "random-tree-deep": lambda: RandomGameTree(2, 9, seed=1),
+    "incremental": lambda: IncrementalGameTree(3, 6, seed=11, noise=0.4),
+    "incremental-noiseless": lambda: IncrementalGameTree(3, 4, seed=2, noise=0.0),
+    "ordered-first": lambda: SyntheticOrderedTree(4, 5, seed=3, best_child="first"),
+    "ordered-last": lambda: SyntheticOrderedTree(4, 5, seed=3, best_child="last"),
+    "ordered-random": lambda: SyntheticOrderedTree(4, 5, seed=3, best_child="random"),
+    "explicit-fig6": lambda: ExplicitTree(FIGURE6),
+    "explicit-fig7": lambda: ExplicitTree(FIGURE7),
+    "nim": lambda: Nim((3, 4, 5)),
+    "tictactoe": lambda: TicTacToe(),
+    "connect4": lambda: ConnectFour(),
+    "connect4-small": lambda: ConnectFour(5, 4),
+    "othello": lambda: Othello(),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GAMES))
+def test_batch_matches_scalar(name: str) -> None:
+    game = GAMES[name]()
+    positions = walk_positions(game, budget=300)
+    assert_parity(game, positions)
+
+
+@pytest.mark.parametrize("name", sorted(GAMES))
+def test_empty_and_singleton_batches(name: str) -> None:
+    game = GAMES[name]()
+    assert batch_eval(game, []) == []
+    root = game.root()
+    assert batch_eval(game, [root]) == [game.evaluate(root)]
+    with pytest.MonkeyPatch.context() as mp:
+        mp.setattr(_numpy, "HAVE_NUMPY", False)
+        mp.setattr(othello_batch, "HAVE_NUMPY", False)
+        assert batch_eval(game, []) == []
+        assert batch_eval(game, [root]) == [game.evaluate(root)]
+
+
+def test_oversized_connect4_board_takes_scalar_path() -> None:
+    # 9 columns x 7 rows = 72 bits: beyond uint64, must fall back cleanly.
+    game = ConnectFour(width=9, height=7)
+    positions = walk_positions(game, budget=120)
+    assert_parity(game, positions)
+
+
+def test_rooted_game_forwards_batch_eval() -> None:
+    """RootedGame batches through the underlying game: a serial subtree
+    search must see the same values (and the same fast path) as the full
+    search would at those positions."""
+    from repro.games.base import RootedGame
+
+    base = RandomGameTree(4, 5, seed=7)
+    rooted = RootedGame(base, base.children(base.root())[1])
+    positions = walk_positions(rooted, budget=200)
+    assert_parity(rooted, positions)
+
+
+def test_generic_seam_falls_back_to_scalar_loop() -> None:
+    class Bare:
+        """A game with no batch_eval — the seam must loop over evaluate."""
+
+        def root(self):
+            return 0
+
+        def children(self, position):
+            return ()
+
+        def evaluate(self, position) -> float:
+            return float(position * 2)
+
+    assert batch_eval(Bare(), [1, 2, 3]) == [2.0, 4.0, 6.0]
+
+
+# --------------------------------------------------------------------------
+# Hypothesis properties: random positions, random batch sizes.
+# --------------------------------------------------------------------------
+
+_paths = st.lists(
+    st.lists(st.integers(min_value=0, max_value=3), max_size=7).map(tuple),
+    max_size=24,
+)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16), paths=_paths)
+def test_random_tree_parity_property(seed: int, paths) -> None:
+    game = RandomGameTree(4, 5, seed=seed)
+    assert_parity(game, [TreePosition(path) for path in paths])
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16), paths=_paths)
+def test_incremental_tree_parity_property(seed: int, paths) -> None:
+    game = IncrementalGameTree(4, 5, seed=seed, noise=0.3)
+    assert_parity(game, [TreePosition(path) for path in paths])
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    placement=st.sampled_from(["first", "last", "random"]),
+    paths=_paths,
+)
+def test_ordered_tree_parity_property(seed: int, placement: str, paths) -> None:
+    game = SyntheticOrderedTree(4, 5, seed=seed, best_child=placement)
+    assert_parity(game, [TreePosition(path) for path in paths])
+
+
+@given(
+    boards=st.lists(
+        st.tuples(
+            st.tuples(*[st.sampled_from([0, 1, 2])] * 9),
+            st.sampled_from([1, 2]),
+        ),
+        max_size=24,
+    )
+)
+def test_tictactoe_parity_property(boards) -> None:
+    assert_parity(TicTacToe(), boards)
+
+
+@given(
+    heaps=st.lists(
+        st.lists(st.integers(min_value=0, max_value=9), max_size=4),
+        max_size=24,
+    )
+)
+def test_nim_parity_property(heaps) -> None:
+    assert_parity(Nim((3, 4, 5)), [normalize(h) for h in heaps])
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16), size=st.integers(0, 60))
+def test_connect4_playout_parity_property(seed: int, size: int) -> None:
+    game = ConnectFour()
+    assert_parity(game, walk_positions(game, budget=size, seed=seed))
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16), size=st.integers(0, 40))
+def test_othello_playout_parity_property(seed: int, size: int) -> None:
+    game = Othello()
+    assert_parity(game, walk_positions(game, budget=size, seed=seed))

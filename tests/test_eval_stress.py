@@ -1,0 +1,102 @@
+"""Stress test for the striped evaluation cache under real threads.
+
+Mirrors ``test_tt_stress.py``: many threads hammer one
+:class:`~repro.eval.StripedEvalCache` with mixed probes and stores over a
+deliberately overlapping key range, all under the race detector's trace
+recorder.  Per-stripe locking shows up in the trace as
+ACQUIRE/WRITE/RELEASE triples named ``eval-stripe-{i}``; the offline
+analysis must find them consistently locked (no data races, no lock
+order edges — eval stripes are leaves and never nest).  Counter totals
+are cross-checked against the exact number of operations issued
+(``hits + misses == probes``), which a torn read-modify-write on the
+shared tallies would break.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.eval import StripedEvalCache
+from repro.verify import trace as _trace
+from repro.verify.racedetect import analyze
+
+N_THREADS = 8
+OPS_PER_THREAD = 2000
+KEY_SPACE = 512  # far smaller than ops: every key is contended
+
+
+def _hammer(
+    cache: StripedEvalCache, seed: int, barrier: threading.Barrier, issued: list[list[int]]
+) -> None:
+    rng = random.Random(seed)
+    probes = stores = 0
+    barrier.wait()  # maximal overlap: everyone starts at once
+    for _ in range(OPS_PER_THREAD):
+        key = rng.randrange(KEY_SPACE)
+        if rng.random() < 0.5:
+            cache.probe(key)
+            probes += 1
+        else:
+            cache.store(key, float(seed))
+            stores += 1
+    issued[seed] = [probes, stores]
+
+
+@pytest.mark.slow
+class TestStripedEvalCacheStress:
+    def test_eight_threads_trace_is_clean(self) -> None:
+        cache = StripedEvalCache(capacity=KEY_SPACE // 2, n_stripes=8)
+        barrier = threading.Barrier(N_THREADS)
+        issued: list[list[int]] = [[0, 0] for _ in range(N_THREADS)]
+        with _trace.tracing() as recorder:
+            threads = [
+                threading.Thread(target=_hammer, args=(cache, seed, barrier, issued))
+                for seed in range(N_THREADS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        report = analyze(recorder.events)
+        assert report.ok, report.summary()
+        assert report.tasks == N_THREADS
+        # Every cache operation is one locked critical section.
+        acquires = sum(1 for ev in recorder.events if ev.kind == _trace.ACQUIRE)
+        assert acquires == N_THREADS * OPS_PER_THREAD
+
+        # Counter conservation: a torn increment on the per-stripe hit
+        # and miss tallies would make their sum fall short of the probes
+        # issued.  Unlike the TT, every eval store lands (static values
+        # carry no depth preference), so stores are conserved too.
+        probes_issued = sum(counts[0] for counts in issued)
+        stores_issued = sum(counts[1] for counts in issued)
+        assert probes_issued + stores_issued == N_THREADS * OPS_PER_THREAD
+        assert cache.hits + cache.misses == probes_issued
+        assert cache.stores == stores_issued
+        assert cache.hits > 0 and cache.misses > 0
+        assert len(cache) <= cache.capacity
+
+    def test_contended_cache_holds_only_stored_values(self) -> None:
+        """Every probe-able value after the hammer is one some thread
+        actually stored — a torn float write or cross-stripe aliasing
+        would surface as a foreign value."""
+        cache = StripedEvalCache(capacity=KEY_SPACE, n_stripes=4)
+        barrier = threading.Barrier(N_THREADS)
+        issued: list[list[int]] = [[0, 0] for _ in range(N_THREADS)]
+        threads = [
+            threading.Thread(target=_hammer, args=(cache, seed, barrier, issued))
+            for seed in range(N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stored_values = {float(seed) for seed in range(N_THREADS)}
+        for key in range(KEY_SPACE):
+            value = cache.probe(key)
+            if value is not None:
+                assert value in stored_values

@@ -12,6 +12,7 @@ import textwrap
 from repro.verify.staticcheck import (
     LintFinding,
     check_critpath_coverage,
+    check_eval_parity_coverage,
     check_file,
     check_lock_discipline,
     check_obs_coverage,
@@ -326,6 +327,71 @@ def test_ver006_non_literal_key_flagged() -> None:
 def test_ver006_missing_mapping_dict_flagged() -> None:
     findings = _critpath_findings("OTHER = 1")
     assert any("OP_ATTRIBUTION dict literal not found" in f.message for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# VER007: the differential battery names every batch_eval implementation.
+# ---------------------------------------------------------------------------
+
+_GAME_WITH_BATCH = _src(
+    """
+    class Checkers:
+        def evaluate(self, position):
+            return 0.0
+
+        def batch_eval(self, positions):
+            return [0.0 for _ in positions]
+
+    class Draughts:
+        def batch_eval(self, positions):
+            return [1.0 for _ in positions]
+    """
+)
+
+
+def test_ver007_uncovered_implementation_flagged() -> None:
+    battery = "def test_checkers():\n    game = Checkers()\n"
+    findings = check_eval_parity_coverage(
+        [("games/checkers.py", _GAME_WITH_BATCH)], battery
+    )
+    assert len(findings) == 1
+    assert findings[0].rule == "VER007"
+    assert "Draughts" in findings[0].message
+    assert "never named" in findings[0].message
+
+
+def test_ver007_full_coverage_passes() -> None:
+    battery = "GAMES = [Checkers, Draughts]\n"
+    assert (
+        check_eval_parity_coverage([("games/checkers.py", _GAME_WITH_BATCH)], battery)
+        == []
+    )
+
+
+def test_ver007_protocol_declaration_skipped() -> None:
+    source = _src(
+        """
+        class Game(Protocol):
+            def batch_eval(self, positions):
+                ...
+
+        class Board(typing.Protocol):
+            def batch_eval(self, positions):
+                ...
+        """
+    )
+    assert check_eval_parity_coverage([("games/base.py", source)], "") == []
+
+
+def test_ver007_class_without_batch_eval_ignored() -> None:
+    source = _src(
+        """
+        class ScalarOnly:
+            def evaluate(self, position):
+                return 0.0
+        """
+    )
+    assert check_eval_parity_coverage([("games/scalar.py", source)], "") == []
 
 
 # ---------------------------------------------------------------------------
