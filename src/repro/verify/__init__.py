@@ -20,7 +20,13 @@ coordinated passes (DESIGN.md "Verification"):
   concurrency and determinism invariants (locked shared mutations,
   engine accounting coverage of every sim op, no wall clock or unseeded
   randomness in ``sim``/``core``, picklable-by-construction multiproc
-  boundary).
+  boundary, sanctioned clock/RNG seams).
+* :mod:`repro.verify.flow` — the whole-program companion: an
+  interprocedural lockset + shared-state escape analysis over the
+  parallel engine, its queues, and the cache subsystems, with
+  lock-order cycle detection, protocol-conformance summaries, SARIF
+  export, and a committed finding baseline.  Run via
+  ``repro-gametree verify --deep``.
 
 Everything is runnable three ways: ``repro-gametree verify`` from a
 shell, ``pytest tests/test_verify_*.py`` locally, and the ``verify`` CI
@@ -29,6 +35,7 @@ job on every push (which adds ``mypy --strict`` and ``ruff``).
 
 from __future__ import annotations
 
+from .flow import FlowFinding, analyze_repo, analyze_sources
 from .racedetect import Finding, RaceDetector, RaceReport, analyze, self_test
 from .staticcheck import LintFinding, check_file, check_repo
 from .trace import Event, TraceRecorder, tracing
@@ -38,9 +45,12 @@ __all__ = [
     "TraceRecorder",
     "tracing",
     "Finding",
+    "FlowFinding",
     "RaceDetector",
     "RaceReport",
     "analyze",
+    "analyze_repo",
+    "analyze_sources",
     "self_test",
     "LintFinding",
     "check_file",

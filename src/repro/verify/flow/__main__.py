@@ -1,0 +1,73 @@
+"""Command-line entry: ``python -m repro.verify.flow``.
+
+Analyzes the repository tree, applies the committed baseline, prints
+any non-baselined findings, and optionally writes a SARIF report.
+Exit status 1 iff a non-baselined finding exists — the shape pre-commit
+and CI expect.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from . import analyze_repo, repo_root
+from .baseline import BASELINE_NAME, filter_baselined, load_baseline
+from .sarif import to_sarif_bytes
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.verify.flow",
+        description="interprocedural lockset + escape analysis",
+    )
+    parser.add_argument(
+        "root",
+        nargs="?",
+        type=Path,
+        default=None,
+        help="repository root (default: autodetect from package location)",
+    )
+    parser.add_argument(
+        "--sarif",
+        type=Path,
+        default=None,
+        help="write a SARIF 2.1.0 report to this path",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file (default: <root>/{BASELINE_NAME})",
+    )
+    args = parser.parse_args(argv)
+
+    root = args.root if args.root is not None else repo_root()
+    findings = analyze_repo(root)
+    baseline_path = (
+        args.baseline if args.baseline is not None else root / BASELINE_NAME
+    )
+    novel, baselined = filter_baselined(findings, load_baseline(baseline_path))
+
+    if args.sarif is not None:
+        args.sarif.parent.mkdir(parents=True, exist_ok=True)
+        args.sarif.write_bytes(to_sarif_bytes(findings))
+
+    for finding in novel:
+        print(finding)
+    if novel:
+        print(
+            f"flow: {len(novel)} non-baselined finding(s) "
+            f"({len(baselined)} baselined)",
+            file=sys.stderr,
+        )
+        return 1
+    suffix = f" ({len(baselined)} baselined)" if baselined else ""
+    print(f"flow: clean{suffix}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""Baseline / suppression file for flow findings.
+
+The gate is "zero *non-baselined* findings": a finding whose
+fingerprint appears in the committed baseline is accepted (with a
+recorded reason) instead of failing the build.  Fingerprints hash the
+rule, path, function, and structural signature — **not** the line — so
+reformatting or unrelated edits do not invalidate entries, while moving
+a write under a different lock does.
+
+File format (JSON, committed at the repo root)::
+
+    {
+      "version": 1,
+      "suppressions": [
+        {"fingerprint": "abc...", "rule": "VER102", "reason": "..."}
+      ]
+    }
+
+Adding an entry is a reviewed act: the reason string is mandatory.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from .model import FlowFinding
+
+#: Repo-relative location of the committed baseline.
+BASELINE_NAME = "verify_flow_baseline.json"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    fingerprint: str
+    rule: str
+    reason: str
+
+
+def load_baseline(path: Path) -> list[Suppression]:
+    """Parse a baseline file; a missing file is an empty baseline."""
+    if not path.exists():
+        return []
+    data = json.loads(path.read_text())
+    if not isinstance(data, dict) or data.get("version") != 1:
+        raise ValueError(f"{path}: unsupported baseline format")
+    suppressions: list[Suppression] = []
+    for entry in data.get("suppressions", []):
+        if not isinstance(entry, dict):
+            raise ValueError(f"{path}: malformed suppression entry {entry!r}")
+        fingerprint = entry.get("fingerprint")
+        rule = entry.get("rule")
+        reason = entry.get("reason")
+        if not (
+            isinstance(fingerprint, str)
+            and isinstance(rule, str)
+            and isinstance(reason, str)
+            and reason.strip()
+        ):
+            raise ValueError(
+                f"{path}: suppression needs fingerprint/rule/reason: {entry!r}"
+            )
+        suppressions.append(Suppression(fingerprint, rule, reason))
+    return suppressions
+
+
+def save_baseline(path: Path, suppressions: list[Suppression]) -> None:
+    """Write a baseline file with deterministic ordering."""
+    payload = {
+        "version": 1,
+        "suppressions": [
+            {"fingerprint": s.fingerprint, "rule": s.rule, "reason": s.reason}
+            for s in sorted(suppressions, key=lambda s: (s.rule, s.fingerprint))
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def filter_baselined(
+    findings: list[FlowFinding], suppressions: list[Suppression]
+) -> tuple[list[FlowFinding], list[FlowFinding]]:
+    """Split findings into (novel, baselined) by fingerprint."""
+    accepted = {s.fingerprint for s in suppressions}
+    novel: list[FlowFinding] = []
+    baselined: list[FlowFinding] = []
+    for finding in findings:
+        (baselined if finding.fingerprint() in accepted else novel).append(finding)
+    return novel, baselined

@@ -1,0 +1,198 @@
+"""Structured control-flow engine for the abstract interpreters.
+
+Python's AST is already a structured control-flow graph: every
+``if``/``while``/``for``/``with`` statement is a single-entry region
+whose exits are the fall-through edge plus any ``return``/``break``/
+``continue``/``raise`` terminators inside it.  This module walks that
+structure once per (function, entry-state) pair, threading an abstract
+state through straight-line code and applying the classic join rules at
+region boundaries:
+
+* **if/else** — both arms are interpreted from a copy of the entry
+  state; arms that terminate drop out, surviving arms must agree on the
+  held-lock set (divergence is reported via a hook) and are met by
+  intersection.
+* **while/for** — the body is interpreted once from the loop-entry
+  state; a body whose exit state differs from its entry would change
+  the lockset per iteration and is reported.  ``break``/``continue``
+  must match the loop-entry state.
+* **return** — an exit edge; the interpreter compares the exit state
+  against the function's entry state (a helper may legitimately run
+  entirely under a caller's lock).
+* **raise** — terminates the path without an exit-balance check,
+  matching the runtime: the engine tears the whole simulation down on a
+  worker exception, so no lock is ever "leaked" to another worker.
+* **with** — region whose entry/exit effects are interpreter hooks
+  (used to model ``with self._real_locks[i]:`` internal lock sections).
+
+Subclasses implement the ``effect_*``/``report_*`` hooks; the walk
+itself stays purely structural.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+
+@dataclass
+class BlockState:
+    """Abstract state threaded through a function body.
+
+    ``held`` is the lockset lattice element (a set of canonical lock
+    tokens; the meet at joins is intersection).  ``sections`` carries
+    per-open-critical-section flags — whether the section has performed
+    queue work and whether it has charged simulated time — used by the
+    VER104 uncharged-section check.
+    """
+
+    held: frozenset[str] = frozenset()
+    sections: dict[str, list[bool]] = field(default_factory=dict)
+
+    def copy(self) -> "BlockState":
+        return BlockState(
+            held=self.held,
+            sections={token: flags[:] for token, flags in self.sections.items()},
+        )
+
+    def meet(self, other: "BlockState") -> "BlockState":
+        merged: dict[str, list[bool]] = {}
+        for token in self.held & other.held:
+            a = self.sections.get(token, [False, False])
+            b = other.sections.get(token, [False, False])
+            merged[token] = [a[0] or b[0], a[1] or b[1]]
+        return BlockState(held=self.held & other.held, sections=merged)
+
+
+class StructuredWalker:
+    """Region-structured abstract interpretation over one function body."""
+
+    def __init__(self) -> None:
+        self._loop_entry: list[frozenset[str]] = []
+
+    # -- hooks (overridden by the interpreter) -----------------------------
+
+    def effect_value(self, value: ast.expr, state: BlockState) -> BlockState:
+        """Apply the effects of an evaluated expression (yields, calls)."""
+        return state
+
+    def effect_assign(self, stmt: ast.stmt, state: BlockState) -> None:
+        """Record attribute stores of an assignment statement."""
+
+    def effect_with_enter(
+        self, item: ast.withitem, state: BlockState
+    ) -> tuple[BlockState, Optional[str]]:
+        """Enter a ``with`` item; returns (state, token) to exit with."""
+        return state, None
+
+    def effect_with_exit(
+        self, token: str, line: int, state: BlockState
+    ) -> BlockState:
+        return state
+
+    def report_divergence(
+        self, line: int, a: frozenset[str], b: frozenset[str]
+    ) -> None:
+        """Two joining paths hold different locks."""
+
+    def report_loop_imbalance(
+        self, line: int, entry: frozenset[str], exit_: frozenset[str]
+    ) -> None:
+        """A loop body's exit lockset differs from its entry."""
+
+    def report_exit(self, line: int, state: BlockState) -> None:
+        """A function exit edge (return or fall-through)."""
+
+    # -- the walk ----------------------------------------------------------
+
+    def walk(self, body: Sequence[ast.stmt], state: BlockState) -> BlockState:
+        state, terminated = self._block(body, state)
+        if not terminated:
+            last = body[-1].lineno if body else 1
+            self.report_exit(last, state)
+        return state
+
+    def _block(
+        self, stmts: Sequence[ast.stmt], state: BlockState
+    ) -> tuple[BlockState, bool]:
+        terminated = False
+        for stmt in stmts:
+            if terminated:
+                break  # unreachable; stop interpreting
+            state, terminated = self._stmt(stmt, state)
+        return state, terminated
+
+    def _stmt(self, stmt: ast.stmt, state: BlockState) -> tuple[BlockState, bool]:
+        if isinstance(stmt, ast.Expr):
+            return self.effect_value(stmt.value, state), False
+        if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            if stmt.value is not None:
+                state = self.effect_value(stmt.value, state)
+            self.effect_assign(stmt, state)
+            return state, False
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                state = self.effect_value(stmt.value, state)
+            self.report_exit(stmt.lineno, state)
+            return state, True
+        if isinstance(stmt, ast.Raise):
+            return state, True
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            if self._loop_entry and state.held != self._loop_entry[-1]:
+                self.report_divergence(stmt.lineno, state.held, self._loop_entry[-1])
+            return state, True
+        if isinstance(stmt, ast.If):
+            state = self.effect_value(stmt.test, state)
+            body_state, body_term = self._block(stmt.body, state.copy())
+            else_state, else_term = self._block(stmt.orelse, state.copy())
+            if body_term and else_term:
+                return state, True
+            if body_term:
+                return else_state, False
+            if else_term:
+                return body_state, False
+            if body_state.held != else_state.held:
+                self.report_divergence(stmt.lineno, body_state.held, else_state.held)
+            return body_state.meet(else_state), False
+        if isinstance(stmt, (ast.While, ast.For)):
+            probe = stmt.test if isinstance(stmt, ast.While) else stmt.iter
+            state = self.effect_value(probe, state)
+            self._loop_entry.append(state.held)
+            body_state, body_term = self._block(stmt.body, state.copy())
+            self._loop_entry.pop()
+            if not body_term and body_state.held != state.held:
+                self.report_loop_imbalance(stmt.lineno, state.held, body_state.held)
+            self._block(stmt.orelse, state.copy())
+            return state, False
+        if isinstance(stmt, ast.With):
+            tokens: list[tuple[str, int]] = []
+            for item in stmt.items:
+                state = self.effect_value(item.context_expr, state)
+                state, token = self.effect_with_enter(item, state)
+                if token is not None:
+                    tokens.append((token, stmt.lineno))
+            state, terminated = self._block(stmt.body, state)
+            for token, line in reversed(tokens):
+                state = self.effect_with_exit(token, line, state)
+            return state, terminated
+        if isinstance(stmt, ast.Assert):
+            state = self.effect_value(stmt.test, state)
+            return state, False
+        if isinstance(stmt, ast.Try):
+            # Conservative: interpret body then each handler/orelse/finally
+            # from the body's entry (exceptions may jump); no balance
+            # guarantees are claimed inside try regions.
+            entry = state.copy()
+            state, _ = self._block(stmt.body, state)
+            for handler in stmt.handlers:
+                self._block(handler.body, entry.copy())
+            self._block(stmt.orelse, state.copy())
+            state, _ = self._block(stmt.finalbody, state)
+            return state, False
+        # Nested defs, imports, global/nonlocal, match, pass, delete:
+        # no lock effects; interpret child statements conservatively.
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                state, _ = self._stmt(child, state)
+        return state, False

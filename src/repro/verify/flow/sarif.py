@@ -1,0 +1,98 @@
+"""SARIF 2.1.0 export for flow findings.
+
+The exporter emits the minimal static-analysis interchange shape that
+code-scanning UIs (GitHub, VS Code SARIF viewers) consume: one run,
+one tool driver with the VER1xx rule metadata, one result per finding
+with a physical location and the line-independent fingerprint under
+``partialFingerprints`` (so moved-but-unchanged findings stay matched
+to their baseline entry).
+
+Output bytes are deterministic — findings are sorted, keys are sorted,
+no timestamps — so the golden test can compare exact bytes and CI
+artifacts diff cleanly between runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from .model import RULES, FlowFinding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-flow"
+
+
+def _rule_entries() -> list[dict[str, object]]:
+    entries: list[dict[str, object]] = []
+    for rule_id in sorted(RULES):
+        short_name, description = RULES[rule_id]
+        entries.append(
+            {
+                "id": rule_id,
+                "name": short_name,
+                "shortDescription": {"text": short_name},
+                "fullDescription": {"text": description},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    return entries
+
+
+def _result(finding: FlowFinding) -> dict[str, object]:
+    return {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": finding.line},
+                },
+                "logicalLocations": [
+                    {"name": finding.function, "kind": "function"}
+                ],
+            }
+        ],
+        "partialFingerprints": {"reproFlow/v1": finding.fingerprint()},
+    }
+
+
+def to_sarif(findings: Iterable[FlowFinding]) -> dict[str, object]:
+    """The SARIF log object for ``findings`` (deterministically ordered)."""
+    ordered = sorted(
+        findings, key=lambda f: (f.path, f.line, f.rule, f.signature)
+    )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": (
+                            "https://example.invalid/repro/verify/flow"
+                        ),
+                        "rules": _rule_entries(),
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///./"}},
+                "results": [_result(f) for f in ordered],
+            }
+        ],
+    }
+
+
+def to_sarif_bytes(findings: Iterable[FlowFinding]) -> bytes:
+    """Canonical SARIF bytes: sorted keys, 2-space indent, trailing LF."""
+    text = json.dumps(to_sarif(findings), indent=2, sort_keys=True)
+    return (text + "\n").encode("utf-8")

@@ -48,6 +48,13 @@ Seven rules, each an invariant the rest of the codebase argues from:
   scalar twin, and every search result computed through the batching
   seam would be wrong with all parity gates still green.  ``Protocol``
   classes are declarations, not implementations, and are skipped.
+* **VER008 — clock/RNG seams.**  In the sim-deterministic packages
+  (``sim/``, ``core/``, ``obs/``) any ``time.*``/``datetime.*``/
+  ``random.*`` attribute reference — call or bare — must go through a
+  sanctioned seam (``_CLOCK_SEAMS``): the event bus's injectable clock
+  and the ledger's record timestamp.  Stricter than VER003 because a
+  bare ``time.perf_counter`` stored as a default is nondeterminism
+  deferred, not avoided.
 
 The multiproc coordinator itself is exempt from VER001 by design: it is
 single-threaded, and worker processes share nothing (DESIGN.md
@@ -767,6 +774,63 @@ def check_determinism(path: str, source: str) -> list[LintFinding]:
     return findings
 
 
+#: Sanctioned wall-clock/randomness seams for VER008: (file name,
+#: enclosing function, dotted reference).  Each is the single injection
+#: point where a real clock may enter — everything downstream takes the
+#: value through a parameter or the bus clock and stays replayable.
+_CLOCK_SEAMS: frozenset[tuple[str, str, str]] = frozenset(
+    {
+        ("events.py", "__init__", "time.perf_counter"),
+        ("events.py", "use_clock", "time.perf_counter"),
+        ("ledger.py", "make_record", "time.time"),
+    }
+)
+
+
+def check_clock_seams(path: str, source: str) -> list[LintFinding]:
+    """VER008: wall clock/randomness only through sanctioned seams.
+
+    Stricter than VER003: *any* ``time.*``/``datetime.*``/``random.*``
+    attribute reference — not just a call — is flagged, because a bare
+    ``time.perf_counter`` stored as a default clock smuggles
+    nondeterminism just as surely as calling it.  Seeded
+    ``random.Random`` stays allowed (VER003's rule), and the named
+    seams in ``_CLOCK_SEAMS`` are the documented injection points.
+    """
+    findings: list[LintFinding] = []
+    tree = ast.parse(source, filename=path)
+    name = Path(path).name
+    owner: dict[int, str] = {}
+    for func in ast.walk(tree):
+        if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for sub in ast.walk(func):
+                owner.setdefault(id(sub), func.name)
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in ("time", "datetime", "random")
+        ):
+            continue
+        dotted = f"{node.value.id}.{node.attr}"
+        if dotted == "random.Random":
+            continue  # seeding discipline is VER003's concern
+        function = owner.get(id(node), "<module>")
+        if (name, function, dotted) in _CLOCK_SEAMS:
+            continue
+        findings.append(
+            LintFinding(
+                "VER008",
+                path,
+                node.lineno,
+                f"{dotted} referenced in sim-deterministic code "
+                f"({function}); route it through a sanctioned clock/RNG "
+                "seam or inject it as a parameter",
+            )
+        )
+    return findings
+
+
 def check_pickle_boundary(path: str, source: str) -> list[LintFinding]:
     """VER004: executor submissions must be module-level functions."""
     findings: list[LintFinding] = []
@@ -831,6 +895,8 @@ def check_file(
         findings.extend(check_determinism(path, source))
     if "VER004" in rules:
         findings.extend(check_pickle_boundary(path, source))
+    if "VER008" in rules:
+        findings.extend(check_clock_seams(path, source))
     return _filter_suppressed(findings, source)
 
 
@@ -860,6 +926,10 @@ def check_repo(root: Optional[str] = None) -> list[LintFinding]:
     for directory in (src / "sim", src / "core", src / "cache"):
         for path in sorted(directory.glob("*.py")):
             findings.extend(check_file(str(path), rules={"VER003"}))
+
+    for directory in (src / "sim", src / "core", src / "obs"):
+        for path in sorted(directory.glob("*.py")):
+            findings.extend(check_file(str(path), rules={"VER008"}))
 
     multiproc = src / "parallel" / "multiproc.py"
     if multiproc.exists():

@@ -1,0 +1,50 @@
+"""Regression fixture: the historical ``on_spec`` race, reintroduced.
+
+This is a minimal self-contained replica of the pre-PR-2 engine shape:
+``pop_work`` cleared the popped node's ``on_spec`` flag *under the heap
+lock*, while ``maybe_push_spec`` sets it under the tree lock.  Two
+different guards for one shared field means the pair of writes can
+interleave — the exact race the runtime detector caught dynamically and
+the flow analyzer must now catch statically (VER102, inconsistent
+guard for ``on_spec``, anchored at the ``pop_work`` write site).
+
+The module is never imported by the test suite; it is parsed and fed to
+``repro.verify.flow.analyze_sources`` as an in-memory project.
+"""
+
+from repro.sim.ops import Acquire, Compute, Release, WaitWork
+
+
+class _Context:
+    def pop_work(self):
+        if self.primary:
+            return self.primary.pop(), False
+        spec = self.speculative.pop()
+        if spec is not None:
+            spec.on_spec = False  # BUG: tree state written under the heap lock
+        return spec, spec is not None
+
+    def maybe_push_spec(self, node):
+        if not node.on_spec:
+            node.on_spec = True
+            self.speculative.push(node)
+
+
+def _process(ctx, node, stats):
+    yield Acquire(ctx.tree_lock)
+    yield Compute(1, tag="bookkeeping")
+    node.value = max(node.value, 0)
+    ctx.maybe_push_spec(node)
+    yield Release(ctx.tree_lock)
+
+
+def _worker(ctx, stats, pid=0):
+    while not ctx.done:
+        yield Acquire(ctx.heap_lock)
+        yield Compute(1, tag="heap_op")
+        node, from_spec = ctx.pop_work()
+        yield Release(ctx.heap_lock)
+        if node is None:
+            yield WaitWork(ctx.work, 0)
+            continue
+        yield from _process(ctx, node, stats)

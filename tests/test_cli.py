@@ -190,3 +190,19 @@ class TestVerify:
         assert "all invariants hold" in out
         assert "every seeded race is caught" in out
         assert "verify: OK" in out
+
+    def test_verify_deep_args(self):
+        args = build_parser().parse_args(["verify", "--fast", "--deep"])
+        assert args.deep is True
+        assert args.sarif_out is None
+
+    def test_verify_command_deep(self, capsys, tmp_path):
+        sarif = tmp_path / "flow.sarif"
+        assert main(["verify", "--fast", "--deep", "--sarif-out", str(sarif)]) == 0
+        out = capsys.readouterr().out
+        assert "no non-baselined findings" in out
+        assert "seeded concurrency bugs caught" in out
+        assert "verify: OK" in out
+        assert sarif.exists()
+        data = json.loads(sarif.read_text())
+        assert data["runs"][0]["tool"]["driver"]["name"] == "repro-flow"

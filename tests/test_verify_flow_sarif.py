@@ -1,0 +1,71 @@
+"""Golden-byte tests for the flow analyzer's SARIF exporter.
+
+The SARIF log is a CI artifact consumed byte-for-byte by code-scanning
+uploads, so the exporter must be deterministic: same findings in, same
+bytes out, across runs and machines.  The golden file pins the exact
+serialization of the on_spec regression fixture's findings.
+
+Regenerate after an intentional schema change with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_verify_flow_sarif.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.verify.flow import RULES, analyze_sources
+from repro.verify.flow.sarif import to_sarif, to_sarif_bytes
+
+GOLDEN = Path(__file__).parent / "golden" / "flow_findings.sarif"
+FIXTURE = Path(__file__).parent / "fixtures" / "flow" / "on_spec_race.py"
+
+
+def _fixture_findings():
+    return analyze_sources({"tests/fixtures/flow/on_spec_race.py": FIXTURE.read_text()})
+
+
+def _check_golden(path: Path, data: bytes) -> None:
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(data)
+    assert path.exists(), f"{path.name} missing; regenerate with REPRO_REGEN_GOLDEN=1"
+    assert data == path.read_bytes(), (
+        f"{path.name} changed; if intentional, regenerate with REPRO_REGEN_GOLDEN=1"
+    )
+
+
+def test_sarif_bytes_match_golden() -> None:
+    _check_golden(GOLDEN, to_sarif_bytes(_fixture_findings()))
+
+
+def test_sarif_bytes_are_deterministic() -> None:
+    findings = _fixture_findings()
+    assert to_sarif_bytes(findings) == to_sarif_bytes(list(reversed(findings)))
+
+
+def test_sarif_shape() -> None:
+    log = to_sarif(_fixture_findings())
+    assert log["version"] == "2.1.0"
+    runs = log["runs"]
+    assert isinstance(runs, list) and len(runs) == 1
+    run = runs[0]
+    driver = run["tool"]["driver"]  # type: ignore[index]
+    assert driver["name"] == "repro-flow"
+    assert {r["id"] for r in driver["rules"]} == set(RULES)
+    results = run["results"]  # type: ignore[index]
+    assert results, "fixture must produce findings"
+    for result in results:
+        assert result["ruleId"] in RULES
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("on_spec_race.py")
+        assert location["region"]["startLine"] >= 1
+        assert "reproFlow/v1" in result["partialFingerprints"]
+
+
+def test_sarif_round_trips_through_json() -> None:
+    data = to_sarif_bytes(_fixture_findings())
+    parsed = json.loads(data)
+    assert parsed["runs"][0]["results"]

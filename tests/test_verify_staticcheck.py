@@ -395,6 +395,80 @@ def test_ver007_class_without_batch_eval_ignored() -> None:
 
 
 # ---------------------------------------------------------------------------
+# VER008: wall clock / randomness only through sanctioned seams.
+# ---------------------------------------------------------------------------
+
+
+def test_ver008_bare_clock_reference_flagged() -> None:
+    # VER003 only catches *calls*; a stored default must trip VER008.
+    source = _src(
+        """
+        import time
+
+        def make_timer(clock=None):
+            return clock if clock is not None else time.perf_counter
+        """
+    )
+    findings = check_file("sim/fake.py", source=source, rules={"VER008"})
+    assert [f.rule for f in findings] == ["VER008"]
+    assert "time.perf_counter" in findings[0].message
+    assert check_file("sim/fake.py", source=source, rules={"VER003"}) == []
+
+
+def test_ver008_random_call_flagged_seeded_random_allowed() -> None:
+    source = _src(
+        """
+        import random
+
+        def jitter():
+            return random.random()
+
+        def rng(seed):
+            return random.Random(seed)
+        """
+    )
+    findings = check_file("core/fake.py", source=source, rules={"VER008"})
+    assert [f.rule for f in findings] == ["VER008"]
+    assert findings[0].line == 4
+
+
+def test_ver008_sanctioned_seams_allowed() -> None:
+    # The event bus's injectable-clock default and the ledger timestamp
+    # are the documented injection points.
+    source = _src(
+        """
+        import time
+
+        class EventBus:
+            def __init__(self, clock=None):
+                self._clock = clock if clock is not None else time.perf_counter
+
+            def use_clock(self, clock):
+                prev = self._clock
+                self._clock = clock if clock is not None else time.perf_counter
+                return prev
+        """
+    )
+    assert check_file("obs/events.py", source=source, rules={"VER008"}) == []
+    # The same reference outside its sanctioned function is flagged.
+    source_bad = source.replace("def use_clock", "def other_method")
+    findings = check_file("obs/events.py", source=source_bad, rules={"VER008"})
+    assert [f.rule for f in findings] == ["VER008"]
+
+
+def test_ver008_pragma_suppression() -> None:
+    source = _src(
+        """
+        import time
+
+        def stamp():
+            return time.time()  # verify: ok
+        """
+    )
+    assert check_file("obs/fake.py", source=source, rules={"VER008"}) == []
+
+
+# ---------------------------------------------------------------------------
 # Pragmas and rule inference.
 # ---------------------------------------------------------------------------
 
