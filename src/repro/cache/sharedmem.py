@@ -42,6 +42,7 @@ from multiprocessing import shared_memory
 from typing import Any, Optional, Sequence
 
 from ..errors import SearchError
+from ..obs import live as _live
 from ..search.transposition import Bound, TTEntry
 
 #: One packed slot: key, value, depth, best_move, bound, padding.
@@ -117,6 +118,9 @@ class SharedMemoryTT:
         self.evictions = 0
         #: Stores dropped because every bucket resident was deeper.
         self.collisions = 0
+        #: Category this table's probe/store spans carry on the live
+        #: ring ("tt"; the eval-cache adapter relabels its table "eval").
+        self.span_cat = "tt"
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -186,6 +190,16 @@ class SharedMemoryTT:
     # -- table protocol ----------------------------------------------------
 
     def probe(self, key: int) -> Optional[TTEntry]:
+        # Span recording is two ring calls around the locked section;
+        # with no ring installed it is one module-global load.
+        ring = _live.RING
+        token = ring.begin() if ring is not None else -1.0
+        entry = self._probe_impl(key)
+        if ring is not None:
+            ring.end(self.span_cat, "probe", token)
+        return entry
+
+    def _probe_impl(self, key: int) -> Optional[TTEntry]:
         key = self._norm(key)
         stripe = key % self.n_stripes
         with self._locks[stripe]:
@@ -200,6 +214,13 @@ class SharedMemoryTT:
         return None
 
     def store(self, key: int, entry: TTEntry) -> None:
+        ring = _live.RING
+        token = ring.begin() if ring is not None else -1.0
+        self._store_impl(key, entry)
+        if ring is not None:
+            ring.end(self.span_cat, "store", token)
+
+    def _store_impl(self, key: int, entry: TTEntry) -> None:
         key = self._norm(key)
         stripe = key % self.n_stripes
         with self._locks[stripe]:

@@ -8,6 +8,8 @@ Examples::
     repro-gametree baselines                 # Section 4 algorithm claims
     repro-gametree losses --tree R1 -P 8     # Section 3.1 decomposition
     repro-gametree explain --workload R3 --P 4   # critical path + what-if
+    repro-gametree top --backend multiproc -P 4  # live dashboard of a real run
+    repro-gametree trace --backend multiproc --trace full  # Perfetto + spans
     repro-gametree demo                      # 30-second tour
 """
 
@@ -20,6 +22,7 @@ from typing import TYPE_CHECKING, Callable, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from .obs.events import EventBus
+    from .obs.live import LiveTrace
     from .obs.snapshot import Snapshot
     from .sim.metrics import SimReport
 
@@ -157,13 +160,16 @@ def _observed_run(
     tt_mode: str = "off",
     eval_mode: str = "off",
     batch: bool = False,
-) -> "tuple[EventBus, Snapshot, SimReport | None]":
+    trace: str = "off",
+) -> "tuple[EventBus, Snapshot, SimReport | None, LiveTrace | None]":
     """Run one tree on one backend under a telemetry bus.
 
-    Returns ``(bus, snapshot, sim_report_or_None)`` — the report carries
-    the per-processor timelines the Perfetto exporter renders as tracks
-    (only the simulated backend has exact timelines).  Each call builds
-    a fresh eval cache, so the telemetry run is self-contained.
+    Returns ``(bus, snapshot, sim_report_or_None, live_or_None)`` — the
+    report carries the per-processor timelines the Perfetto exporter
+    renders as tracks (only the simulated backend has exact timelines);
+    ``live`` is the merged wall-clock span timeline when the real
+    backend ran with ``trace`` enabled.  Each call builds a fresh eval
+    cache, so the telemetry run is self-contained.
     """
     from .cache import make_tt
     from .eval import make_eval_cache
@@ -179,24 +185,24 @@ def _observed_run(
                 eval_cache=make_eval_cache(eval_mode), batch_eval=batch,
             )
             snap = obs_snapshot.snapshot_from_sim(result, workload=spec.name, bus=bus)
-            return bus, snap, result.report
+            return bus, snap, result.report, None
         if backend == "threaded":
             from .parallel.threaded import threaded_er_observed
 
             run = threaded_er_observed(
                 problem, count, config=config, tt=make_tt(tt_mode),
-                eval_cache=make_eval_cache(eval_mode), batch_eval=batch,
+                eval_cache=make_eval_cache(eval_mode), batch_eval=batch, trace=trace,
             )
             snap = obs_snapshot.snapshot_from_threaded(run, workload=spec.name, bus=bus)
-            return bus, snap, None
+            return bus, snap, None, run.trace
         from .parallel.multiproc import multiproc_er
 
         mp_result = multiproc_er(
             problem, count, config=config, tt_mode=tt_mode,
-            eval_cache_mode=eval_mode, batch_eval=batch,
+            eval_cache_mode=eval_mode, batch_eval=batch, trace=trace,
         )
         snap = obs_snapshot.snapshot_from_multiproc(mp_result, workload=spec.name, bus=bus)
-        return bus, snap, None
+        return bus, snap, None, mp_result.trace
 
 
 def _write_ledger_record(
@@ -207,9 +213,18 @@ def _write_ledger_record(
     tt_mode: str = "off",
     eval_mode: str = "off",
     batch: bool = False,
+    live: "LiveTrace | None" = None,
 ) -> Path:
     from .obs import ledger
 
+    trace_summary = None
+    if live is not None:
+        trace_summary = ledger.trace_block(
+            live.mode,
+            len(live.spans),
+            live.total_dropped,
+            live.overhead_fraction(snap.makespan),
+        )
     record = ledger.make_record(
         snap,
         workload=spec.name,
@@ -223,6 +238,7 @@ def _write_ledger_record(
             "batch_eval": batch,
         },
         cost_model=_config_json(DEFAULT_COST_MODEL),
+        trace=trace_summary,
     )
     problems = ledger.validate_record(record)
     if problems:
@@ -236,7 +252,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     spec = table3_suite(args.scale)[args.tree]
     count = args.processors_single
-    bus, snap, report = _observed_run(spec, args.backend, count)
+    if args.trace != "off" and args.backend == "sim":
+        print("trace: --trace applies to the real backends only", file=sys.stderr)
+        return 2
+    bus, snap, report, live = _observed_run(
+        spec, args.backend, count, trace=args.trace
+    )
     problems = snap.check_accounting()
     if problems:
         for problem in problems:
@@ -256,16 +277,122 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             "n_processors": count,
             "scale": args.scale,
             "seed": spec.seed,
+            "trace_mode": args.trace,
         },
+        live=live,
     )
     print(f"{spec.name} {args.backend} P={count}: {len(bus.events)} events")
+    if live is not None:
+        print(
+            f"live spans: {len(live.spans)} across {len(live.workers())} rows, "
+            f"{live.total_dropped} dropped, "
+            f"overhead {live.overhead_fraction(snap.makespan):.2%} of wall time"
+        )
     print(f"trace: {path}  (open at https://ui.perfetto.dev or chrome://tracing)")
     if args.jsonl:
         jsonl_path = export.write_jsonl(Path(path).with_suffix(".jsonl"), bus.events)
         print(f"jsonl: {jsonl_path}")
     if args.ledger_dir:
-        record_path = _write_ledger_record(spec, snap, args.ledger_dir, args.scale)
+        record_path = _write_ledger_record(
+            spec, snap, args.ledger_dir, args.scale, live=live
+        )
         print(f"ledger: {record_path}")
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live terminal dashboard over one running real-backend search.
+
+    The search runs on a worker thread with a :class:`LiveFeed` attached
+    to the telemetry bus, so the metrics registry updates *while* the
+    coordinator emits events; the foreground loop re-renders the
+    dashboard every ``--interval`` seconds until the search returns.
+    With ``--prom-port`` the same registry is additionally served as a
+    Prometheus ``/metrics`` endpoint for the run's duration.
+    """
+    import threading as _threading
+    import time as _time
+
+    from .eval import make_eval_cache
+    from .obs import events as obs_events
+    from .obs import live as obs_live
+    from .obs.registry import MetricsRegistry
+
+    spec = table3_suite(args.scale)[args.tree]
+    config = er_config_for(spec)
+    count = args.processors_single
+    registry = MetricsRegistry()
+    feed = obs_live.LiveFeed(registry)
+    outcome: dict[str, object] = {}
+
+    def run_search() -> None:
+        try:
+            if args.backend == "threaded":
+                from .parallel.threaded import threaded_er_observed
+
+                run = threaded_er_observed(
+                    spec.problem(), count, config=config, tt=make_tt(args.tt),
+                    eval_cache=make_eval_cache(args.eval_cache), trace=args.trace,
+                )
+                outcome["value"] = run.value
+                outcome["wall"] = run.wall_time
+                outcome["live"] = run.trace
+            else:
+                from .parallel.multiproc import multiproc_er
+
+                result = multiproc_er(
+                    spec.problem(), count, config=config, tt_mode=args.tt,
+                    eval_cache_mode=args.eval_cache, trace=args.trace,
+                )
+                outcome["value"] = result.value
+                outcome["wall"] = result.wall_time
+                outcome["live"] = result.trace
+        except BaseException as exc:  # re-raised after the render loop
+            outcome["error"] = exc
+
+    t0 = _time.perf_counter()
+
+    def show(done: bool) -> None:
+        frame = obs_live.render_top(
+            feed.collect(), workload=spec.name, backend=args.backend,
+            n_workers=count, elapsed=_time.perf_counter() - t0, done=done,
+        )
+        if args.plain:
+            print(frame)
+        else:
+            # Home + clear-to-end redraws in place without scrollback spam.
+            print("\x1b[H\x1b[2J" + frame, end="", flush=True)
+
+    server = None
+    with obs_events.observing() as bus:
+        bus.attach_live(feed.on_event)
+        if args.prom_port is not None:
+            from .obs.promtext import MetricsServer
+
+            server = MetricsServer(feed.collect, port=args.prom_port).start()
+            print(f"serving metrics at {server.url}")
+        worker = _threading.Thread(target=run_search, name="repro-top-search", daemon=True)
+        worker.start()
+        try:
+            while worker.is_alive():
+                show(done=False)
+                worker.join(timeout=args.interval)
+        finally:
+            bus.attach_live(None)
+            if server is not None:
+                server.stop()
+    show(done=True)
+    error = outcome.get("error")
+    if error is not None:
+        raise error  # type: ignore[misc]
+    print(f"value {outcome['value']!r} in {outcome['wall']:.3f}s wall")
+    live = outcome.get("live")
+    if isinstance(live, obs_live.LiveTrace) and live.spans:
+        wall = float(outcome["wall"])  # type: ignore[arg-type]
+        print(
+            f"trace: {len(live.spans)} spans, {live.total_dropped} dropped, "
+            f"overhead {live.overhead_fraction(wall):.2%}"
+        )
     return 0
 
 
@@ -452,15 +579,16 @@ def _cmd_speedup(args: argparse.Namespace) -> int:
         print(f"{spec.name} — serial ER wall time {serial_seconds:.3f}s")
         _, points = scaling_run(
             problem, counts, config=config, serial_seconds=serial_seconds, tt_mode=args.tt,
-            eval_cache_mode=args.eval_cache, batch_eval=args.batch_eval,
+            eval_cache_mode=args.eval_cache, batch_eval=args.batch_eval, trace=args.trace,
         )
         print(f"multiproc backend (worker processes; real parallelism; tt={args.tt}):")
         print(format_scaling_table(spec.name, serial_seconds, points))
     if args.obs:
         for count in counts:
-            _, snap, _ = _observed_run(
+            _, snap, _, live = _observed_run(
                 spec, args.backend, count, tt_mode=args.tt,
                 eval_mode=args.eval_cache, batch=args.batch_eval,
+                trace=args.trace if args.backend != "sim" else "off",
             )
             problems = snap.check_accounting()
             if problems:
@@ -470,7 +598,7 @@ def _cmd_speedup(args: argparse.Namespace) -> int:
                 continue
             path = _write_ledger_record(
                 spec, snap, args.obs_dir, args.scale, tt_mode=args.tt,
-                eval_mode=args.eval_cache, batch=args.batch_eval,
+                eval_mode=args.eval_cache, batch=args.batch_eval, live=live,
             )
             print(f"ledger: {path}")
     return status
@@ -767,6 +895,13 @@ def build_parser() -> argparse.ArgumentParser:
         "without a cache",
     )
     speed.add_argument(
+        "--trace",
+        choices=("off", "sampled", "full"),
+        default="off",
+        help="wall-clock span tracing on the real backends: off, sampled "
+        "(1-in-16 cache spans), or full",
+    )
+    speed.add_argument(
         "--obs",
         action="store_true",
         help="also run each count under the telemetry bus and write ledger records",
@@ -791,6 +926,13 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("-P", "--processors", dest="processors_single", type=int, default=4)
     trace.add_argument(
         "-o", "--output", default=None, help="trace path (default: results/traces/...)"
+    )
+    trace.add_argument(
+        "--trace",
+        choices=("off", "sampled", "full"),
+        default="off",
+        help="real backends only: record wall-clock spans per OS worker and "
+        "merge them into the Perfetto output (one process row per worker)",
     )
     trace.add_argument(
         "--jsonl", action="store_true", help="also write the raw event stream as JSONL"
@@ -901,6 +1043,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="overlay the extracted critical path as ^ marker rows",
     )
     gantt.set_defaults(func=_cmd_gantt)
+
+    top = sub.add_parser(
+        "top", help="live terminal dashboard over one running real-backend search"
+    )
+    top.add_argument("--backend", choices=("threaded", "multiproc"), default="multiproc")
+    top.add_argument("--tree", choices=("R1", "R2", "R3", "O1", "O2", "O3"), default="R3")
+    top.add_argument("--scale", choices=("reduced", "paper"), default="reduced")
+    top.add_argument("-P", "--processors", dest="processors_single", type=int, default=4)
+    top.add_argument(
+        "--tt",
+        choices=("off", "private", "shared"),
+        default="off",
+        help="transposition-table mode for the watched search",
+    )
+    top.add_argument(
+        "--eval-cache",
+        choices=("off", "private", "shared"),
+        default="off",
+        help="eval-cache mode for the watched search",
+    )
+    top.add_argument(
+        "--trace",
+        choices=("off", "sampled", "full"),
+        default="sampled",
+        help="span tracing mode of the watched search (default: sampled)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=0.2,
+        help="seconds between dashboard refreshes (default: 0.2)",
+    )
+    top.add_argument(
+        "--plain",
+        action="store_true",
+        help="append frames instead of redrawing in place (no ANSI escapes)",
+    )
+    top.add_argument(
+        "--prom-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also serve the live registry as Prometheus text on this port "
+        "(0 picks a free one) for the run's duration",
+    )
+    top.set_defaults(func=_cmd_top)
 
     demo = sub.add_parser("demo", help="30-second tour")
     demo.set_defaults(func=_cmd_demo)

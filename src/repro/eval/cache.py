@@ -320,6 +320,8 @@ class SharedMemoryEvalCache:
         _table: Optional[SharedMemoryTT] = None,
     ):
         self._table = _table if _table is not None else SharedMemoryTT(capacity, n_stripes)
+        # Live-ring spans from this table describe eval-cache traffic.
+        self._table.span_cat = "eval"
 
     def handle(self) -> TTHandle:
         return self._table.handle()

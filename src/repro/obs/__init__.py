@@ -17,7 +17,12 @@ Four layers, lowest first:
 * :mod:`repro.obs.export` and :mod:`repro.obs.ledger` — Chrome
   trace-event JSON (Perfetto, with optional critical-path overlay) +
   JSONL exporters, and the persistent run ledger with regression
-  comparison over counters, fractions, and critical-path composition.
+  comparison over counters, fractions, and critical-path composition;
+* :mod:`repro.obs.live` and :mod:`repro.obs.promtext` — wall-clock
+  tracing of the real backends (per-worker span rings, cross-process
+  clock-offset calibration, the live metrics feed behind
+  ``repro-gametree top``) and the Prometheus text exporter + HTTP
+  endpoint for the metrics registry.
 
 Only the first two are imported at package load: the engine and queue
 modules import this package from the bottom of the dependency graph, so

@@ -130,6 +130,11 @@ class EventBus:
         #: Explicit task id (simulated worker); ``None`` = use thread id.
         self.task: Optional[int] = None
         self._clock: Callable[[], float] = clock if clock is not None else time.perf_counter
+        #: Optional live sink called with every emitted event, after it
+        #: is appended (``None`` = record-only, the default).  Used by
+        #: :class:`repro.obs.live.LiveFeed` to keep a metrics registry
+        #: current *during* a run; the sink owns its thread safety.
+        self._live_sink: Optional[Callable[[ObsEvent], None]] = None
 
     def task_id(self) -> int:
         return self.task if self.task is not None else threading.get_ident()
@@ -149,11 +154,21 @@ class EventBus:
         self._clock = clock if clock is not None else time.perf_counter
         return prev
 
+    def attach_live(self, sink: Optional[Callable[[ObsEvent], None]]) -> None:
+        """Forward every subsequent event to ``sink`` (``None`` detaches).
+
+        The sink runs inline on the emitting thread — keep it cheap and
+        make it thread-safe; a raising sink would propagate into the
+        instrumented code.
+        """
+        self._live_sink = sink
+
     def emit(self, etype: str, task: Optional[int] = None, **data: object) -> None:
         """Record one event stamped with the bus clock."""
-        self.events.append(
-            ObsEvent(etype, self._clock(), task if task is not None else self.task_id(), data)
-        )
+        event = ObsEvent(etype, self._clock(), task if task is not None else self.task_id(), data)
+        self.events.append(event)
+        if self._live_sink is not None:
+            self._live_sink(event)
 
     def count_op(self, kind: str) -> None:
         """Tally one simulator op dispatch (``Compute``, ``Acquire``, ...)."""

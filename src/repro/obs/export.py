@@ -34,6 +34,7 @@ from ..sim.metrics import SimReport
 from . import events as _events
 from .critpath import BUSY as _CP_BUSY
 from .critpath import UNTAGGED, CriticalPath
+from .live import COORDINATOR, LiveTrace
 from .snapshot import SECONDS, SIM_UNITS
 
 #: Chrome-trace category names per event origin.
@@ -45,6 +46,14 @@ _CAT_CRITPATH = "critpath"
 
 #: Perfetto process id of the critical-path overlay group.
 _CRITPATH_PID = 1
+
+#: Perfetto process ids of the live wall-clock span groups: one pid per
+#: OS worker at ``_LIVE_PID_BASE + index``, the coordinator one below.
+#: The base leaves room under it for future overlay groups like pid 1.
+_LIVE_PID_BASE = 100
+
+#: Stable Perfetto thread id per span category within a worker group.
+_LIVE_TIDS: Mapping[str, int] = {"task": 0, "tt": 1, "eval": 2, "heap": 3, "lock": 4}
 
 _INSTANT_CATEGORIES: Mapping[str, str] = {
     _events.EV_NODE_CREATED: _CAT_NODES,
@@ -143,6 +152,62 @@ def _critpath_events(path: CriticalPath) -> list[TraceEvent]:
     return out
 
 
+def _live_pid(worker: int) -> int:
+    return _LIVE_PID_BASE - 1 if worker == COORDINATOR else _LIVE_PID_BASE + worker
+
+
+def _live_events(trace: LiveTrace, *, scale: float, offset: float) -> list[TraceEvent]:
+    """One Perfetto process group per OS worker of a traced real run.
+
+    Workers become pid rows ``worker 0..n-1`` (coordinator just below),
+    labelled with their OS pid; within a group each span category gets
+    its own named thread lane.  Spans arrive already merged onto the
+    coordinator timeline, so the rows line up even across processes.
+    """
+    out: list[TraceEvent] = []
+    used: dict[int, set[str]] = {}
+    for span in trace.spans:
+        used.setdefault(span.worker, set()).add(span.cat)
+    for worker in trace.workers():
+        pid = _live_pid(worker)
+        label = "coordinator" if worker == COORDINATOR else f"worker {worker}"
+        os_pid = trace.pids.get(worker)
+        if os_pid is not None:
+            label += f" (os pid {os_pid})"
+        out.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+        for cat in sorted(used.get(worker, set()), key=lambda c: _LIVE_TIDS.get(c, 9)):
+            out.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": _LIVE_TIDS.get(cat, 9),
+                    "args": {"name": cat},
+                }
+            )
+    for span in trace.spans:
+        out.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": f"live-{span.cat}",
+                "pid": _live_pid(span.worker),
+                "tid": _LIVE_TIDS.get(span.cat, 9),
+                "ts": (span.start - offset) * scale,
+                "dur": span.duration * scale,
+            }
+        )
+    return out
+
+
 def _bus_events(
     events: Iterable[_events.ObsEvent], *, scale: float, offset: float
 ) -> list[TraceEvent]:
@@ -199,6 +264,7 @@ def render_chrome_trace(
     time_unit: str = SIM_UNITS,
     metadata: Optional[Mapping[str, object]] = None,
     critpath: Optional[CriticalPath] = None,
+    live: Optional[LiveTrace] = None,
 ) -> str:
     """Render one run as deterministic Chrome trace-event JSON.
 
@@ -214,6 +280,10 @@ def render_chrome_trace(
         metadata: extra key/values stored in the trace envelope.
         critpath: extracted critical path to overlay as a second process
             group (simulated time only — timestamps are used unscaled).
+        live: merged wall-clock span timeline of a traced real-backend
+            run — rendered as one Perfetto process group per OS worker
+            (wall-clock time only; shares the rebasing offset with the
+            bus events so both layers line up).
 
     Returns:
         JSON text with sorted keys and no incidental whitespace, so a
@@ -221,8 +291,12 @@ def render_chrome_trace(
     """
     event_list = list(events)
     offset = 0.0
-    if time_unit == SECONDS and event_list:
-        offset = min(event.ts for event in event_list)
+    if time_unit == SECONDS:
+        starts = [event.ts for event in event_list]
+        if live is not None:
+            starts.extend(span.start for span in live.spans)
+        if starts:
+            offset = min(starts)
     trace_events: list[TraceEvent] = [
         {
             "ph": "M",
@@ -237,6 +311,8 @@ def render_chrome_trace(
     trace_events.extend(_bus_events(event_list, scale=_scale_for(time_unit), offset=offset))
     if critpath is not None:
         trace_events.extend(_critpath_events(critpath))
+    if live is not None:
+        trace_events.extend(_live_events(live, scale=_scale_for(time_unit), offset=offset))
     payload: dict[str, object] = {
         "displayTimeUnit": "ms",
         "metadata": dict(metadata) if metadata else {},
@@ -253,13 +329,15 @@ def write_chrome_trace(
     time_unit: str = SIM_UNITS,
     metadata: Optional[Mapping[str, object]] = None,
     critpath: Optional[CriticalPath] = None,
+    live: Optional[LiveTrace] = None,
 ) -> Path:
     """Write :func:`render_chrome_trace` output to ``path``; returns it."""
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     target.write_text(
         render_chrome_trace(
-            events, report=report, time_unit=time_unit, metadata=metadata, critpath=critpath
+            events, report=report, time_unit=time_unit, metadata=metadata,
+            critpath=critpath, live=live,
         ),
         encoding="utf-8",
     )

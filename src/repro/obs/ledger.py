@@ -12,9 +12,11 @@ machines, which is what makes a *committed* baseline record a
 meaningful CI reference.
 
 Records may additionally carry a ``whatif`` array (causal what-if sweep
-points from :mod:`repro.obs.whatif`) and a ``snapshot.critpath`` block
-(flat :meth:`~repro.obs.critpath.CriticalPath.composition`); both are
-optional so pre-critpath records stay valid.
+points from :mod:`repro.obs.whatif`), a ``snapshot.critpath`` block
+(flat :meth:`~repro.obs.critpath.CriticalPath.composition`), and a
+``trace`` block (wall-clock tracing summary of a traced real-backend
+run — mode, span count, drops, measured overhead); all are optional so
+older records stay valid.
 """
 
 from __future__ import annotations
@@ -74,6 +76,18 @@ LEDGER_SCHEMA: dict[str, object] = {
                     "predicted_makespan",
                     "actual_makespan",
                 ],
+            },
+        },
+        # Optional: live wall-clock tracing summary (repro.obs.live).
+        # Absent on untraced runs and on all simulated-backend records.
+        "trace": {
+            "type": "object",
+            "required": ["mode", "spans", "dropped", "overhead_fraction"],
+            "properties": {
+                "mode": {"enum": ["off", "sampled", "full"]},
+                "spans": {"type": "integer", "minimum": 0},
+                "dropped": {"type": "integer", "minimum": 0},
+                "overhead_fraction": {"type": "number", "minimum": 0},
             },
         },
         "snapshot": {
@@ -144,12 +158,15 @@ def make_record(
     config: Optional[Mapping[str, object]] = None,
     git_sha: Optional[str] = None,
     whatif: Optional[list[Mapping[str, object]]] = None,
+    trace: Optional[Mapping[str, object]] = None,
 ) -> Record:
     """Assemble one ledger record from a snapshot plus run identity.
 
     ``whatif`` — the flat points of a causal sweep
-    (:func:`repro.obs.whatif.to_records`) — is stored only when given, so
-    records from runs without a sweep stay byte-identical to schema v1.
+    (:func:`repro.obs.whatif.to_records`) — and ``trace`` — the
+    wall-clock tracing summary (:func:`trace_block`) — are stored only
+    when given, so records from runs without them stay byte-identical
+    to schema v1.
     """
     record: Record = {
         "schema_version": SCHEMA_VERSION,
@@ -166,7 +183,24 @@ def make_record(
     }
     if whatif is not None:
         record["whatif"] = [dict(point) for point in whatif]
+    if trace is not None:
+        record["trace"] = dict(trace)
     return record
+
+
+def trace_block(mode: str, spans: int, dropped: int, overhead_fraction: float) -> Record:
+    """Assemble the optional ``trace`` record block from a traced run.
+
+    Callers typically derive the arguments from a
+    :class:`~repro.obs.live.LiveTrace`:  ``len(trace.spans)``,
+    ``trace.dropped``, ``trace.overhead_fraction(wall_time)``.
+    """
+    return {
+        "mode": mode,
+        "spans": int(spans),
+        "dropped": int(dropped),
+        "overhead_fraction": float(overhead_fraction),
+    }
 
 
 def validate_record(record: Record) -> list[str]:
@@ -243,6 +277,25 @@ def validate_record(record: Record) -> list[str]:
                 for key in ("primitive", "factor", "predicted_makespan", "actual_makespan"):
                     if key not in point:
                         problems.append(f"whatif[{i}] missing field: {key}")
+    trace = record.get("trace")
+    if trace is not None:
+        if not isinstance(trace, dict):
+            problems.append("trace must be an object")
+        else:
+            for key in ("mode", "spans", "dropped", "overhead_fraction"):
+                if key not in trace:
+                    problems.append(f"trace missing field: {key}")
+            if trace.get("mode") not in ("off", "sampled", "full"):
+                problems.append(f"unknown trace mode {trace.get('mode')!r}")
+            for key in ("spans", "dropped"):
+                count = trace.get(key)
+                if count is not None and (not isinstance(count, int) or count < 0):
+                    problems.append(f"trace {key} must be a non-negative integer")
+            overhead = trace.get("overhead_fraction")
+            if overhead is not None and (
+                not isinstance(overhead, (int, float)) or overhead < 0
+            ):
+                problems.append("trace overhead_fraction must be a non-negative number")
     snap = Snapshot.from_dict(snapshot)
     problems.extend(snap.check_accounting())
     return problems

@@ -1,0 +1,167 @@
+"""Prometheus text-exposition rendering of a metrics registry.
+
+The run ledger answers "how did that run go"; a scrape endpoint answers
+"how is *this* run going" — the surface the search-as-a-service roadmap
+item mounts unchanged.  This module renders any metrics mapping (as
+returned by :meth:`MetricsRegistry.collect` or
+:meth:`repro.obs.live.LiveFeed.collect`) in the Prometheus text format
+(version 0.0.4), and serves it from a background stdlib HTTP server —
+no third-party client library involved.
+
+Mapping rules:
+
+* plain numbers (counters and gauges collapse to numbers in
+  ``collect()``) -> one ``gauge`` sample;
+* histogram summaries (dicts with ``count``/``total``) -> a
+  ``summary``-style family: ``<name>_count``, ``<name>_sum``, plus
+  ``_min`` / ``_max`` / ``_mean`` gauges;
+* time-series summaries (dicts with ``peak``/``last``) -> ``_peak`` /
+  ``_last`` / ``_samples`` gauges.
+
+Metric names are sanitized to the Prometheus grammar
+(``[a-zA-Z_:][a-zA-Z0-9_:]*``) by mapping every other character to
+``_``; the registry's dotted names come through as underscored ones
+(``tasks.completed`` -> ``repro_tasks_completed``).
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Mapping, Optional
+
+from .registry import MetricValue
+
+__all__ = ["render_prometheus", "MetricsServer"]
+
+#: Prefix every exported family carries, namespacing us in a shared scrape.
+_PREFIX = "repro_"
+
+
+def _sanitize(name: str) -> str:
+    """Map a registry metric name onto the Prometheus name grammar."""
+    safe = [
+        ch if ch.isascii() and (ch.isalnum() or ch in "_:") else "_" for ch in name
+    ]
+    if safe and safe[0].isdigit():
+        safe.insert(0, "_")
+    return _PREFIX + "".join(safe)
+
+
+def _fmt(value: float) -> str:
+    """Prometheus sample value: integers bare, floats repr'd."""
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _is_histogram(value: dict[str, float]) -> bool:
+    return "count" in value and "total" in value
+
+
+def _is_series(value: dict[str, float]) -> bool:
+    return "peak" in value and "last" in value
+
+
+def render_prometheus(metrics: Mapping[str, MetricValue]) -> str:
+    """Render a collected metrics mapping as Prometheus exposition text."""
+    lines: list[str] = []
+    for name in sorted(metrics):
+        value = metrics[name]
+        family = _sanitize(name)
+        if isinstance(value, (int, float)):
+            lines.append(f"# TYPE {family} gauge")
+            lines.append(f"{family} {_fmt(float(value))}")
+        elif isinstance(value, dict) and _is_histogram(value):
+            lines.append(f"# TYPE {family} summary")
+            lines.append(f"{family}_count {_fmt(value['count'])}")
+            lines.append(f"{family}_sum {_fmt(value['total'])}")
+            for stat in ("min", "max", "mean"):
+                if stat in value:
+                    lines.append(f"# TYPE {family}_{stat} gauge")
+                    lines.append(f"{family}_{stat} {_fmt(value[stat])}")
+        elif isinstance(value, dict) and _is_series(value):
+            for stat in ("peak", "last", "samples"):
+                if stat in value:
+                    lines.append(f"# TYPE {family}_{stat} gauge")
+                    lines.append(f"{family}_{stat} {_fmt(value[stat])}")
+        # Raw sample lists (TimeSeries.samples) are not scrapeable state
+        # and are skipped; collect() summarizes them before we see them.
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Serves ``/metrics`` from the collector the server carries."""
+
+    server: "MetricsServer"  # narrowed for the collector attribute
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+            self.send_error(404, "only /metrics lives here")
+            return
+        body = render_prometheus(self.server.collect()).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        """Scrapes are routine; stay quiet instead of spamming stderr."""
+
+
+class MetricsServer(ThreadingHTTPServer):
+    """Background ``/metrics`` endpoint over a live metrics collector.
+
+    Args:
+        collect: zero-argument callable returning the current metrics
+            mapping (``LiveFeed.collect`` is the intended argument —
+            it snapshots under the feed's lock, so scrapes during a
+            running search are consistent).
+        port: TCP port; 0 picks a free one (read :attr:`port` after).
+        host: bind address, loopback by default.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        collect: Callable[[], Mapping[str, MetricValue]],
+        *,
+        port: int = 0,
+        host: str = "127.0.0.1",
+    ) -> None:
+        super().__init__((host, port), _Handler)
+        self._collect = collect
+        self._thread: Optional[threading.Thread] = None
+
+    def collect(self) -> Mapping[str, MetricValue]:
+        return self._collect()
+
+    @property
+    def port(self) -> int:
+        return int(self.server_address[1])
+
+    @property
+    def url(self) -> str:
+        host = str(self.server_address[0])
+        return f"http://{host}:{self.port}/metrics"
+
+    def start(self) -> "MetricsServer":
+        """Serve in a daemon thread; returns self for chaining."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-metrics", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

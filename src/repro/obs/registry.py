@@ -170,38 +170,64 @@ EVENT_METRICS: Mapping[str, str] = {
 }
 
 
-def aggregate(bus: events.EventBus) -> MetricsRegistry:
-    """Fold one observed run into a registry.
+def feed_event(registry: MetricsRegistry, event: events.ObsEvent) -> None:
+    """Fold one event into a registry.
+
+    This is the single accounting path for bus events: the post-hoc
+    :func:`aggregate` and the live incremental feed
+    (:class:`repro.obs.live.LiveFeed`) both call it, so a metric visible
+    mid-run via ``repro-gametree top`` is byte-for-byte the metric the
+    snapshot and ledger see after the run (VER009 enforces that
+    ``aggregate`` routes through here).
 
     Every event bumps its mapped counter; queue-depth events additionally
     feed one time series per queue (so snapshots can report peak depth),
-    and task results feed a duration histogram.
+    and task results feed a duration histogram plus per-worker
+    busy-applied / busy-wasted second counters.
+    """
+    metric = EVENT_METRICS.get(event.etype, f"events.{event.etype}")
+    registry.counter(metric).inc()
+    if event.etype == events.EV_QUEUE_DEPTH:
+        queue = str(event.data.get("queue", "unknown"))
+        depth = float(event.data.get("depth", 0))  # type: ignore[arg-type]
+        registry.timeseries(f"{metric}.{queue}").sample(event.ts, depth)
+        registry.gauge(f"{metric}.{queue}.current").set(depth)
+    elif event.etype == events.EV_TASK_RESULT:
+        duration = float(event.data.get("duration", 0.0))  # type: ignore[arg-type]
+        registry.histogram("tasks.duration_seconds").observe(duration)
+        worker = event.data.get("worker")
+        if isinstance(worker, int) and worker >= 0:
+            bucket = (
+                "busy_applied_seconds"
+                if bool(event.data.get("applied", True))
+                else "busy_wasted_seconds"
+            )
+            registry.counter(f"workers.w{worker}.{bucket}").inc(duration)
+    elif event.etype == events.EV_TT_PROBE:
+        outcome = "tt.hits" if bool(event.data.get("hit", False)) else "tt.misses"
+        registry.counter(outcome).inc()
+    elif event.etype == events.EV_TT_STORE:
+        if bool(event.data.get("evicted", False)):
+            registry.counter("tt.evictions").inc()
+    elif event.etype == events.EV_EVAL_PROBE:
+        outcome = "eval.hits" if bool(event.data.get("hit", False)) else "eval.misses"
+        registry.counter(outcome).inc()
+    elif event.etype == events.EV_EVAL_BATCH:
+        leaves = float(event.data.get("n", 0))  # type: ignore[arg-type]
+        registry.histogram("eval.batch_leaves").observe(leaves)
+
+
+def aggregate(bus: events.EventBus) -> MetricsRegistry:
+    """Fold one observed run into a registry.
+
+    Same per-event accounting as the live feed — both delegate to
+    :func:`feed_event` — plus the simulator op-dispatch tallies that only
+    exist post-hoc on the bus.
     """
     registry = MetricsRegistry()
     for kind, count in sorted(bus.op_counts.items()):
         name = OP_METRICS.get(kind, f"sim.ops.{kind.lower()}")
         registry.counter(name).inc(count)
     for event in bus.events:
-        metric = EVENT_METRICS.get(event.etype, f"events.{event.etype}")
-        registry.counter(metric).inc()
-        if event.etype == events.EV_QUEUE_DEPTH:
-            queue = str(event.data.get("queue", "unknown"))
-            depth = float(event.data.get("depth", 0))  # type: ignore[arg-type]
-            registry.timeseries(f"{metric}.{queue}").sample(event.ts, depth)
-            registry.gauge(f"{metric}.{queue}.current").set(depth)
-        elif event.etype == events.EV_TASK_RESULT:
-            duration = float(event.data.get("duration", 0.0))  # type: ignore[arg-type]
-            registry.histogram("tasks.duration_seconds").observe(duration)
-        elif event.etype == events.EV_TT_PROBE:
-            outcome = "tt.hits" if bool(event.data.get("hit", False)) else "tt.misses"
-            registry.counter(outcome).inc()
-        elif event.etype == events.EV_TT_STORE:
-            if bool(event.data.get("evicted", False)):
-                registry.counter("tt.evictions").inc()
-        elif event.etype == events.EV_EVAL_PROBE:
-            outcome = "eval.hits" if bool(event.data.get("hit", False)) else "eval.misses"
-            registry.counter(outcome).inc()
-        elif event.etype == events.EV_EVAL_BATCH:
-            leaves = float(event.data.get("n", 0))  # type: ignore[arg-type]
-            registry.histogram("eval.batch_leaves").observe(leaves)
+        feed_event(registry, event)
     return registry

@@ -284,6 +284,18 @@ def snapshot_from_sim(
     )
 
 
+def _nonneg(amount: float) -> float:
+    """Clamp a measured quantity to zero.
+
+    Wall-clock micro-runs can hand the builders degenerate inputs —
+    ``wall_time == 0`` from timer quantization, per-thread walls a hair
+    past the run wall — which would otherwise surface as negative (and,
+    divided through, NaN-prone) loss rows.  Measured categories are
+    physically non-negative, so clamping is correction, not distortion.
+    """
+    return amount if amount > 0.0 else 0.0
+
+
 def snapshot_from_threaded(
     run: "ThreadedRun",
     *,
@@ -294,12 +306,12 @@ def snapshot_from_threaded(
     processors = tuple(
         ProcBreakdown(
             pid=pid,
-            busy=t.busy,
-            starvation=t.starve_wait,
-            interference=t.lock_wait,
+            busy=_nonneg(t.busy),
+            starvation=_nonneg(t.starve_wait),
+            interference=_nonneg(t.lock_wait),
             speculative=0.0,
-            tail_idle=max(0.0, run.wall_time - t.wall),
-            finish_time=t.wall,
+            tail_idle=_nonneg(run.wall_time - t.wall),
+            finish_time=_nonneg(t.wall),
         )
         for pid, t in enumerate(run.timings)
     )
@@ -308,7 +320,7 @@ def snapshot_from_threaded(
         time_unit=SECONDS,
         workload=workload,
         n_processors=len(run.timings),
-        makespan=run.wall_time,
+        makespan=_nonneg(run.wall_time),
         value=run.value,
         processors=processors,
         counters={k: float(v) for k, v in run.counters.items()},
@@ -325,19 +337,20 @@ def snapshot_from_multiproc(
 ) -> Snapshot:
     """Freeze a multiprocess run (measured decomposition, wall seconds).
 
-    Worker busy time comes from per-task timestamps attributed to the OS
-    pid that ran them; the coordinator-integrated starvation and the IPC
-    residual have no per-worker attribution and are spread evenly.
+    Worker busy time comes from per-task timestamps, attributed by the
+    stable worker indices ``MultiprocResult.per_worker`` is keyed with
+    (the OS pid stays inside the value dict); the coordinator-integrated
+    starvation and the IPC residual have no per-worker attribution and
+    are spread evenly.
     """
     n = result.n_workers
-    starve_each = result.starvation_seconds / n
-    interfere_each = result.interference_seconds / n
+    starve_each = _nonneg(result.starvation_seconds) / n
+    interfere_each = _nonneg(result.interference_seconds) / n
     rows: list[ProcBreakdown] = []
-    pids = sorted(result.per_worker)
     for index in range(n):
-        split = result.per_worker.get(pids[index]) if index < len(pids) else None
-        applied = float(split["applied"]) if split else 0.0
-        wasted = float(split["wasted"]) if split else 0.0
+        split = result.per_worker.get(index)
+        applied = _nonneg(float(split["applied"])) if split else 0.0
+        wasted = _nonneg(float(split["wasted"])) if split else 0.0
         rows.append(
             ProcBreakdown(
                 pid=index,
@@ -346,7 +359,7 @@ def snapshot_from_multiproc(
                 interference=interfere_each,
                 speculative=wasted,
                 tail_idle=0.0,
-                finish_time=result.wall_time,
+                finish_time=_nonneg(result.wall_time),
             )
         )
     counters = {k: float(v) for k, v in result.extras.items() if isinstance(v, (int, float))}
@@ -359,7 +372,7 @@ def snapshot_from_multiproc(
         time_unit=SECONDS,
         workload=workload,
         n_processors=n,
-        makespan=result.wall_time,
+        makespan=_nonneg(result.wall_time),
         value=result.value,
         processors=tuple(rows),
         counters=counters,

@@ -65,6 +65,7 @@ from ..eval.cache import EVAL_CACHE_MODES, SharedMemoryEvalCache, StripedEvalCac
 from ..eval.evaluator import EvalCacheView, Evaluator
 from ..games.base import Game, RootedGame, SearchProblem, hash_key, subproblem
 from ..obs import events as _obs
+from ..obs import live as _live
 from ..search.stats import SearchStats
 from ..search.transposition import Bound, TranspositionTable, TTEntry
 
@@ -154,7 +155,11 @@ _WORKER_EVAL_CACHE: Optional[EvalCacheView] = None
 _WORKER_BATCH_EVAL: bool = False
 
 
-def _init_worker(tt_spec: tuple[Any, ...], eval_spec: tuple[Any, ...]) -> None:
+def _init_worker(
+    tt_spec: tuple[Any, ...],
+    eval_spec: tuple[Any, ...],
+    trace_mode: str = _live.TRACE_OFF,
+) -> None:
     """Pool initializer: attach this process's caches from their specs.
 
     ``tt_spec`` is ``("off",)``, ``("private", capacity)``, or
@@ -165,8 +170,14 @@ def _init_worker(tt_spec: tuple[Any, ...], eval_spec: tuple[Any, ...]) -> None:
     :class:`~repro.cache.sharedmem.TTHandle`.  Pool processes persist
     across tasks, so private caches accumulate over every subtree
     search the same worker happens to receive.
+
+    ``trace_mode`` installs this process's span ring
+    (:data:`repro.obs.live.RING`), which the shared-cache probe/store
+    hooks and :func:`_run_task` record into; its contents ship back on
+    the result channel.
     """
     global _WORKER_TT, _WORKER_EVAL_CACHE, _WORKER_BATCH_EVAL
+    _live.install_ring(trace_mode)
     if tt_spec[0] == "shared":
         _WORKER_TT = SharedMemoryTT.attach(tt_spec[1], tt_spec[2])
     elif tt_spec[0] == "private":
@@ -192,15 +203,42 @@ def _worker_evaluator(game: Game) -> Optional[Evaluator]:
     return Evaluator(game, DEFAULT_COST_MODEL, _WORKER_EVAL_CACHE)
 
 
-_TaskOutcome = tuple[str, float, _PackedStats, float, float, int, int]
+#: Per-result trace shipment: the worker ring's drained spans plus its
+#: cumulative (dropped, self_cost_seconds) counters.  Cumulative so the
+#: coordinator can max-merge shipments that arrive out of order.
+_TraceBlob = tuple[tuple[_live.SpanRec, ...], int, float]
+
+_TaskOutcome = tuple[str, float, _PackedStats, float, float, int, int, Optional[_TraceBlob]]
+
+
+def _drain_worker_ring() -> Optional[_TraceBlob]:
+    ring = _live.RING
+    if ring is None:
+        return None
+    spans = tuple(ring.drain())
+    dropped, self_cost = ring.snapshot_counters()
+    return spans, dropped, self_cost
+
+
+def _flush_trace() -> tuple[int, Optional[_TraceBlob]]:
+    """Drain-on-exit flush task: ship whatever the ring still holds.
+
+    Submitted (several times, best effort) after the root combines, so
+    spans recorded after a worker's last task result — trailing cache
+    probes, tasks orphaned by the root cutoff — still reach the
+    coordinator.  Draining twice is harmless: the second drain is empty
+    and the counters are cumulative.
+    """
+    return os.getpid(), _drain_worker_ring()
 
 
 def _run_task(payload: tuple[Any, ...]) -> _TaskOutcome:
     """Execute one serial subtree task; runs inside a worker process.
 
     Returns ``(kind, value, packed_stats, t_start, t_end, pid,
-    children_done)`` with ``perf_counter`` timestamps, which on Linux are
-    CLOCK_MONOTONIC and therefore comparable across processes.
+    children_done, trace_blob)`` with ``perf_counter`` timestamps, which
+    on Linux are CLOCK_MONOTONIC and therefore comparable across
+    processes.
     """
     kind = payload[0]
     t_start = time.perf_counter()
@@ -228,7 +266,14 @@ def _run_task(payload: tuple[Any, ...]) -> _TaskOutcome:
             if value >= beta:
                 stats.on_cutoff()
                 break
-    return kind, value, _pack_stats(stats), t_start, time.perf_counter(), os.getpid(), children_done
+    t_end = time.perf_counter()
+    ring = _live.RING
+    if ring is not None:
+        ring.record("task", kind, t_start, t_end)
+    return (
+        kind, value, _pack_stats(stats), t_start, t_end, os.getpid(), children_done,
+        _drain_worker_ring(),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -288,10 +333,15 @@ class MultiprocResult:
             nothing to hand out.
         interference_seconds: residual processor-seconds (IPC, pickling,
             coordinator occupancy).
-        per_worker: per-OS-pid busy split, ``{pid: {"applied": s,
-            "wasted": s}}`` — the attribution
+        per_worker: busy split keyed by **stable worker index** (0-based,
+            in order of first result arrival), ``{index: {"pid": pid,
+            "applied": s, "wasted": s}}`` — the attribution
             :func:`repro.obs.snapshot.snapshot_from_multiproc` turns into
-            per-processor breakdown rows.
+            per-processor breakdown rows.  Indices, not OS pids: pids
+            recycle across runs and would make ledger compares and golden
+            traces needlessly noisy; the pid stays available as a field.
+        trace: merged wall-clock timeline when the run was traced
+            (``trace="sampled"``/``"full"``), else ``None``.
     """
 
     value: float
@@ -304,6 +354,7 @@ class MultiprocResult:
     starvation_seconds: float = 0.0
     interference_seconds: float = 0.0
     per_worker: dict[int, dict[str, float]] = field(default_factory=dict)
+    trace: Optional[_live.LiveTrace] = None
 
     @property
     def processor_seconds(self) -> float:
@@ -349,6 +400,7 @@ def multiproc_er(
     eval_cache_mode: str = "off",
     eval_cache_capacity: int = 1 << 14,
     batch_eval: bool = False,
+    trace: str = _live.TRACE_OFF,
 ) -> MultiprocResult:
     """Run ER with a coordinator-hosted problem heap and worker processes.
 
@@ -387,6 +439,15 @@ def multiproc_er(
         eval_cache_capacity: entry budget for the eval cache(s).
         batch_eval: batch frontier evaluations inside worker subtree
             searches and coordinator move ordering even without a cache.
+        trace: wall-clock span tracing — ``off`` (default, zero-cost),
+            ``sampled`` (record one span in
+            :data:`~repro.obs.live.SAMPLED_STRIDE` on the hot paths), or
+            ``full``.  Non-``off`` modes install a bounded span ring per
+            worker process (plus one in the coordinator), ship spans back
+            on the result channel with a drain-on-exit flush, calibrate
+            each worker's clock offset from task round-trips, and attach
+            the merged timeline as ``result.trace``.  Requires an owned
+            pool, like the cache modes.
 
     Raises:
         SimulationError: on a worker crash, a wedged pool, or a protocol
@@ -405,11 +466,18 @@ def multiproc_er(
         raise SearchError(
             f"unknown eval-cache mode {eval_cache_mode!r}; expected one of {EVAL_CACHE_MODES}"
         )
-    if (tt_mode != "off" or eval_cache_mode != "off" or batch_eval) and executor is not None:
+    if trace not in _live.TRACE_MODES:
         raise SearchError(
-            "tt/eval-cache modes other than 'off' (and batch_eval) need an "
-            "owned pool: the worker initializer is what attaches each "
-            "process's caches"
+            f"unknown trace mode {trace!r}; expected one of {_live.TRACE_MODES}"
+        )
+    traced = trace != _live.TRACE_OFF
+    if (
+        tt_mode != "off" or eval_cache_mode != "off" or batch_eval or traced
+    ) and executor is not None:
+        raise SearchError(
+            "tt/eval-cache modes other than 'off' (and batch_eval, trace) "
+            "need an owned pool: the worker initializer is what attaches "
+            "each process's caches and span ring"
         )
 
     ctx = _Context(
@@ -456,7 +524,7 @@ def multiproc_er(
             max_workers=n_workers,
             mp_context=mp_ctx,
             initializer=_init_worker,
-            initargs=(tt_spec, eval_spec),
+            initargs=(tt_spec, eval_spec, trace),
         )
     else:
         own_pool = False
@@ -473,8 +541,33 @@ def multiproc_er(
     busy_applied = 0.0
     busy_wasted = 0.0
     per_worker: dict[int, dict[str, float]] = {}
+    #: OS pid -> stable worker index, assigned in first-result order.
+    pid_index: dict[int, int] = {}
+    #: Per-worker-index trace state (all empty when untraced).
+    worker_spans: dict[int, list[_live.SpanRec]] = {}
+    worker_dropped: dict[int, int] = {}
+    worker_self_cost: dict[int, float] = {}
+    estimators: dict[int, _live.OffsetEstimator] = {}
+    # The coordinator's own ring captures its shared-table probes and
+    # heap waits; installed for the run, restored in the finally.
+    prev_ring = _live.RING
+    coord_ring = _live.ring_for_mode(trace)
+    _live.RING = coord_ring
     start = time.perf_counter()
     idle = _IdleMeter(n_workers, start)
+
+    def worker_index(pid: int) -> int:
+        return pid_index.setdefault(pid, len(pid_index))
+
+    def merge_blob(index: int, blob: Optional[_TraceBlob]) -> None:
+        if blob is None:
+            return
+        spans, dropped, self_cost = blob
+        worker_spans.setdefault(index, []).extend(spans)
+        # Counters are cumulative per worker; shipments can arrive out of
+        # order across workers, so keep the largest seen.
+        worker_dropped[index] = max(worker_dropped.get(index, 0), dropped)
+        worker_self_cost[index] = max(worker_self_cost.get(index, 0.0), self_cost)
 
     def node_path(node: PNode) -> str:
         return "/".join(map(str, node.path)) or "root"
@@ -630,12 +723,21 @@ def multiproc_er(
 
     def apply_result(record: _Pending, outcome: _TaskOutcome) -> None:
         nonlocal busy_applied, busy_wasted
-        _, value, packed, t_start, t_end, worker_pid, children_done = outcome
-        idle.record(time.perf_counter(), -1)
+        _, value, packed, t_start, t_end, worker_pid, children_done, blob = outcome
+        received_at = time.perf_counter()
+        idle.record(received_at, -1)
         duration = max(0.0, t_end - t_start)
         merged_workers.merge(_unpack_stats(packed))
         node = record.node
-        split = per_worker.setdefault(worker_pid, {"applied": 0.0, "wasted": 0.0})
+        index = worker_index(worker_pid)
+        if traced:
+            merge_blob(index, blob)
+            estimators.setdefault(index, _live.OffsetEstimator()).observe(
+                record.submitted_at, t_start, t_end, received_at
+            )
+        split = per_worker.setdefault(
+            index, {"pid": float(worker_pid), "applied": 0.0, "wasted": 0.0}
+        )
         moot = node.done or ctx.has_finished_ancestor(node)
         if _obs.CURRENT is not None:
             _obs.CURRENT.emit(
@@ -644,7 +746,7 @@ def multiproc_er(
                 path=node_path(node),
                 applied=not moot,
                 duration=duration,
-                worker=worker_pid,
+                worker=index,
             )
         if moot:
             busy_wasted += duration
@@ -665,7 +767,13 @@ def multiproc_er(
         if not pending:
             return
         if block:
+            # The coordinator is starved of heap work here — record the
+            # wait as a span so the merged timeline shows *why* workers
+            # were the bottleneck at that instant.
+            token = coord_ring.begin() if coord_ring is not None else -1.0
             done, _ = wait(pending, timeout=timeout, return_when=FIRST_COMPLETED)
+            if coord_ring is not None:
+                coord_ring.end("heap", "wait", token)
             if not done:
                 raise SimulationError(
                     f"multiproc ER wedged: no task completed in {timeout:.0f}s"
@@ -701,7 +809,21 @@ def multiproc_er(
         counters["tasks_orphaned"] = len(pending)
         for future in pending:
             future.cancel()
+        if traced and own_pool:
+            # Drain-on-exit flush: spans recorded after each worker's
+            # last shipped result (orphaned tasks, trailing cache
+            # probes) would otherwise be lost.  Over-submit so every
+            # pool process likely runs at least one; duplicates drain
+            # empty.  Best effort — a dead worker just keeps its tail.
+            flushes = [pool.submit(_flush_trace) for _ in range(2 * n_workers)]
+            for flush_future in flushes:
+                try:
+                    flush_pid, flush_blob = flush_future.result(timeout=timeout)
+                except Exception:  # noqa: BLE001 - flush is best-effort
+                    continue
+                merge_blob(worker_index(flush_pid), flush_blob)
     finally:
+        _live.RING = prev_ring
         if own_pool:
             pool.shutdown(wait=True, cancel_futures=True)
         if shared_tt is not None:
@@ -728,6 +850,22 @@ def multiproc_er(
     # instead.
     extras.update(tt_snapshot)
     extras.update(eval_snapshot)
+    live_trace: Optional[_live.LiveTrace] = None
+    if traced and coord_ring is not None:
+        spans_by_worker: dict[int, list[_live.SpanRec]] = dict(worker_spans)
+        spans_by_worker[_live.COORDINATOR] = coord_ring.drain()
+        coord_dropped, coord_cost = coord_ring.snapshot_counters()
+        offsets = {index: est.offset for index, est in estimators.items()}
+        pids = {index: pid for pid, index in pid_index.items()}
+        pids[_live.COORDINATOR] = os.getpid()
+        live_trace = _live.LiveTrace(
+            mode=trace,
+            spans=_live.merge_spans(spans_by_worker, offsets),
+            pids=pids,
+            dropped={**worker_dropped, _live.COORDINATOR: coord_dropped},
+            offsets=offsets,
+            self_cost_seconds=sum(worker_self_cost.values()) + coord_cost,
+        )
     busy = busy_applied + busy_wasted
     starvation = min(idle.starved_seconds, max(0.0, n_workers * wall - busy))
     interference = max(0.0, n_workers * wall - busy - starvation)
@@ -742,6 +880,7 @@ def multiproc_er(
         starvation_seconds=starvation,
         interference_seconds=interference,
         per_worker=per_worker,
+        trace=live_trace,
     )
 
 
@@ -781,6 +920,7 @@ def scaling_run(
     tt_mode: str = "off",
     eval_cache_mode: str = "off",
     batch_eval: bool = False,
+    trace: str = _live.TRACE_OFF,
 ) -> tuple[float, list[ScalingPoint]]:
     """Serial baseline plus one multiproc run per worker count."""
     if serial_seconds is None:
@@ -789,7 +929,7 @@ def scaling_run(
     for count in counts:
         result = multiproc_er(
             problem, count, config=config, start_method=start_method, tt_mode=tt_mode,
-            eval_cache_mode=eval_cache_mode, batch_eval=batch_eval,
+            eval_cache_mode=eval_cache_mode, batch_eval=batch_eval, trace=trace,
         )
         points.append(
             ScalingPoint(

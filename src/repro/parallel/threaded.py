@@ -38,6 +38,7 @@ Two verification features mirror the simulator's (DESIGN.md
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass
@@ -49,6 +50,7 @@ from ..costmodel import DEFAULT_COST_MODEL, CostModel
 from ..errors import LockOrderError, SearchError, SimulationError
 from ..eval.cache import AnyEvalCache
 from ..games.base import SearchProblem
+from ..obs import live as _live
 from ..search.stats import SearchStats
 from ..sim.locks import LockOrderGraph, SimLock
 from ..sim.ops import Acquire, Compute, Op, Release, WaitWork
@@ -75,21 +77,29 @@ class ThreadTiming:
 
 @dataclass(frozen=True)
 class ThreadedRun:
-    """Full observable outcome of one real-thread run."""
+    """Full observable outcome of one real-thread run.
+
+    ``trace`` is the merged span timeline when the run was traced
+    (``trace="sampled"``/``"full"``), else ``None`` — same shape as the
+    multiproc backend's, with zero clock offsets because every thread
+    shares the process clock.
+    """
 
     value: float
     stats: SearchStats
     wall_time: float
     timings: tuple[ThreadTiming, ...]
     counters: dict[str, int]
+    trace: Optional[_live.LiveTrace] = None
 
 
 class _ThreadedDriver:
     """Interprets one worker generator against real primitives."""
 
-    def __init__(self, ctx: _Context, deadline: float) -> None:
+    def __init__(self, ctx: _Context, deadline: float, trace_mode: str = _live.TRACE_OFF) -> None:
         self.ctx = ctx
         self.deadline = deadline
+        self.trace_mode = trace_mode
         # Lazily populated: the distributed-heap variant creates one lock
         # per processor.  dict.setdefault is atomic under the GIL, so two
         # threads racing to create the same entry agree on the winner.
@@ -99,6 +109,10 @@ class _ThreadedDriver:
         #: Per-worker timing, keyed by worker id; each thread writes a
         #: distinct key, so GIL-atomic dict stores need no extra lock.
         self.timings: dict[int, ThreadTiming] = {}
+        #: Per-worker span ring (traced runs only) — one ring per thread,
+        #: written by that thread alone, so no synchronization is needed;
+        #: GIL-atomic dict stores publish them like ``timings``.
+        self.rings: dict[int, _live.SpanRing] = {}
         self._order = LockOrderGraph()
         self._order_lock = threading.Lock()
 
@@ -123,6 +137,9 @@ class _ThreadedDriver:
         held: list[str] = []
         lock_wait = 0.0
         starve_wait = 0.0
+        ring = _live.ring_for_mode(self.trace_mode)
+        if ring is not None:
+            self.rings[wid] = ring
         t_start = time.perf_counter()
         if _trace.CURRENT is not None:
             _trace.on_wake("task-init")
@@ -134,7 +151,10 @@ class _ThreadedDriver:
                     self._check_order(held, op.lock.name)
                     t0 = time.perf_counter()
                     self._real_lock(op.lock).acquire()
-                    lock_wait += time.perf_counter() - t0
+                    t1 = time.perf_counter()
+                    lock_wait += t1 - t0
+                    if ring is not None:
+                        ring.record("lock", op.lock.name, t0, t1)
                     held.append(op.lock.name)
                     if _trace.CURRENT is not None:
                         _trace.on_acquire(op.lock.name)
@@ -151,7 +171,10 @@ class _ThreadedDriver:
                     with self.condition:
                         if op.signal.version == op.seen_version and not self.ctx.done:
                             self.condition.wait(timeout=_WAIT_SLICE_SECONDS)
-                    starve_wait += time.perf_counter() - t0
+                    t1 = time.perf_counter()
+                    starve_wait += t1 - t0
+                    if ring is not None:
+                        ring.record("heap", "wait-work", t0, t1)
                 else:  # pragma: no cover - protocol guard
                     raise SimulationError(f"threaded driver cannot run {op!r}")
         except BaseException as exc:  # noqa: BLE001 - surfaced to the caller
@@ -165,7 +188,10 @@ class _ThreadedDriver:
                         break
             self.wake_all()
         finally:
-            wall = time.perf_counter() - t_start
+            t_end = time.perf_counter()
+            wall = t_end - t_start
+            if ring is not None:
+                ring.record("task", "drive", t_start, t_end)
             self.timings[wid] = ThreadTiming(
                 busy=max(0.0, wall - lock_wait - starve_wait),
                 lock_wait=lock_wait,
@@ -184,8 +210,14 @@ def threaded_er_observed(
     tt: Optional[AnyTT] = None,
     eval_cache: Optional[AnyEvalCache] = None,
     batch_eval: bool = False,
+    trace: str = _live.TRACE_OFF,
 ) -> ThreadedRun:
     """Run parallel ER's problem-heap protocol on real OS threads.
+
+    ``trace`` (``off``/``sampled``/``full``) attaches one bounded span
+    ring per thread recording lock waits, work waits, and the thread's
+    whole drive; the merged timeline lands on ``run.trace``.  Threads
+    share one clock, so no offset calibration is involved.
 
     ``tt`` attaches a transposition table (:func:`repro.cache.make_tt`);
     the worker generators' table ops yield ``Acquire``/``Release`` on the
@@ -216,7 +248,11 @@ def threaded_er_observed(
         problem, cost_model, config, trace=False, n_processors=n_threads,
         tt=tt, eval_cache=eval_cache, batch_eval=batch_eval,
     )
-    driver = _ThreadedDriver(ctx, timeout)
+    if trace not in _live.TRACE_MODES:
+        raise SearchError(
+            f"unknown trace mode {trace!r}; expected one of {_live.TRACE_MODES}"
+        )
+    driver = _ThreadedDriver(ctx, timeout, trace)
     stats = [SearchStats() for _ in range(n_threads)]
     if _trace.CURRENT is not None:
         # Happens-before edge from the setup above (root pushed, queues
@@ -257,12 +293,24 @@ def threaded_er_observed(
         counters.update(tt.counter_snapshot())
     if eval_cache is not None:
         counters.update(eval_cache.counter_snapshot())
+    live_trace: Optional[_live.LiveTrace] = None
+    if trace != _live.TRACE_OFF:
+        spans_by_worker = {wid: ring.drain() for wid, ring in driver.rings.items()}
+        live_trace = _live.LiveTrace(
+            mode=trace,
+            spans=_live.merge_spans(spans_by_worker, {}),
+            pids={wid: os.getpid() for wid in driver.rings},
+            dropped={wid: ring.dropped for wid, ring in driver.rings.items()},
+            offsets={},
+            self_cost_seconds=sum(r.self_cost_seconds for r in driver.rings.values()),
+        )
     return ThreadedRun(
         value=ctx.root.value,
         stats=merged,
         wall_time=wall_time,
         timings=timings,
         counters=counters,
+        trace=live_trace,
     )
 
 

@@ -51,10 +51,19 @@ Seven rules, each an invariant the rest of the codebase argues from:
 * **VER008 — clock/RNG seams.**  In the sim-deterministic packages
   (``sim/``, ``core/``, ``obs/``) any ``time.*``/``datetime.*``/
   ``random.*`` attribute reference — call or bare — must go through a
-  sanctioned seam (``_CLOCK_SEAMS``): the event bus's injectable clock
-  and the ledger's record timestamp.  Stricter than VER003 because a
-  bare ``time.perf_counter`` stored as a default is nondeterminism
-  deferred, not avoided.
+  sanctioned seam (``_CLOCK_SEAMS``): the event bus's injectable clock,
+  the span ring's wall clock, and the ledger's record timestamp.
+  Stricter than VER003 because a bare ``time.perf_counter`` stored as
+  a default is nondeterminism deferred, not avoided.
+* **VER009 — real-backend event coverage.**  Every ``EV_*`` constant
+  the real backends (``parallel/``) emit must exist in
+  ``repro.obs.events``, have an ``EVENT_METRICS`` entry, and be served
+  by the live registry feed: ``repro.obs.registry`` must define
+  ``feed_event`` and ``aggregate`` must route through it, so a metric
+  visible mid-run (``repro-gametree top``, the Prometheus endpoint) is
+  the same metric the post-hoc snapshot reports.  Without this, an
+  event added to a real backend could be invisible live, visible
+  post-hoc, or both-but-differently.
 
 The multiproc coordinator itself is exempt from VER001 by design: it is
 single-threaded, and worker processes share nothing (DESIGN.md
@@ -783,6 +792,9 @@ _CLOCK_SEAMS: frozenset[tuple[str, str, str]] = frozenset(
         ("events.py", "__init__", "time.perf_counter"),
         ("events.py", "use_clock", "time.perf_counter"),
         ("ledger.py", "make_record", "time.time"),
+        # The span ring's single wall-clock entry point: every live-trace
+        # timestamp flows through it or through an injected clock.
+        ("live.py", "wall_clock", "time.perf_counter"),
     }
 )
 
@@ -828,6 +840,123 @@ def check_clock_seams(path: str, source: str) -> list[LintFinding]:
                 "seam or inject it as a parameter",
             )
         )
+    return findings
+
+
+def _emitted_event_names(source: str, path: str) -> list[tuple[str, int]]:
+    """``EV_*`` constant names passed as the first argument of ``emit()``.
+
+    Matches ``bus.emit(_obs.EV_X, ...)``, ``events.EV_X``, and bare
+    ``EV_X`` references, wherever the emitting call lives in the file.
+    """
+    tree = ast.parse(source, filename=path)
+    found: list[tuple[str, int]] = []
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "emit"
+            and node.args
+        ):
+            continue
+        first = node.args[0]
+        if isinstance(first, ast.Attribute) and first.attr.startswith("EV_"):
+            found.append((first.attr, node.lineno))
+        elif isinstance(first, ast.Name) and first.id.startswith("EV_"):
+            found.append((first.id, node.lineno))
+    return found
+
+
+def check_parallel_event_coverage(
+    parallel_sources: Iterable[tuple[str, str]],
+    events_path: str,
+    events_source: str,
+    registry_path: str,
+    registry_source: str,
+) -> list[LintFinding]:
+    """VER009: real-backend events are metered and served live.
+
+    ``parallel_sources`` is ``(path, source)`` per module under
+    ``parallel/``.  Three obligations: every emitted ``EV_*`` exists in
+    ``obs/events.py``; every emitted ``EV_*`` has an ``EVENT_METRICS``
+    entry; and the live feed and post-hoc aggregation share one
+    accounting path (``registry.feed_event`` exists and ``aggregate``
+    calls it) — otherwise live metrics could diverge from the snapshot.
+    """
+    findings: list[LintFinding] = []
+    event_constants = _event_constants(events_source, events_path)
+    registry_tree = ast.parse(registry_source, filename=registry_path)
+
+    covered: set[str] = set()
+    event_keys = _mapping_keys(registry_tree, "EVENT_METRICS")
+    if event_keys is not None:
+        for key in event_keys:
+            if isinstance(key, ast.Attribute):
+                covered.add(key.attr)
+
+    for path, source in parallel_sources:
+        for name, lineno in _emitted_event_names(source, path):
+            if name not in event_constants:
+                findings.append(
+                    LintFinding(
+                        "VER009",
+                        path,
+                        lineno,
+                        f"emits {name}, which is not defined in obs/events.py",
+                    )
+                )
+            elif name not in covered:
+                findings.append(
+                    LintFinding(
+                        "VER009",
+                        path,
+                        lineno,
+                        f"emits {name} but EVENT_METRICS has no entry for it; "
+                        "the live registry feed would misfile it and it would "
+                        "vanish from `repro-gametree top` and the snapshot",
+                    )
+                )
+
+    feed_fn: Optional[ast.FunctionDef] = None
+    aggregate_fn: Optional[ast.FunctionDef] = None
+    for node in registry_tree.body:
+        if isinstance(node, ast.FunctionDef):
+            if node.name == "feed_event":
+                feed_fn = node
+            elif node.name == "aggregate":
+                aggregate_fn = node
+    if feed_fn is None:
+        findings.append(
+            LintFinding(
+                "VER009",
+                registry_path,
+                1,
+                "registry defines no feed_event(); live metrics have no "
+                "single accounting path",
+            )
+        )
+    if aggregate_fn is not None and feed_fn is not None:
+        calls_feed = any(
+            isinstance(node, ast.Call)
+            and (
+                (isinstance(node.func, ast.Name) and node.func.id == "feed_event")
+                or (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "feed_event"
+                )
+            )
+            for node in ast.walk(aggregate_fn)
+        )
+        if not calls_feed:
+            findings.append(
+                LintFinding(
+                    "VER009",
+                    registry_path,
+                    aggregate_fn.lineno,
+                    "aggregate() does not call feed_event(); post-hoc metrics "
+                    "could diverge from the live feed",
+                )
+            )
     return findings
 
 
@@ -952,6 +1081,20 @@ def check_repo(root: Optional[str] = None) -> list[LintFinding]:
     findings.extend(
         check_critpath_coverage(
             str(ops), ops.read_text(), str(critpath_py), critpath_py.read_text()
+        )
+    )
+
+    parallel_sources = [
+        (str(path), path.read_text())
+        for path in sorted((src / "parallel").glob("*.py"))
+    ]
+    findings.extend(
+        check_parallel_event_coverage(
+            parallel_sources,
+            str(events_py),
+            events_py.read_text(),
+            str(registry_py),
+            registry_py.read_text(),
         )
     )
 

@@ -324,3 +324,76 @@ class TestSnapshotRoundTrip:
 
     def test_dict_is_json_safe(self, sim_snapshot):
         json.dumps(sim_snapshot.to_dict())
+
+
+# ---------------------------------------------------------------------------
+# Degenerate micro-runs: wall_time == 0 must not leak negatives or NaNs.
+# ---------------------------------------------------------------------------
+
+
+class TestZeroWallSnapshots:
+    """Timer-quantized micro-runs hand the builders wall_time == 0.
+
+    Per-thread walls can then exceed the run wall (so naive tail_idle
+    goes negative) and every fraction divides by zero.  The builders
+    clamp measured categories; these are the regression tests.
+    """
+
+    def test_threaded_zero_wall_run(self):
+        from repro.parallel.threaded import ThreadedRun, ThreadTiming
+        from repro.search.stats import SearchStats
+
+        run = ThreadedRun(
+            value=1.0,
+            stats=SearchStats(),
+            wall_time=0.0,
+            timings=(
+                ThreadTiming(busy=1e-7, lock_wait=0.0, starve_wait=0.0, wall=1e-7),
+                ThreadTiming(busy=0.0, lock_wait=0.0, starve_wait=0.0, wall=0.0),
+            ),
+            counters={},
+        )
+        snap = snapshot_from_threaded(run, workload="micro")
+        assert snap.check_accounting() == []
+        for proc in snap.processors:
+            assert proc.tail_idle >= 0.0
+        for fraction in (
+            snap.busy_fraction,
+            snap.starvation_fraction,
+            snap.interference_fraction,
+            snap.speculative_fraction,
+        ):
+            assert fraction == fraction  # not NaN
+            assert fraction >= 0.0
+
+    def test_multiproc_zero_wall_run(self):
+        from repro.parallel.multiproc import MultiprocResult
+        from repro.search.stats import SearchStats
+
+        result = MultiprocResult(
+            value=1.0,
+            n_workers=2,
+            wall_time=0.0,
+            stats=SearchStats(),
+            starvation_seconds=-1e-9,  # integrator round-off
+            interference_seconds=0.0,
+            per_worker={0: {"pid": 1234.0, "applied": 1e-7, "wasted": 0.0}},
+        )
+        snap = snapshot_from_multiproc(result, workload="micro")
+        assert snap.check_accounting() == []
+        assert snap.makespan == 0.0
+        for proc in snap.processors:
+            assert proc.starvation >= 0.0 and proc.tail_idle >= 0.0
+        assert snap.busy_fraction == 0.0  # zero denominator, not NaN
+
+    def test_multiproc_missing_worker_row_defaults_to_zero(self):
+        from repro.parallel.multiproc import MultiprocResult
+        from repro.search.stats import SearchStats
+
+        result = MultiprocResult(
+            value=0.0, n_workers=3, wall_time=0.5, stats=SearchStats(),
+            per_worker={1: {"pid": 9.0, "applied": 0.25, "wasted": 0.0}},
+        )
+        snap = snapshot_from_multiproc(result, workload="micro")
+        assert [p.busy for p in snap.processors] == [0.0, 0.25, 0.0]
+        assert snap.check_accounting() == []

@@ -506,3 +506,120 @@ def test_rules_inferred_from_filename() -> None:
 def test_finding_str_is_tool_style() -> None:
     finding = LintFinding("VER001", "er_parallel.py", 12, "boom")
     assert str(finding) == "er_parallel.py:12: VER001: boom"
+
+
+# ---------------------------------------------------------------------------
+# VER009: real-backend events are metered and served live.
+# ---------------------------------------------------------------------------
+
+_EVENTS_SRC = _src(
+    """
+    EV_TASK_SUBMIT = "task-submit"
+    EV_TASK_RESULT = "task-result"
+    """
+)
+
+_REGISTRY_SRC = _src(
+    """
+    EVENT_METRICS = {
+        events.EV_TASK_SUBMIT: "tasks.submitted",
+        events.EV_TASK_RESULT: "tasks.completed",
+    }
+
+    def feed_event(registry, event):
+        pass
+
+    def aggregate(bus):
+        registry = None
+        for event in bus.events:
+            feed_event(registry, event)
+        return registry
+    """
+)
+
+
+def _ver009(parallel_src: str, registry_src: str = _REGISTRY_SRC):
+    from repro.verify.staticcheck import check_parallel_event_coverage
+
+    return check_parallel_event_coverage(
+        [("multiproc.py", _src(parallel_src))],
+        "events.py",
+        _EVENTS_SRC,
+        "registry.py",
+        registry_src,
+    )
+
+
+def test_ver009_covered_emissions_pass() -> None:
+    findings = _ver009(
+        """
+        def run(bus):
+            bus.emit(_obs.EV_TASK_SUBMIT, kind="explore")
+            bus.emit(_obs.EV_TASK_RESULT, worker=0)
+        """
+    )
+    assert findings == []
+
+
+def test_ver009_undefined_event_flagged() -> None:
+    findings = _ver009(
+        """
+        def run(bus):
+            bus.emit(_obs.EV_TASK_CANCELLED, task=3)
+        """
+    )
+    assert any(
+        f.rule == "VER009" and "not defined in obs/events.py" in f.message
+        for f in findings
+    )
+
+
+def test_ver009_unmetered_event_flagged() -> None:
+    events_src = _EVENTS_SRC + 'EV_HEAP_WAIT = "heap-wait"\n'
+    from repro.verify.staticcheck import check_parallel_event_coverage
+
+    findings = check_parallel_event_coverage(
+        [("multiproc.py", _src("def run(bus):\n    bus.emit(EV_HEAP_WAIT)\n"))],
+        "events.py",
+        events_src,
+        "registry.py",
+        _REGISTRY_SRC,
+    )
+    assert any(
+        f.rule == "VER009" and "EVENT_METRICS has no entry" in f.message
+        for f in findings
+    )
+
+
+def test_ver009_missing_feed_event_flagged() -> None:
+    registry_src = _src(
+        """
+        EVENT_METRICS = {
+            events.EV_TASK_SUBMIT: "tasks.submitted",
+            events.EV_TASK_RESULT: "tasks.completed",
+        }
+        """
+    )
+    findings = _ver009("def run(bus):\n    bus.emit(EV_TASK_RESULT)\n", registry_src)
+    assert any("defines no feed_event" in f.message for f in findings)
+
+
+def test_ver009_aggregate_bypassing_feed_event_flagged() -> None:
+    registry_src = _src(
+        """
+        EVENT_METRICS = {
+            events.EV_TASK_SUBMIT: "tasks.submitted",
+            events.EV_TASK_RESULT: "tasks.completed",
+        }
+
+        def feed_event(registry, event):
+            pass
+
+        def aggregate(bus):
+            return None
+        """
+    )
+    findings = _ver009("def run(bus):\n    bus.emit(EV_TASK_RESULT)\n", registry_src)
+    assert any(
+        "aggregate() does not call feed_event" in f.message for f in findings
+    )
