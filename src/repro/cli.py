@@ -24,6 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from .obs.events import EventBus
     from .obs.live import LiveTrace
     from .obs.snapshot import Snapshot
+    from .serve import ServeConfig
     from .sim.metrics import SimReport
 
 from .analysis.experiments import (
@@ -707,6 +708,123 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_config(args: argparse.Namespace) -> "ServeConfig":
+    from .serve import ServeConfig
+
+    return ServeConfig(
+        host=args.host,
+        port=args.port,
+        n_workers=args.workers,
+        max_concurrency=args.max_concurrency,
+        queue_limit=args.queue_limit,
+        tt_mode=args.tt,
+        eval_cache_mode=args.eval_cache,
+        scale=args.scale,
+        trace_mode=args.trace,
+        metrics_port=args.metrics_port,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the search service until SIGINT/SIGTERM or a shutdown op."""
+    import asyncio
+    import signal
+
+    from .serve import SearchService
+
+    config = _serve_config(args)
+
+    async def run() -> int:
+        service = await SearchService(config).start()
+        host, port = service.address
+        print(f"serving Table 3 suite ({config.scale}) on {host}:{port}")
+        if service.metrics_url is not None:
+            print(f"metrics: {service.metrics_url}")
+        print("stop with Ctrl-C or the 'shutdown' op; draining is graceful")
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, service.request_shutdown)
+        await service.serve_until_shutdown()
+        problems = (
+            service.scheduler.conservation_problems()
+            if service.scheduler is not None
+            else []
+        )
+        for problem in problems:
+            print(f"accounting problem: {problem}", file=sys.stderr)
+        snapshot = service.stats_snapshot()
+        print(
+            f"drained: {snapshot['completed']} completed, "
+            f"{snapshot['shed']} shed of {snapshot['submitted']} submitted"
+        )
+        return 1 if problems else 0
+
+    return asyncio.run(run())
+
+
+def _cmd_bench_traffic(args: argparse.Namespace) -> int:
+    """Measure serving throughput: warm shared caches vs a cold start.
+
+    In-process by default: one service, the same deterministic trace
+    served twice — the first pass hits cold tables, the second runs
+    entirely warm — so the delta isolates what the persistent shared
+    TT/eval-cache buys.  ``--connect`` instead drives one pass against
+    an already-running ``repro-gametree serve`` over TCP.
+    """
+    import asyncio
+
+    from .serve import SearchService, TrafficSpec, generate_trace, suite_catalog
+    from .serve.traffic import run_trace, run_trace_client, service_snapshot
+
+    spec = TrafficSpec(
+        workloads=tuple(args.workloads),
+        n_requests=args.requests,
+        seed=args.seed,
+        max_depth=args.depth,
+        repeat_fraction=args.repeat,
+    )
+    catalog = suite_catalog(args.scale)
+    trace = generate_trace(spec, catalog)
+
+    if args.connect is not None:
+        from .serve.client import ServiceClient
+
+        host, _, port_text = args.connect.rpartition(":")
+        if not host or not port_text.isdigit():
+            print(f"--connect wants HOST:PORT, got {args.connect!r}", file=sys.stderr)
+            return 2
+
+        async def run_remote() -> int:
+            async with ServiceClient(host, int(port_text)) as client:
+                report = await run_trace_client(client, trace)
+                print(report.render(f"remote traffic ({args.connect})"))
+                if args.shutdown:
+                    await client.shutdown_server()
+                    print("sent shutdown; server is draining")
+            return 0
+
+        return asyncio.run(run_remote())
+
+    config = _serve_config(args)
+
+    async def run_local() -> int:
+        async with SearchService(config, catalog=catalog) as service:
+            cold = await run_trace(service, trace)
+            warm = await run_trace(service, trace)
+            print(cold.render("cold start (empty shared caches)"))
+            print()
+            print(warm.render("warm (same trace, caches populated)"))
+            ratio = warm.rps / cold.rps if cold.rps > 0 else float("inf")
+            print(f"\nwarm/cold throughput ratio: {ratio:.2f}x")
+            snap = service_snapshot(service, warm, workload=f"traffic-{args.seed}")
+            problems = snap.check_accounting()
+            for problem in problems:
+                print(f"accounting problem: {problem}", file=sys.stderr)
+            return 1 if problems else 0
+
+    return asyncio.run(run_local())
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     """Run the concurrency-correctness toolkit end to end.
 
@@ -1092,6 +1210,68 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="30-second tour")
     demo.set_defaults(func=_cmd_demo)
+
+    def add_service_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=0, help="0 picks a free port")
+        p.add_argument("--workers", type=int, default=2, help="pool worker processes")
+        p.add_argument(
+            "--max-concurrency", type=int, default=2, help="requests deepening at once"
+        )
+        p.add_argument(
+            "--queue-limit", type=int, default=32, help="waiting requests before shedding"
+        )
+        p.add_argument("--tt", choices=("off", "private", "shared"), default="shared")
+        p.add_argument(
+            "--eval-cache", choices=("off", "private", "shared"), default="off"
+        )
+        p.add_argument("--scale", choices=("reduced", "paper"), default="reduced")
+        p.add_argument("--trace", choices=("off", "sampled", "full"), default="off")
+        p.add_argument(
+            "--metrics-port",
+            type=int,
+            default=None,
+            metavar="PORT",
+            help="serve Prometheus text metrics on this port (0 picks a free one)",
+        )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the async search service over one persistent engine pool",
+    )
+    add_service_args(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    bench_traffic = sub.add_parser(
+        "bench-traffic",
+        help="throughput/latency of the service under synthetic traffic "
+        "(warm shared caches vs cold start)",
+    )
+    add_service_args(bench_traffic)
+    bench_traffic.add_argument("--requests", type=int, default=40)
+    bench_traffic.add_argument(
+        "--workloads", nargs="+", default=["R3"], metavar="NAME"
+    )
+    bench_traffic.add_argument("--depth", type=int, default=2)
+    bench_traffic.add_argument("--seed", type=int, default=0)
+    bench_traffic.add_argument(
+        "--repeat",
+        type=float,
+        default=0.5,
+        help="fraction of requests re-asking an already-issued position",
+    )
+    bench_traffic.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="drive an already-running server instead of an in-process one",
+    )
+    bench_traffic.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="with --connect: send the shutdown op after the run",
+    )
+    bench_traffic.set_defaults(func=_cmd_bench_traffic)
 
     verify = sub.add_parser(
         "verify", help="lint concurrency invariants and race-check all backends"

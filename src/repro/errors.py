@@ -37,3 +37,7 @@ class LockOrderError(SimulationError):
 
 class VerificationError(ReproError):
     """A :mod:`repro.verify` pass found a violated invariant."""
+
+
+class ServeError(ReproError):
+    """The search service was asked something it cannot honor."""

@@ -347,6 +347,10 @@ class SharedMemoryEvalCache:
     def store(self, key: int, value: float) -> None:
         self._table.store(key, _entry(value))
 
+    def clear(self) -> None:
+        """Empty every stripe (counters keep accumulating)."""
+        self._table.clear()
+
     def __len__(self) -> int:
         return len(self._table)
 

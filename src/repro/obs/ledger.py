@@ -59,7 +59,7 @@ LEDGER_SCHEMA: dict[str, object] = {
         "seed": {"type": ["integer", "null"]},
         "workload": {"type": "string"},
         "scale": {"type": "string"},
-        "backend": {"enum": ["sim", "threaded", "multiproc"]},
+        "backend": {"enum": ["sim", "threaded", "multiproc", "serve"]},
         "n_processors": {"type": "integer", "minimum": 1},
         "cost_model": {"type": "object"},
         "config": {"type": "object"},
@@ -76,6 +76,34 @@ LEDGER_SCHEMA: dict[str, object] = {
                     "predicted_makespan",
                     "actual_makespan",
                 ],
+            },
+        },
+        # Optional: service-level traffic summary (repro.serve), present
+        # on "serve"-backend records produced by the traffic benchmark.
+        # Latencies are end-to-end per request (admission to reply);
+        # counter conservation (requests == completed + shed) is
+        # enforced by validate_record.
+        "service": {
+            "type": "object",
+            "required": [
+                "requests",
+                "admitted",
+                "completed",
+                "shed",
+                "rps",
+                "p50_s",
+                "p95_s",
+                "p99_s",
+            ],
+            "properties": {
+                "requests": {"type": "integer", "minimum": 0},
+                "admitted": {"type": "integer", "minimum": 0},
+                "completed": {"type": "integer", "minimum": 0},
+                "shed": {"type": "integer", "minimum": 0},
+                "rps": {"type": "number", "minimum": 0},
+                "p50_s": {"type": "number", "minimum": 0},
+                "p95_s": {"type": "number", "minimum": 0},
+                "p99_s": {"type": "number", "minimum": 0},
             },
         },
         # Optional: live wall-clock tracing summary (repro.obs.live).
@@ -159,14 +187,16 @@ def make_record(
     git_sha: Optional[str] = None,
     whatif: Optional[list[Mapping[str, object]]] = None,
     trace: Optional[Mapping[str, object]] = None,
+    service: Optional[Mapping[str, object]] = None,
 ) -> Record:
     """Assemble one ledger record from a snapshot plus run identity.
 
     ``whatif`` — the flat points of a causal sweep
-    (:func:`repro.obs.whatif.to_records`) — and ``trace`` — the
-    wall-clock tracing summary (:func:`trace_block`) — are stored only
-    when given, so records from runs without them stay byte-identical
-    to schema v1.
+    (:func:`repro.obs.whatif.to_records`) — ``trace`` — the
+    wall-clock tracing summary (:func:`trace_block`) — and ``service``
+    — the traffic summary of a search-service run
+    (:func:`service_block`) — are stored only when given, so records
+    from runs without them stay byte-identical to schema v1.
     """
     record: Record = {
         "schema_version": SCHEMA_VERSION,
@@ -185,6 +215,8 @@ def make_record(
         record["whatif"] = [dict(point) for point in whatif]
     if trace is not None:
         record["trace"] = dict(trace)
+    if service is not None:
+        record["service"] = dict(service)
     return record
 
 
@@ -203,6 +235,34 @@ def trace_block(mode: str, spans: int, dropped: int, overhead_fraction: float) -
     }
 
 
+def service_block(
+    *,
+    requests: int,
+    admitted: int,
+    completed: int,
+    shed: int,
+    rps: float,
+    p50_s: float,
+    p95_s: float,
+    p99_s: float,
+) -> Record:
+    """Assemble the optional ``service`` record block from a traffic run.
+
+    Callers typically derive the arguments from a
+    :class:`~repro.serve.traffic.TrafficReport`.
+    """
+    return {
+        "requests": int(requests),
+        "admitted": int(admitted),
+        "completed": int(completed),
+        "shed": int(shed),
+        "rps": float(rps),
+        "p50_s": float(p50_s),
+        "p95_s": float(p95_s),
+        "p99_s": float(p99_s),
+    }
+
+
 def validate_record(record: Record) -> list[str]:
     """Structural validation (no external deps); [] when the record is well-formed."""
     problems: list[str] = []
@@ -215,7 +275,7 @@ def validate_record(record: Record) -> list[str]:
         return problems
     if record["schema_version"] != SCHEMA_VERSION:
         problems.append(f"schema_version {record['schema_version']!r} != {SCHEMA_VERSION}")
-    if record["backend"] not in ("sim", "threaded", "multiproc"):
+    if record["backend"] not in ("sim", "threaded", "multiproc", "serve"):
         problems.append(f"unknown backend {record['backend']!r}")
     if not isinstance(record["git_sha"], str):
         problems.append("git_sha must be a string")
@@ -296,6 +356,32 @@ def validate_record(record: Record) -> list[str]:
                 not isinstance(overhead, (int, float)) or overhead < 0
             ):
                 problems.append("trace overhead_fraction must be a non-negative number")
+    service = record.get("service")
+    if service is not None:
+        if not isinstance(service, dict):
+            problems.append("service must be an object")
+        else:
+            for key in ("requests", "admitted", "completed", "shed"):
+                count = service.get(key)
+                if not isinstance(count, int) or count < 0:
+                    problems.append(f"service {key} must be a non-negative integer")
+            for key in ("rps", "p50_s", "p95_s", "p99_s"):
+                number = service.get(key)
+                if not isinstance(number, (int, float)) or number < 0:
+                    problems.append(f"service {key} must be a non-negative number")
+            requests = service.get("requests")
+            completed = service.get("completed")
+            shed = service.get("shed")
+            if (
+                isinstance(requests, int)
+                and isinstance(completed, int)
+                and isinstance(shed, int)
+                and completed + shed != requests
+            ):
+                problems.append(
+                    f"service counters do not conserve: completed {completed} "
+                    f"+ shed {shed} != requests {requests}"
+                )
     snap = Snapshot.from_dict(snapshot)
     problems.extend(snap.check_accounting())
     return problems
@@ -461,6 +547,7 @@ def compare_records(
             report.improvements.append(f"{name}: {old:.4f} -> {new:.4f} ({delta:+.4f})")
 
     _compare_critpath(report, base_snap.critpath, cand_snap.critpath, tolerance)
+    _compare_service(report, baseline.get("service"), candidate.get("service"), tolerance)
     return report
 
 
@@ -503,6 +590,44 @@ def _compare_critpath(
             report.regressions.append(f"{label}: {old:.4f} -> {new:.4f} (+{delta:.4f})")
         elif delta < -tolerance:
             report.improvements.append(f"{label}: {old:.4f} -> {new:.4f} ({delta:+.4f})")
+
+
+def _compare_service(
+    report: CompareReport,
+    base: Optional[object],
+    cand: Optional[object],
+    tolerance: float,
+) -> None:
+    """Diff service traffic summaries when both records carry one.
+
+    Throughput dropping or tail latency growing beyond ``tolerance``
+    (relative) is a regression; the opposite is an improvement.  A
+    record without a service block (non-serve backend, or a pre-service
+    baseline) is noted, not flagged.
+    """
+    if not isinstance(base, dict) and not isinstance(cand, dict):
+        return
+    if not isinstance(base, dict):
+        report.notes.append("baseline has no service data; traffic not compared")
+        return
+    if not isinstance(cand, dict):
+        report.notes.append("candidate has no service data; traffic not compared")
+        return
+    old_rps = float(base.get("rps", 0.0))
+    new_rps = float(cand.get("rps", 0.0))
+    change = _rel_change(old_rps, new_rps)
+    if change < -tolerance:
+        report.regressions.append(f"rps: {old_rps:g} -> {new_rps:g} ({change:.1%})")
+    elif change > tolerance:
+        report.improvements.append(f"rps: {old_rps:g} -> {new_rps:g} (+{change:.1%})")
+    for key in ("p50_s", "p95_s", "p99_s"):
+        old = float(base.get(key, 0.0))
+        new = float(cand.get(key, 0.0))
+        change = _rel_change(old, new)
+        if change > tolerance:
+            report.regressions.append(f"{key}: {old:g} -> {new:g} (+{change:.1%})")
+        elif change < -tolerance:
+            report.improvements.append(f"{key}: {old:g} -> {new:g} ({change:.1%})")
 
 
 def _series_point(summary: Record) -> Record:
@@ -558,6 +683,8 @@ def aggregate(directory: Union[str, Path], out_path: Optional[Union[str, Path]] 
             summary["critpath"] = critpath
         if record.get("whatif") is not None:
             summary["whatif"] = record.get("whatif")
+        if record.get("service") is not None:
+            summary["service"] = record.get("service")
         summaries.append(summary)
     series: dict[str, list[Record]] = {}
     for summary in summaries:

@@ -124,6 +124,22 @@ class MetricsServer(ThreadingHTTPServer):
             running search are consistent).
         port: TCP port; 0 picks a free one (read :attr:`port` after).
         host: bind address, loopback by default.
+
+    Lifecycle (safe to embed in a long-lived server process):
+    :meth:`start` is idempotent — a second call is a no-op returning the
+    same instance, never a second serving thread.  :meth:`stop` is
+    idempotent and deterministic: it only calls ``shutdown()`` when the
+    serving thread actually ran (``shutdown()`` on a never-served
+    ``socketserver`` blocks forever), closes the listening socket
+    exactly once so the port is immediately rebindable, and joins the
+    thread.  ``stop()`` before ``start()`` just releases the socket.  A
+    stopped server cannot be restarted — its socket is gone — so
+    ``start()`` after ``stop()`` raises instead of serving nothing.
+
+    Raises:
+        OSError: when the requested port cannot be bound (typically
+            ``EADDRINUSE`` from another process scraping the same
+            port); the message names the requested address.
     """
 
     daemon_threads = True
@@ -135,9 +151,16 @@ class MetricsServer(ThreadingHTTPServer):
         port: int = 0,
         host: str = "127.0.0.1",
     ) -> None:
-        super().__init__((host, port), _Handler)
+        try:
+            super().__init__((host, port), _Handler)
+        except OSError as error:
+            raise OSError(
+                f"metrics endpoint cannot bind {host}:{port}: {error} "
+                "(is another exporter already serving that port?)"
+            ) from error
         self._collect = collect
         self._thread: Optional[threading.Thread] = None
+        self._stopped = False
 
     def collect(self) -> Mapping[str, MetricValue]:
         return self._collect()
@@ -152,7 +175,18 @@ class MetricsServer(ThreadingHTTPServer):
         return f"http://{host}:{self.port}/metrics"
 
     def start(self) -> "MetricsServer":
-        """Serve in a daemon thread; returns self for chaining."""
+        """Serve in a daemon thread; returns self for chaining.
+
+        Idempotent: calling again while serving returns the same
+        instance without spawning a second thread.
+        """
+        if self._stopped:
+            raise OSError(
+                "MetricsServer cannot restart after stop(): the listening "
+                "socket is closed; build a new instance"
+            )
+        if self._thread is not None:
+            return self
         self._thread = threading.Thread(
             target=self.serve_forever, name="repro-metrics", daemon=True
         )
@@ -160,8 +194,26 @@ class MetricsServer(ThreadingHTTPServer):
         return self
 
     def stop(self) -> None:
-        self.shutdown()
+        """Stop serving and release the port; idempotent, never blocks.
+
+        Safe in any state: before :meth:`start` (just closes the
+        socket), while serving (shuts the loop down and joins the
+        thread), or after a previous :meth:`stop` (no-op).
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            # shutdown() handshakes with serve_forever; only valid when
+            # the serving thread actually entered that loop.
+            self.shutdown()
         self.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-            self._thread = None
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -53,7 +53,7 @@ import os
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field, replace
-from typing import Any, Optional, Sequence
+from typing import Any, Optional, Protocol, Sequence
 
 from ..cache.sharedmem import SharedMemoryTT
 from ..cache.striped import TT_MODES
@@ -71,7 +71,10 @@ from ..search.transposition import Bound, TranspositionTable, TTEntry
 
 __all__ = [
     "MultiprocResult",
+    "PersistentPool",
     "ScalingPoint",
+    "WorkerCaches",
+    "build_worker_caches",
     "default_serial_depth",
     "multiproc_er",
     "scaling_run",
@@ -277,6 +280,126 @@ def _run_task(payload: tuple[Any, ...]) -> _TaskOutcome:
 
 
 # ---------------------------------------------------------------------------
+# Pool construction, shared with the persistent server-owned pool.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkerCaches:
+    """Initializer specs plus the coordinator-side shared segments.
+
+    ``tt_spec``/``eval_spec`` are what :func:`_init_worker` consumes;
+    ``shared_tt``/``shared_eval`` are the coordinator's mappings of the
+    segments those specs name (``None`` for off/private modes).  Whoever
+    builds the caches owns the segments: call :meth:`teardown` after the
+    last worker process has exited.
+    """
+
+    tt_spec: tuple[Any, ...]
+    eval_spec: tuple[Any, ...]
+    shared_tt: Optional[SharedMemoryTT]
+    shared_eval: Optional[SharedMemoryEvalCache]
+
+    def teardown(self) -> dict[str, int]:
+        """Close and destroy the shared segments; returns their counters."""
+        counters: dict[str, int] = {}
+        if self.shared_tt is not None:
+            counters.update(self.shared_tt.counter_snapshot())
+            self.shared_tt.close()
+            self.shared_tt.unlink()
+        if self.shared_eval is not None:
+            counters.update(self.shared_eval.counter_snapshot())
+            self.shared_eval.close()
+            self.shared_eval.unlink()
+        return counters
+
+
+def build_worker_caches(
+    mp_ctx: multiprocessing.context.BaseContext,
+    *,
+    tt_mode: str = "off",
+    tt_capacity: int = 1 << 14,
+    eval_cache_mode: str = "off",
+    eval_cache_capacity: int = 1 << 14,
+    batch_eval: bool = False,
+    n_stripes: int = 8,
+) -> WorkerCaches:
+    """Build the cache specs a worker pool's initializer needs.
+
+    Locks come from ``mp_ctx`` — the pool's own context — so they
+    survive the trip through the initializer under any start method.
+    """
+    if tt_mode not in TT_MODES:
+        raise SearchError(f"unknown tt mode {tt_mode!r}; expected one of {TT_MODES}")
+    if eval_cache_mode not in EVAL_CACHE_MODES:
+        raise SearchError(
+            f"unknown eval-cache mode {eval_cache_mode!r}; "
+            f"expected one of {EVAL_CACHE_MODES}"
+        )
+    shared_tt: Optional[SharedMemoryTT] = None
+    shared_eval: Optional[SharedMemoryEvalCache] = None
+    tt_spec: tuple[Any, ...] = ("off",)
+    if tt_mode == "shared":
+        shared_tt = SharedMemoryTT(
+            capacity=tt_capacity,
+            n_stripes=n_stripes,
+            locks=[mp_ctx.Lock() for _ in range(n_stripes)],
+        )
+        tt_spec = ("shared", shared_tt.handle(), shared_tt.locks)
+    elif tt_mode == "private":
+        tt_spec = ("private", tt_capacity)
+    eval_spec: tuple[Any, ...] = ("off", batch_eval)
+    if eval_cache_mode == "shared":
+        shared_eval = SharedMemoryEvalCache(
+            _table=SharedMemoryTT(
+                capacity=eval_cache_capacity,
+                n_stripes=n_stripes,
+                locks=[mp_ctx.Lock() for _ in range(n_stripes)],
+            )
+        )
+        eval_spec = ("shared", shared_eval.handle(), shared_eval.locks, batch_eval)
+    elif eval_cache_mode == "private":
+        eval_spec = ("private", eval_cache_capacity, batch_eval)
+    return WorkerCaches(
+        tt_spec=tt_spec,
+        eval_spec=eval_spec,
+        shared_tt=shared_tt,
+        shared_eval=shared_eval,
+    )
+
+
+class PersistentPool(Protocol):
+    """A long-lived worker pool whose caches outlive individual searches.
+
+    :class:`repro.serve.pool.EnginePool` is the canonical
+    implementation: the pool owns the executor, the shared
+    :class:`~repro.cache.sharedmem.SharedMemoryTT`, and the shared eval
+    cache, and its workers were initialized with :func:`_init_worker` —
+    so :func:`multiproc_er` can run *on* it without rebuilding (or
+    tearing down) any of that per search.  The engine layer
+    (:class:`repro.engine.GameEngine` with ``algorithm="multiproc-er"``)
+    threads one through :class:`repro.engine.EngineConfig`, turning
+    "one pool + one warm table per search" into "one pool + one warm
+    table per engine lifetime".
+    """
+
+    @property
+    def executor(self) -> ProcessPoolExecutor: ...
+
+    @property
+    def shared_tt(self) -> Optional[SharedMemoryTT]: ...
+
+    @property
+    def shared_eval(self) -> Optional[SharedMemoryEvalCache]: ...
+
+    @property
+    def n_workers(self) -> int: ...
+
+    @property
+    def trace_mode(self) -> str: ...
+
+
+# ---------------------------------------------------------------------------
 # Coordinator side.
 # ---------------------------------------------------------------------------
 
@@ -401,6 +524,7 @@ def multiproc_er(
     eval_cache_capacity: int = 1 << 14,
     batch_eval: bool = False,
     trace: str = _live.TRACE_OFF,
+    pool: Optional[PersistentPool] = None,
 ) -> MultiprocResult:
     """Run ER with a coordinator-hosted problem heap and worker processes.
 
@@ -448,6 +572,14 @@ def multiproc_er(
             each worker's clock offset from task round-trips, and attach
             the merged timeline as ``result.trace``.  Requires an owned
             pool, like the cache modes.
+        pool: a :class:`PersistentPool` (e.g.
+            :class:`repro.serve.pool.EnginePool`) whose executor and
+            warm shared caches this search runs on.  The pool's cache
+            configuration *replaces* ``tt_mode``/``eval_cache_mode``
+            (its workers were already initialized), its shared segments
+            are left alive for the next search, and ``trace`` must
+            match the pool's trace mode.  Mutually exclusive with
+            ``executor``.
 
     Raises:
         SimulationError: on a worker crash, a wedged pool, or a protocol
@@ -471,6 +603,14 @@ def multiproc_er(
             f"unknown trace mode {trace!r}; expected one of {_live.TRACE_MODES}"
         )
     traced = trace != _live.TRACE_OFF
+    if pool is not None and executor is not None:
+        raise SearchError("pass either a persistent pool or a raw executor, not both")
+    if pool is not None and trace != pool.trace_mode:
+        raise SearchError(
+            f"trace mode {trace!r} does not match the persistent pool's "
+            f"{pool.trace_mode!r}: worker span rings are installed by the "
+            "pool initializer and cannot change per search"
+        )
     if (
         tt_mode != "off" or eval_cache_mode != "off" or batch_eval or traced
     ) and executor is not None:
@@ -489,46 +629,41 @@ def multiproc_er(
 
     shared_tt: Optional[SharedMemoryTT] = None
     shared_eval: Optional[SharedMemoryEvalCache] = None
-    tt_snapshot: dict[str, int] = {}
-    eval_snapshot: dict[str, int] = {}
-    if executor is None:
+    caches: Optional[WorkerCaches] = None
+    tail_counters: dict[str, int] = {}
+    if pool is not None:
+        # Persistent server-owned pool: run on its warm caches; leave
+        # segments (and their cumulative counters) alive for the next
+        # search.
+        own_pool = False
+        executor_pool = pool.executor
+        shared_tt = pool.shared_tt
+        shared_eval = pool.shared_eval
+    elif executor is None:
         own_pool = True
         method = start_method or preferred_start_method()
         mp_ctx = multiprocessing.get_context(method)
-        stripes = 8
-        tt_spec: tuple[Any, ...] = ("off",)
-        if tt_mode == "shared":
-            # Locks come from the pool's own context so they survive the
-            # trip through the initializer under any start method.
-            shared_tt = SharedMemoryTT(
-                capacity=tt_capacity,
-                n_stripes=stripes,
-                locks=[mp_ctx.Lock() for _ in range(stripes)],
-            )
-            tt_spec = ("shared", shared_tt.handle(), shared_tt.locks)
-        elif tt_mode == "private":
-            tt_spec = ("private", tt_capacity)
-        eval_spec: tuple[Any, ...] = ("off", batch_eval)
-        if eval_cache_mode == "shared":
-            shared_eval = SharedMemoryEvalCache(
-                _table=SharedMemoryTT(
-                    capacity=eval_cache_capacity,
-                    n_stripes=stripes,
-                    locks=[mp_ctx.Lock() for _ in range(stripes)],
-                )
-            )
-            eval_spec = ("shared", shared_eval.handle(), shared_eval.locks, batch_eval)
-        elif eval_cache_mode == "private":
-            eval_spec = ("private", eval_cache_capacity, batch_eval)
-        pool = ProcessPoolExecutor(
+        # Locks come from the pool's own context so they survive the
+        # trip through the initializer under any start method.
+        caches = build_worker_caches(
+            mp_ctx,
+            tt_mode=tt_mode,
+            tt_capacity=tt_capacity,
+            eval_cache_mode=eval_cache_mode,
+            eval_cache_capacity=eval_cache_capacity,
+            batch_eval=batch_eval,
+        )
+        shared_tt = caches.shared_tt
+        shared_eval = caches.shared_eval
+        executor_pool = ProcessPoolExecutor(
             max_workers=n_workers,
             mp_context=mp_ctx,
             initializer=_init_worker,
-            initargs=(tt_spec, eval_spec, trace),
+            initargs=(caches.tt_spec, caches.eval_spec, trace),
         )
     else:
         own_pool = False
-        pool = executor
+        executor_pool = executor
 
     pending: dict[Future[_TaskOutcome], _Pending] = {}
     counters = {
@@ -640,7 +775,7 @@ def multiproc_er(
                 finish(node)
                 return
             payload = ("eval", subproblem(problem, node.position, node.ply), alpha, beta)
-        future = pool.submit(_run_task, payload)
+        future = executor_pool.submit(_run_task, payload)
         counters["tasks_submitted"] += 1
         pending[future] = _Pending(node, payload[0], time.perf_counter())
         idle.record(time.perf_counter(), +1)
@@ -815,7 +950,7 @@ def multiproc_er(
             # probes) would otherwise be lost.  Over-submit so every
             # pool process likely runs at least one; duplicates drain
             # empty.  Best effort — a dead worker just keeps its tail.
-            flushes = [pool.submit(_flush_trace) for _ in range(2 * n_workers)]
+            flushes = [executor_pool.submit(_flush_trace) for _ in range(2 * n_workers)]
             for flush_future in flushes:
                 try:
                     flush_pid, flush_blob = flush_future.result(timeout=timeout)
@@ -825,17 +960,13 @@ def multiproc_er(
     finally:
         _live.RING = prev_ring
         if own_pool:
-            pool.shutdown(wait=True, cancel_futures=True)
-        if shared_tt is not None:
+            executor_pool.shutdown(wait=True, cancel_futures=True)
+        if caches is not None:
             # Workers have exited (shutdown waited); the coordinator both
-            # closes its mapping and destroys the segment.
-            tt_snapshot = shared_tt.counter_snapshot()
-            shared_tt.close()
-            shared_tt.unlink()
-        if shared_eval is not None:
-            eval_snapshot = shared_eval.counter_snapshot()
-            shared_eval.close()
-            shared_eval.unlink()
+            # closes its mappings and destroys the segments.  Persistent
+            # pools skip this — their segments stay warm for the next
+            # search and are torn down by the pool's own close().
+            tail_counters = caches.teardown()
 
     if not ctx.done:
         raise SimulationError("multiproc ER finished without combining the root")
@@ -847,9 +978,9 @@ def multiproc_er(
     extras.update(counters)
     # Coordinator-side table/cache counters only; worker probe/store
     # totals are process-local and arrive through the merged stats
-    # instead.
-    extras.update(tt_snapshot)
-    extras.update(eval_snapshot)
+    # instead.  (Empty for persistent pools, whose cumulative segment
+    # counters belong to the pool, not to any one search.)
+    extras.update(tail_counters)
     live_trace: Optional[_live.LiveTrace] = None
     if traced and coord_ring is not None:
         spans_by_worker: dict[int, list[_live.SpanRec]] = dict(worker_spans)

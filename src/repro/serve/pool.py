@@ -1,0 +1,325 @@
+"""The persistent engine pool: warm workers and shared caches for the service.
+
+Before this module the multiprocess path was "one engine per search":
+every :func:`~repro.parallel.multiproc.multiproc_er` call spawned a
+pool, built a fresh :class:`~repro.cache.sharedmem.SharedMemoryTT`, and
+tore both down at the end — none of one search's work survived to the
+next.  :class:`EnginePool` inverts that ownership: the *server* owns
+one long-lived :class:`~concurrent.futures.ProcessPoolExecutor` whose
+workers were initialized once with
+:func:`repro.parallel.multiproc._init_worker`, one shared TT, and one
+shared eval cache, all spanning every request from every user until the
+pool is closed.  It satisfies the
+:class:`~repro.parallel.multiproc.PersistentPool` protocol, so whole ER
+searches (``multiproc_er(pool=...)``) and the service's per-iteration
+fan-out (:class:`PoolEngine`) run on the same warm substrate.
+
+:class:`PoolEngine` is the service's
+:class:`~repro.serve.scheduler.DeepeningEngine`: one deepening
+iteration evaluates every root move's subtree full-window in a worker
+process and argmaxes the negated values — byte-for-byte the decision
+rule of :meth:`repro.engine.GameEngine.choose`, which is what the
+cross-request parity battery pins against the serial alpha-beta
+oracle.  Before paying a task round-trip it probes the warm shared TT
+coordinator-side for an EXACT entry deep enough to answer the subtree
+outright — the cross-request amortization the ROADMAP's north star is
+about.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..cache.sharedmem import SharedMemoryTT
+from ..errors import ServeError
+from ..eval.cache import SharedMemoryEvalCache
+from ..games.base import Game, Position, RootedGame, SearchProblem, hash_key
+from ..obs import live as _live
+from ..parallel.multiproc import (
+    WorkerCaches,
+    _init_worker,
+    _run_task,
+    _TaskOutcome,
+    _unpack_stats,
+    build_worker_caches,
+    preferred_start_method,
+)
+from ..search.stats import SearchStats
+from ..search.transposition import Bound
+from .api import SearchRequest
+from .scheduler import IterationResult
+
+__all__ = ["EnginePool", "PoolEngine", "ResolvedPosition"]
+
+NEG_INF = float("-inf")
+POS_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class ResolvedPosition:
+    """A request's position, resolved against its workload's game."""
+
+    game: Game
+    position: Position
+    children: tuple[Position, ...]
+    sort_below_root: int
+
+
+class EnginePool:
+    """One warm multiprocess pool shared by every request of a service.
+
+    Args:
+        n_workers: worker-process count.
+        tt_mode: ``off``/``private``/``shared`` — ``shared`` (default)
+            is the point of the service: one warm
+            :class:`~repro.cache.sharedmem.SharedMemoryTT` spanning
+            requests, so repeated and overlapping queries collapse to
+            table hits.
+        tt_capacity: slot budget for the shared table.
+        eval_cache_mode: ``off``/``private``/``shared`` static-eval
+            cache for the workers.
+        eval_cache_capacity: entry budget for the eval cache.
+        batch_eval: batch frontier evaluations in worker subtree
+            searches.
+        start_method: multiprocessing start method (default prefers
+            ``fork``).
+        trace_mode: span-ring mode installed in every worker.
+
+    The pool accumulates run-independent accounting: per-worker busy
+    seconds keyed by stable worker index (same convention as
+    :class:`~repro.parallel.multiproc.MultiprocResult.per_worker`),
+    merged :class:`~repro.search.stats.SearchStats` over every task
+    result, and task/short-circuit counters.  :meth:`close` is
+    idempotent and tears down the executor and both shared segments;
+    the soak battery asserts nothing leaks past it.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        *,
+        tt_mode: str = "shared",
+        tt_capacity: int = 1 << 14,
+        eval_cache_mode: str = "off",
+        eval_cache_capacity: int = 1 << 14,
+        batch_eval: bool = False,
+        start_method: Optional[str] = None,
+        trace_mode: str = _live.TRACE_OFF,
+    ) -> None:
+        if n_workers < 1:
+            raise ServeError("need at least one worker process")
+        if trace_mode not in _live.TRACE_MODES:
+            raise ServeError(
+                f"unknown trace mode {trace_mode!r}; expected one of {_live.TRACE_MODES}"
+            )
+        self._n_workers = n_workers
+        self._trace_mode = trace_mode
+        self._mp_ctx = multiprocessing.get_context(
+            start_method or preferred_start_method()
+        )
+        self._caches: Optional[WorkerCaches] = build_worker_caches(
+            self._mp_ctx,
+            tt_mode=tt_mode,
+            tt_capacity=tt_capacity,
+            eval_cache_mode=eval_cache_mode,
+            eval_cache_capacity=eval_cache_capacity,
+            batch_eval=batch_eval,
+        )
+        self._executor: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
+            max_workers=n_workers,
+            mp_context=self._mp_ctx,
+            initializer=_init_worker,
+            initargs=(self._caches.tt_spec, self._caches.eval_spec, trace_mode),
+        )
+        self.stats = SearchStats()
+        #: Stable worker index -> {"pid", "applied"} busy seconds; the
+        #: service has no moot results, so there is no "wasted" split.
+        self.per_worker: dict[int, dict[str, float]] = {}
+        self._pid_index: dict[int, int] = {}
+        self.counters: dict[str, int] = {
+            "tasks_submitted": 0,
+            "tasks_completed": 0,
+            "tt_short_circuits": 0,
+        }
+        self._closed = False
+        self._final_counters: dict[str, int] = {}
+
+    # -- PersistentPool protocol -------------------------------------------
+
+    @property
+    def executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            raise ServeError("engine pool is closed")
+        return self._executor
+
+    @property
+    def shared_tt(self) -> Optional[SharedMemoryTT]:
+        return self._caches.shared_tt if self._caches is not None else None
+
+    @property
+    def shared_eval(self) -> Optional[SharedMemoryEvalCache]:
+        return self._caches.shared_eval if self._caches is not None else None
+
+    @property
+    def n_workers(self) -> int:
+        return self._n_workers
+
+    @property
+    def trace_mode(self) -> str:
+        return self._trace_mode
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- task submission ----------------------------------------------------
+
+    def submit_eval(
+        self, problem: SearchProblem, alpha: float = NEG_INF, beta: float = POS_INF
+    ) -> "Future[_TaskOutcome]":
+        """Ship one full subtree search to a warm worker process."""
+        future = self.executor.submit(_run_task, ("eval", problem, alpha, beta))
+        self.counters["tasks_submitted"] += 1
+        return future
+
+    def note_outcome(self, outcome: _TaskOutcome) -> float:
+        """Fold one task result into the pool's accounting; returns its value."""
+        _, value, packed, t_start, t_end, worker_pid, _, _ = outcome
+        self.stats.merge(_unpack_stats(packed))
+        index = self._pid_index.setdefault(worker_pid, len(self._pid_index))
+        split = self.per_worker.setdefault(
+            index, {"pid": float(worker_pid), "applied": 0.0}
+        )
+        split["applied"] += max(0.0, t_end - t_start)
+        self.counters["tasks_completed"] += 1
+        return value
+
+    def probe_exact(self, game: Game, position: Position, depth: int) -> Optional[float]:
+        """Answer a full-window subtree from the warm table, if it can.
+
+        Full-window searches only ever substitute EXACT entries (a
+        bound cannot answer an open window), proven at least ``depth``
+        deep — the same gate :func:`~repro.core.serial_er.er_search`
+        applies at the subtree's root, so a short-circuit here returns
+        exactly what the worker would have.
+        """
+        table = self.shared_tt
+        if table is None:
+            return None
+        entry = table.probe(hash_key(game, position))
+        if entry is None or entry.depth < depth or entry.bound is not Bound.EXACT:
+            return None
+        self.counters["tt_short_circuits"] += 1
+        return entry.value
+
+    def clear_caches(self) -> None:
+        """Zero the shared segments — the benchmark's "cold" mode.
+
+        Emptying the warm tables between requests isolates what cache
+        warmth contributes versus pool persistence, without paying (or
+        measuring) worker start-up.
+        """
+        tt = self.shared_tt
+        if tt is not None:
+            tt.clear()
+        cache = self.shared_eval
+        if cache is not None:
+            cache.clear()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> dict[str, int]:
+        """Shut down workers and destroy the shared segments; idempotent.
+
+        Returns the pool's final counters (task counts, short-circuits,
+        and the shared segments' cumulative hit/store totals).
+        """
+        if self._closed:
+            return dict(self._final_counters)
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+        final = dict(self.counters)
+        if self._caches is not None:
+            final.update(self._caches.teardown())
+            self._caches = None
+        self._final_counters = final
+        return dict(final)
+
+    def __enter__(self) -> "EnginePool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class PoolEngine:
+    """Per-iteration deepening engine over an :class:`EnginePool`.
+
+    Args:
+        pool: the warm pool to fan out on.
+        resolve: callback mapping a request to its
+            :class:`ResolvedPosition` (the server caches game instances
+            per workload and applies :func:`~repro.games.base.follow_path`).
+        span_ring: optional :class:`~repro.obs.live.SpanRing` receiving
+            one ``("serve", "iteration")`` span per iteration.
+    """
+
+    def __init__(
+        self,
+        pool: EnginePool,
+        resolve: Callable[[SearchRequest], ResolvedPosition],
+        *,
+        span_ring: Optional[_live.SpanRing] = None,
+    ) -> None:
+        self._pool = pool
+        self._resolve = resolve
+        self._ring = span_ring
+
+    async def run_iteration(
+        self, request: SearchRequest, depth: int
+    ) -> IterationResult:
+        """Evaluate every root move to ``depth - 1``; argmax the negations.
+
+        Mirrors one iteration of :meth:`repro.engine.GameEngine.choose`
+        exactly: each child subtree is searched full-window as its own
+        :class:`~repro.games.base.SearchProblem` rooted at the child,
+        values are negated into the mover's frame, and ties resolve to
+        the lowest move index.
+        """
+        t0 = time.perf_counter()
+        resolved = self._resolve(request)
+        loop = asyncio.get_running_loop()
+        pending: list[tuple[int, "asyncio.Future[_TaskOutcome]"]] = []
+        values: list[Optional[float]] = [None] * len(resolved.children)
+        for index, child in enumerate(resolved.children):
+            hit = self._pool.probe_exact(resolved.game, child, depth - 1)
+            if hit is not None:
+                values[index] = -hit
+                continue
+            problem = SearchProblem(
+                game=RootedGame(resolved.game, child),
+                depth=depth - 1,
+                sort_below_root=resolved.sort_below_root,
+            )
+            future = self._pool.submit_eval(problem)
+            pending.append((index, asyncio.wrap_future(future, loop=loop)))
+        for index, wrapped in pending:
+            outcome = await wrapped
+            values[index] = -self._pool.note_outcome(outcome)
+        iteration = [v for v in values if v is not None]
+        assert len(iteration) == len(values), "every child resolved to a value"
+        best_index = max(range(len(iteration)), key=iteration.__getitem__)
+        if self._ring is not None:
+            self._ring.record("serve", "iteration", t0, time.perf_counter())
+        return IterationResult(
+            move_index=best_index,
+            value=iteration[best_index],
+            per_move_values=tuple(iteration),
+        )

@@ -1,0 +1,433 @@
+"""The request scheduler: admission, priorities, deadlines, drain.
+
+The scheduler multiplexes concurrent :class:`~repro.serve.api.SearchRequest`s
+onto a bounded number of engine slots.  Its contract — pinned by the
+Hypothesis battery in ``tests/test_serve_scheduler.py`` — is:
+
+* **exactly-once resolution** — every submitted request's future is
+  resolved with exactly one reply: ``ok``/``error`` after running, or
+  ``shed`` with an explicit reason; nothing is silently dropped;
+* **admission control** — at most ``queue_limit`` requests wait; an
+  arrival beyond that either evicts the *newest* request of the lowest
+  waiting priority class (when the arrival outranks it) or is itself
+  rejected, so overload sheds the least valuable work first while FIFO
+  order within every class is preserved;
+* **deadline semantics** — deadlines gate *deepening*, not execution:
+  after every completed iteration the clock is checked, and an expired
+  request stops with the best move so far (``anytime``).  The first
+  iteration always runs, so an admitted request is never answered
+  without a move, and a deadline is honored within one deepening
+  iteration's latency;
+* **graceful drain** — :meth:`RequestScheduler.drain` stops admission
+  (new arrivals shed with reason ``shutdown``) and completes every
+  already-admitted request.
+
+The scheduler itself is single-threaded asyncio; the one genuinely
+cross-thread surface is :class:`ServeMetrics`, which the Prometheus
+scrape thread reads while the event loop writes.  Its lock and accesses
+are instrumented with the :mod:`repro.verify.trace` hooks, so the
+service test batteries run under the same race detector that checks the
+simulator's queues.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Awaitable, Callable, Optional, Protocol
+
+from ..errors import ServeError
+from ..obs import registry as _registry
+from ..verify import trace as _trace
+from .api import (
+    PRIORITIES,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_SHED,
+    SearchReply,
+    SearchRequest,
+)
+
+__all__ = [
+    "DeepeningEngine",
+    "IterationResult",
+    "RequestScheduler",
+    "ServeMetrics",
+]
+
+#: Scheduler counter names, in conservation order.  ``submitted ==
+#: completed + shed`` once every future has resolved; ``admitted ==
+#: completed + evicted`` and ``shed == rejected + evicted``.
+COUNTER_NAMES = (
+    "submitted",
+    "admitted",
+    "rejected",
+    "evicted",
+    "completed",
+    "failed",
+    "shed",
+    "deadline_hits",
+)
+
+
+@dataclass(frozen=True)
+class IterationResult:
+    """One completed deepening iteration's root decision."""
+
+    move_index: int
+    value: float
+    per_move_values: tuple[float, ...]
+
+
+class DeepeningEngine(Protocol):
+    """What the scheduler runs: one deepening iteration at a time.
+
+    ``run_iteration(request, depth)`` evaluates every root move of the
+    request's position to ``depth - 1`` and returns the argmax decision
+    — the same per-iteration contract as
+    :meth:`repro.engine.GameEngine.choose`.  Splitting the search at
+    iteration granularity is what gives the scheduler its anytime
+    deadline point without reaching inside a search.
+    """
+
+    def run_iteration(
+        self, request: SearchRequest, depth: int
+    ) -> Awaitable[IterationResult]: ...
+
+
+class ServeMetrics:
+    """Thread-safe service metrics: loop-thread writers, scrape-thread readers.
+
+    A thin lock around a :class:`~repro.obs.registry.MetricsRegistry`,
+    with every acquisition and access reported to the
+    :mod:`repro.verify.trace` hooks under stable names
+    (``serve-metrics`` lock, ``serve.<metric>`` locations) so the race
+    detector can verify the locking discipline end to end.
+    """
+
+    def __init__(self, registry: Optional[_registry.MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else _registry.MetricsRegistry()
+        self._lock = threading.Lock()
+
+    def _acquired(self) -> None:
+        if _trace.CURRENT is not None:
+            _trace.on_acquire("serve-metrics")
+
+    def _releasing(self) -> None:
+        if _trace.CURRENT is not None:
+            _trace.on_release("serve-metrics")
+
+    def bump(self, name: str, amount: float = 1.0) -> None:
+        with self._lock:
+            self._acquired()
+            if _trace.CURRENT is not None:
+                _trace.on_access(f"serve.{name}", _trace.WRITE)
+            self.registry.counter(f"serve.{name}").inc(amount)
+            self._releasing()
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            self._acquired()
+            if _trace.CURRENT is not None:
+                _trace.on_access(f"serve.{name}", _trace.WRITE)
+            self.registry.histogram(f"serve.{name}").observe(value)
+            self._releasing()
+
+    def sample(self, name: str, ts: float, value: float) -> None:
+        """Record an instantaneous quantity as gauge + time series."""
+        with self._lock:
+            self._acquired()
+            if _trace.CURRENT is not None:
+                _trace.on_access(f"serve.{name}", _trace.WRITE)
+            self.registry.gauge(f"serve.{name}.current").set(value)
+            self.registry.timeseries(f"serve.{name}").sample(ts, value)
+            self._releasing()
+
+    def collect(self) -> dict[str, _registry.MetricValue]:
+        """Consistent snapshot for the Prometheus endpoint."""
+        with self._lock:
+            self._acquired()
+            if _trace.CURRENT is not None:
+                _trace.on_access("serve.registry", _trace.READ)
+            out = self.registry.collect()
+            self._releasing()
+            return out
+
+
+@dataclass
+class _Ticket:
+    """One admitted request waiting for (or holding) an engine slot."""
+
+    request: SearchRequest
+    future: "asyncio.Future[SearchReply]"
+    admitted_at: float
+
+
+class RequestScheduler:
+    """Admission control and deadline-aware execution over an engine.
+
+    Args:
+        engine: the per-iteration search backend.
+        max_concurrency: engine slots — requests deepening at once.
+            Iterations of concurrent requests interleave on the shared
+            pool, so this is the service's multiprogramming level, not
+            a core count.
+        queue_limit: waiting requests beyond the running ones before
+            load shedding begins.
+        clock: injectable monotonic clock (tests drive a fake one).
+        metrics: shared :class:`ServeMetrics`; one is created if absent.
+    """
+
+    def __init__(
+        self,
+        engine: DeepeningEngine,
+        *,
+        max_concurrency: int = 2,
+        queue_limit: int = 32,
+        clock: Optional[Callable[[], float]] = None,
+        metrics: Optional[ServeMetrics] = None,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ServeError("max_concurrency must be at least 1")
+        if queue_limit < 0:
+            raise ServeError("queue_limit must be non-negative")
+        self._engine = engine
+        self._max_concurrency = max_concurrency
+        self._queue_limit = queue_limit
+        self._clock: Callable[[], float] = clock if clock is not None else time.monotonic
+        self.metrics = metrics if metrics is not None else ServeMetrics()
+        #: One FIFO per priority class; dispatch serves the highest
+        #: non-empty class, shedding evicts from the lowest.
+        self._queues: dict[int, deque[_Ticket]] = {p: deque() for p in PRIORITIES}
+        self._running = 0
+        self._tasks: set["asyncio.Task[None]"] = set()
+        self._draining = False
+        self._idle_event: Optional[asyncio.Event] = None
+        self.counters: dict[str, int] = {name: 0 for name in COUNTER_NAMES}
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+        self.metrics.bump(f"requests.{name}", float(amount))
+
+    def _queued(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    @property
+    def in_flight(self) -> int:
+        """Requests admitted but not yet resolved."""
+        return self._queued() + self._running
+
+    def _note_depth(self) -> None:
+        self.metrics.sample("queue.depth", self._clock(), float(self._queued()))
+
+    def _shed(self, ticket_or_request: object, reason: str) -> SearchReply:
+        if isinstance(ticket_or_request, _Ticket):
+            request = ticket_or_request.request
+        else:
+            assert isinstance(ticket_or_request, SearchRequest)
+            request = ticket_or_request
+        return SearchReply(
+            request_id=request.request_id, status=STATUS_SHED, detail=reason
+        )
+
+    # -- submission ---------------------------------------------------------
+
+    async def submit(self, request: SearchRequest) -> SearchReply:
+        """Admit (or shed) ``request`` and await its one reply."""
+        return await self.submit_nowait(request)
+
+    def submit_nowait(self, request: SearchRequest) -> "asyncio.Future[SearchReply]":
+        """Admission decision now; the returned future resolves exactly once."""
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[SearchReply]" = loop.create_future()
+        self._count("submitted")
+        if self._draining:
+            self._count("rejected")
+            self._count("shed")
+            future.set_result(self._shed(request, "shutdown"))
+            return future
+        if self._running >= self._max_concurrency and self._queued() >= self._queue_limit:
+            victim = self._eviction_victim(request.priority)
+            if victim is None:
+                # The arrival itself is the least valuable waiter.
+                self._count("rejected")
+                self._count("shed")
+                future.set_result(self._shed(request, "rejected"))
+                return future
+            self._count("evicted")
+            self._count("shed")
+            victim.future.set_result(self._shed(victim, "evicted"))
+            self._note_depth()
+        self._count("admitted")
+        ticket = _Ticket(request=request, future=future, admitted_at=self._clock())
+        self._queues[request.priority].append(ticket)
+        self._note_depth()
+        self._pump(loop)
+        return future
+
+    def _eviction_victim(self, arriving_priority: int) -> Optional[_Ticket]:
+        """Newest waiter of the lowest class the arrival outranks, if any.
+
+        Evicting the *newest* of a class keeps the survivors' FIFO
+        order intact — fairness within a class is never reordered by
+        shedding.
+        """
+        for priority in PRIORITIES:
+            if priority >= arriving_priority:
+                return None
+            queue = self._queues[priority]
+            if queue:
+                return queue.pop()
+        return None
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _pump(self, loop: asyncio.AbstractEventLoop) -> None:
+        while self._running < self._max_concurrency:
+            ticket = self._next_ticket()
+            if ticket is None:
+                break
+            self._running += 1
+            task = loop.create_task(self._run(ticket))
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+
+    def _next_ticket(self) -> Optional[_Ticket]:
+        for priority in reversed(PRIORITIES):
+            queue = self._queues[priority]
+            if queue:
+                ticket = queue.popleft()
+                self._note_depth()
+                return ticket
+        return None
+
+    async def _run(self, ticket: _Ticket) -> None:
+        request = ticket.request
+        started_at = self._clock()
+        queue_wait = max(0.0, started_at - ticket.admitted_at)
+        best: Optional[IterationResult] = None
+        depth_reached = 0
+        anytime = False
+        failure = ""
+        try:
+            for depth in range(1, request.max_depth + 1):
+                best = await self._engine.run_iteration(request, depth)
+                depth_reached = depth
+                if (
+                    request.deadline_s is not None
+                    and depth < request.max_depth
+                    and self._clock() - ticket.admitted_at >= request.deadline_s
+                ):
+                    anytime = True
+                    self._count("deadline_hits")
+                    break
+        except asyncio.CancelledError:
+            # Scheduler teardown mustn't leave an unresolved future.
+            # Counted as an eviction so the shed = rejected + evicted
+            # conservation law covers hard aborts too.
+            if not ticket.future.done():
+                self._count("evicted")
+                self._count("shed")
+                ticket.future.set_result(self._shed(ticket, "cancelled"))
+            raise
+        except Exception as error:  # noqa: BLE001 - converted to an error reply
+            failure = repr(error)
+        finally:
+            self._running -= 1
+        latency = max(0.0, self._clock() - ticket.admitted_at)
+        self.metrics.observe("latency_seconds", latency)
+        self.metrics.observe("queue_wait_seconds", queue_wait)
+        if failure or best is None:
+            self._count("completed")
+            self._count("failed")
+            reply = SearchReply(
+                request_id=request.request_id,
+                status=STATUS_ERROR,
+                latency_s=latency,
+                queue_wait_s=queue_wait,
+                detail=failure or "engine produced no iteration",
+            )
+        else:
+            self._count("completed")
+            reply = SearchReply(
+                request_id=request.request_id,
+                status=STATUS_OK,
+                move_index=best.move_index,
+                value=best.value,
+                depth_reached=depth_reached,
+                per_move_values=best.per_move_values,
+                latency_s=latency,
+                queue_wait_s=queue_wait,
+                anytime=anytime,
+            )
+        if not ticket.future.done():
+            ticket.future.set_result(reply)
+        loop = asyncio.get_running_loop()
+        self._pump(loop)
+        if self.in_flight == 0 and self._idle_event is not None:
+            self._idle_event.set()
+
+    # -- shutdown -----------------------------------------------------------
+
+    async def drain(self) -> None:
+        """Stop admission and complete every admitted request.
+
+        Idempotent; returns once no request is queued or running.  New
+        submissions during (and after) the drain are shed with reason
+        ``shutdown``.
+        """
+        self._draining = True
+        if self.in_flight == 0:
+            return
+        if self._idle_event is None:
+            self._idle_event = asyncio.Event()
+        while self.in_flight > 0:
+            self._idle_event.clear()
+            await self._idle_event.wait()
+
+    async def abort(self) -> None:
+        """Hard stop: shed the queue, cancel running work, resolve everything."""
+        self._draining = True
+        for queue in self._queues.values():
+            while queue:
+                ticket = queue.pop()
+                self._count("evicted")
+                self._count("shed")
+                ticket.future.set_result(self._shed(ticket, "shutdown"))
+        self._note_depth()
+        for task in list(self._tasks):
+            task.cancel()
+        for task in list(self._tasks):
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+
+    def conservation_problems(self) -> list[str]:
+        """Counter-conservation violations; [] when the books balance.
+
+        Meaningful once every submitted request has resolved (e.g.
+        after :meth:`drain`).
+        """
+        c = self.counters
+        problems: list[str] = []
+        if c["submitted"] != c["completed"] + c["shed"]:
+            problems.append(
+                f"submitted {c['submitted']} != completed {c['completed']} "
+                f"+ shed {c['shed']}"
+            )
+        if c["shed"] != c["rejected"] + c["evicted"]:
+            problems.append(
+                f"shed {c['shed']} != rejected {c['rejected']} "
+                f"+ evicted {c['evicted']}"
+            )
+        if c["admitted"] < c["completed"]:
+            problems.append(
+                f"completed {c['completed']} exceeds admitted {c['admitted']}"
+            )
+        return problems

@@ -1,0 +1,324 @@
+"""Synthetic traffic: deterministic request traces and the serving report.
+
+The throughput claims of the serve layer need a reproducible load, so
+:func:`generate_trace` derives a request sequence entirely from a seed:
+which workload, which position (random walks from the root, with a
+tunable fraction of *repeats* — the traffic shape that makes a warm
+shared transposition table pay), which priority, and which deadlines.
+:func:`run_trace` drives a trace through a running
+:class:`~repro.serve.server.SearchService` and folds the replies into a
+:class:`TrafficReport` — requests/s plus nearest-rank p50/p95/p99
+latency percentiles, the numbers ``repro bench-traffic`` prints and the
+run ledger records via :func:`repro.obs.ledger.service_block`.
+
+:func:`service_snapshot` renders the run as a
+:class:`~repro.obs.snapshot.Snapshot` (backend ``serve``, wall-clock
+seconds) so the same ledger/compare machinery that watches the search
+backends watches the service too.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import random
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from .client import ServiceClient
+
+from ..errors import ServeError
+from ..games.base import Game
+from ..obs.snapshot import SECONDS, ProcBreakdown, Snapshot, work_dict
+from .api import (
+    PRIORITIES,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_SHED,
+    SearchReply,
+    SearchRequest,
+)
+from .server import SearchService, ServeWorkload
+
+__all__ = [
+    "TrafficReport",
+    "TrafficSpec",
+    "generate_trace",
+    "percentile",
+    "run_trace",
+    "run_trace_client",
+    "service_snapshot",
+]
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Shape of a synthetic request trace — fully determined by ``seed``.
+
+    Attributes:
+        workloads: catalog names to draw from.
+        n_requests: trace length.
+        seed: the only source of randomness.
+        max_depth: iterative-deepening depth for every request.  One
+            depth per trace keeps cross-request transposition-table
+            reuse exact (entries stored by one request are probed at
+            the same depths by the next — see the parity battery).
+        max_path_len: longest random walk from a workload root when
+            minting a fresh position.
+        repeat_fraction: probability a request re-asks a position the
+            trace already issued — the knob that separates warm-cache
+            serving from a stream of never-seen positions.
+        deadline_s / deadline_fraction: this fraction of requests
+            carries this deadline.
+        priority_weights: relative weights for (low, normal, high).
+    """
+
+    workloads: tuple[str, ...]
+    n_requests: int
+    seed: int = 0
+    max_depth: int = 3
+    max_path_len: int = 2
+    repeat_fraction: float = 0.5
+    deadline_s: Optional[float] = None
+    deadline_fraction: float = 0.0
+    priority_weights: tuple[float, float, float] = (1.0, 2.0, 1.0)
+
+    def __post_init__(self) -> None:
+        if not self.workloads:
+            raise ServeError("a traffic spec needs at least one workload")
+        if self.n_requests < 1:
+            raise ServeError("n_requests must be positive")
+        if not 0.0 <= self.repeat_fraction <= 1.0:
+            raise ServeError("repeat_fraction must be in [0, 1]")
+        if not 0.0 <= self.deadline_fraction <= 1.0:
+            raise ServeError("deadline_fraction must be in [0, 1]")
+
+
+def _fresh_path(rng: random.Random, game: Game, max_len: int) -> tuple[int, ...]:
+    """Random walk from the root, stopping before any childless position."""
+    path: list[int] = []
+    position = game.root()
+    for _ in range(rng.randint(0, max_len)):
+        children = game.children(position)
+        if not children:
+            break
+        # Only step somewhere searchable: the destination must itself
+        # have legal moves, or the request would be unanswerable.
+        step = rng.randrange(len(children))
+        candidate = children[step]
+        if not game.children(candidate):
+            break
+        path.append(step)
+        position = candidate
+    return tuple(path)
+
+
+def generate_trace(
+    spec: TrafficSpec, catalog: Mapping[str, ServeWorkload]
+) -> list[SearchRequest]:
+    """Materialize a deterministic request list from a spec.
+
+    The same (spec, catalog) always yields the same trace, so warm and
+    cold benchmark arms serve *identical* request sequences.
+    """
+    for name in spec.workloads:
+        if name not in catalog:
+            raise ServeError(f"traffic spec names unknown workload {name!r}")
+    rng = random.Random(spec.seed)
+    games = {name: catalog[name].make_game() for name in spec.workloads}
+    issued: list[tuple[str, tuple[int, ...]]] = []
+    requests: list[SearchRequest] = []
+    for index in range(spec.n_requests):
+        if issued and rng.random() < spec.repeat_fraction:
+            workload, path = issued[rng.randrange(len(issued))]
+        else:
+            workload = spec.workloads[rng.randrange(len(spec.workloads))]
+            path = _fresh_path(rng, games[workload], spec.max_path_len)
+            issued.append((workload, path))
+        priority = rng.choices(PRIORITIES, weights=spec.priority_weights)[0]
+        deadline = (
+            spec.deadline_s
+            if spec.deadline_s is not None and rng.random() < spec.deadline_fraction
+            else None
+        )
+        requests.append(
+            SearchRequest(
+                request_id=f"t{index:06d}",
+                workload=workload,
+                path=path,
+                max_depth=spec.max_depth,
+                deadline_s=deadline,
+                priority=priority,
+            )
+        )
+    return requests
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of an ascending sequence."""
+    if not sorted_values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ServeError(f"percentile {q!r} out of range")
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
+    return float(sorted_values[min(rank, len(sorted_values)) - 1])
+
+
+@dataclass(frozen=True)
+class TrafficReport:
+    """What one trace run measured."""
+
+    requests: int
+    admitted: int
+    completed: int
+    ok: int
+    shed: int
+    errors: int
+    anytime: int
+    wall_s: float
+    rps: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+
+    def service_fields(self) -> dict[str, object]:
+        """Keyword arguments for :func:`repro.obs.ledger.service_block`."""
+        return {
+            "requests": self.requests,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "shed": self.shed,
+            "rps": self.rps,
+            "p50_s": self.p50_s,
+            "p95_s": self.p95_s,
+            "p99_s": self.p99_s,
+        }
+
+    def render(self, title: str) -> str:
+        """Human-readable run summary for benchmark result files."""
+        lines = [
+            title,
+            "-" * len(title),
+            f"requests   {self.requests}",
+            f"admitted   {self.admitted}",
+            f"completed  {self.completed} (ok {self.ok}, errors {self.errors}, "
+            f"anytime {self.anytime})",
+            f"shed       {self.shed}",
+            f"wall       {self.wall_s:.3f} s",
+            f"throughput {self.rps:.1f} req/s",
+            f"latency    p50 {self.p50_s * 1e3:.1f} ms | "
+            f"p95 {self.p95_s * 1e3:.1f} ms | p99 {self.p99_s * 1e3:.1f} ms",
+        ]
+        return "\n".join(lines)
+
+
+def _fold_replies(
+    trace: Sequence[SearchRequest],
+    replies: Sequence[SearchReply],
+    wall: float,
+    admitted: int,
+) -> TrafficReport:
+    ok = [r for r in replies if r.status == STATUS_OK]
+    shed = sum(1 for r in replies if r.status == STATUS_SHED)
+    errors = sum(1 for r in replies if r.status == STATUS_ERROR)
+    latencies = sorted(r.latency_s for r in ok)
+    return TrafficReport(
+        requests=len(trace),
+        admitted=admitted,
+        completed=len(ok) + errors,
+        ok=len(ok),
+        shed=shed,
+        errors=errors,
+        anytime=sum(1 for r in ok if r.anytime),
+        wall_s=wall,
+        rps=len(replies) / wall,
+        p50_s=percentile(latencies, 50),
+        p95_s=percentile(latencies, 95),
+        p99_s=percentile(latencies, 99),
+    )
+
+
+async def run_trace(service: SearchService, trace: Sequence[SearchRequest]) -> TrafficReport:
+    """Serve a whole trace concurrently through the in-process path.
+
+    All requests are submitted at once — admission control, not the
+    caller, decides what runs, queues, or sheds — and the clock covers
+    first submission to last reply.
+    """
+    if service.scheduler is None:
+        raise ServeError("service must be started before running traffic")
+    admitted_before = service.scheduler.counters["admitted"]
+    t0 = time.perf_counter()
+    replies: list[SearchReply] = await asyncio.gather(
+        *(service.handle(request) for request in trace)
+    )
+    wall = max(time.perf_counter() - t0, 1e-9)
+    admitted = service.scheduler.counters["admitted"] - admitted_before
+    return _fold_replies(trace, replies, wall, admitted)
+
+
+async def run_trace_client(
+    client: "ServiceClient", trace: Sequence[SearchRequest]
+) -> TrafficReport:
+    """Drive a trace over the wire against a remote service.
+
+    Same measurement as :func:`run_trace`, with the admitted count
+    recovered from the server's ``stats`` op (delta around the run).
+    """
+    before = await client.stats()
+    t0 = time.perf_counter()
+    replies: list[SearchReply] = await asyncio.gather(
+        *(client.search(request) for request in trace)
+    )
+    wall = max(time.perf_counter() - t0, 1e-9)
+    after = await client.stats()
+    admitted = int(str(after.get("admitted", 0))) - int(str(before.get("admitted", 0)))
+    return _fold_replies(trace, replies, wall, admitted)
+
+
+def service_snapshot(
+    service: SearchService, report: TrafficReport, *, workload: str
+) -> Snapshot:
+    """Normalize a traffic run into the ledger's :class:`Snapshot` shape.
+
+    Wall-clock semantics like the multiproc backend: per-worker busy
+    seconds come from task timestamps; workers that never got a task
+    appear as all-idle rows, and loss categories the service does not
+    measure are zero.
+    """
+    pool = service.pool
+    if pool is None:
+        raise ServeError("service has no pool to snapshot")
+    processors = []
+    for index in range(pool.n_workers):
+        split = pool.per_worker.get(index, {"pid": float(-1 - index), "applied": 0.0})
+        processors.append(
+            ProcBreakdown(
+                pid=int(split["pid"]),
+                busy=min(split["applied"], report.wall_s),
+                starvation=0.0,
+                interference=0.0,
+                speculative=0.0,
+                tail_idle=max(0.0, report.wall_s - split["applied"]),
+                finish_time=report.wall_s,
+            )
+        )
+    counters: dict[str, float] = {
+        name: float(count)
+        for name, count in (service.scheduler.counters if service.scheduler else {}).items()
+    }
+    for name, count in pool.counters.items():
+        counters[f"pool_{name}"] = float(count)
+    return Snapshot(
+        backend="serve",
+        time_unit=SECONDS,
+        workload=workload,
+        n_processors=pool.n_workers,
+        makespan=report.wall_s,
+        value=0.0,
+        processors=tuple(processors),
+        counters=counters,
+        work=work_dict(pool.stats),
+    )

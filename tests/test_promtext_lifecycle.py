@@ -1,0 +1,97 @@
+"""Regression battery for the MetricsServer start/stop lifecycle.
+
+The original server hung forever if ``stop()`` ran before ``start()``
+(``socketserver.shutdown()`` waits on an event only ``serve_forever``
+sets) and leaked the port on double-stop paths.  These tests pin the
+repaired contract: idempotent start, deterministic stop from any state,
+immediate port rebind after stop, no restart after stop, and a clear
+error when the port is taken.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.promtext import MetricsServer
+
+
+def _collect() -> dict[str, float]:
+    return {"demo.count": 3.0}
+
+
+def _scrape(url: str) -> str:
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.read().decode("utf-8")
+
+
+class TestLifecycle:
+    def test_stop_before_start_returns_immediately(self) -> None:
+        server = MetricsServer(_collect)
+        done = threading.Event()
+
+        def stopper() -> None:
+            server.stop()  # historically hung forever here
+            done.set()
+
+        thread = threading.Thread(target=stopper, daemon=True)
+        thread.start()
+        assert done.wait(timeout=5.0), "stop() before start() must not block"
+        thread.join(timeout=5.0)
+
+    def test_start_is_idempotent(self) -> None:
+        server = MetricsServer(_collect)
+        try:
+            assert server.start() is server
+            assert server.start() is server  # no second serving thread
+            threads = [
+                t for t in threading.enumerate() if t.name == "repro-metrics"
+            ]
+            assert len(threads) == 1
+            assert "repro_demo_count 3" in _scrape(server.url)
+        finally:
+            server.stop()
+
+    def test_stop_is_idempotent_and_releases_port(self) -> None:
+        server = MetricsServer(_collect)
+        server.start()
+        port = server.port
+        server.stop()
+        server.stop()  # second stop is a no-op, not an error
+        # Deterministic release: the port is rebindable right now.
+        rebound = MetricsServer(_collect, port=port)
+        try:
+            rebound.start()
+            assert rebound.port == port
+            assert "repro_demo_count 3" in _scrape(rebound.url)
+        finally:
+            rebound.stop()
+
+    def test_start_after_stop_raises(self) -> None:
+        server = MetricsServer(_collect)
+        server.start()
+        server.stop()
+        with pytest.raises(OSError, match="cannot restart"):
+            server.start()
+
+    def test_port_conflict_raises_named_oserror(self) -> None:
+        holder = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            holder.bind(("127.0.0.1", 0))
+            holder.listen(1)
+            taken = holder.getsockname()[1]
+            with pytest.raises(OSError, match=f"127.0.0.1:{taken}"):
+                MetricsServer(_collect, port=taken)
+        finally:
+            holder.close()
+
+    def test_context_manager_serves_and_stops(self) -> None:
+        with MetricsServer(_collect) as server:
+            url = server.url
+            assert "repro_demo_count 3" in _scrape(url)
+        with pytest.raises(urllib.error.URLError):
+            _scrape(url)  # endpoint gone after the with-block

@@ -1,0 +1,228 @@
+"""Cross-request parity: the service path against the serial oracle.
+
+Extends the backend-parity grid (``test_backend_parity.CASES``) to the
+search service: N interleaved concurrent requests over mixed games and
+seeds must each report exactly the move and per-move values the serial
+alpha-beta :class:`~repro.engine.GameEngine` picks for the same
+position at the same depth — with and without a warm shared
+transposition table spanning the requests.
+
+Catalog rules for the warm (shared-TT) battery:
+
+* every synthetic tree in one catalog carries a distinct seed, because
+  the tree families all key the table with ``path_hash(seed, path)`` —
+  two trees sharing a seed share keys for overlapping paths, and a
+  cross-workload hit would be a genuine collision, not a transposition;
+* within one workload every request uses one ``max_depth``, so the
+  deepest entry ever stored at a child root is exactly the depth the
+  next request's final iteration probes;
+* only games whose position fixes its ply qualify (path-keyed trees,
+  piece-count games like tic-tac-toe and Connect Four).  Nim is
+  excluded on purpose: taking several objects in one move makes the
+  same position reachable at *different plies*, the table then holds a
+  deeper proof for it, and the probe gate's depth-``>=`` acceptance
+  legitimately substitutes that deeper value — sound for play,
+  but a different quantity than this fixed-depth oracle.  Nim stays in
+  the no-table battery below.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+import test_backend_parity as grid
+from repro.engine import EngineConfig, GameEngine, MoveChoice
+from repro.serve import (
+    SearchRequest,
+    SearchService,
+    ServeConfig,
+    ServeWorkload,
+)
+from repro.verify import trace as _trace
+from repro.verify.racedetect import analyze
+
+#: Case ids safe to serve from ONE shared transposition table: distinct
+#: seeds for the path-hashed synthetic trees, Zobrist-keyed board games.
+WARM_SAFE_IDS = (
+    "rand-d2h4s0",
+    "rand-d3h4s1",
+    "rand-d4h3s2",
+    "rand-d2h5s3",
+    "explicit-fig6",
+    "tictactoe-d3",
+    "connect4-4x4d3",
+    "othello-O1d2",
+)
+
+#: A wider mix for the no-TT battery (seed collisions and variable-ply
+#: transpositions are harmless with no table).
+COLD_IDS = WARM_SAFE_IDS + (
+    "rand-d2h4s1",
+    "incr-d3h3s0",
+    "synth-s0",
+    "nim-2_3d3",
+    "explicit-ragged",
+    "explicit-ties",
+)
+
+
+def _case_factories() -> dict[str, object]:
+    return {param.id: param.values[0] for param in grid.CASES}
+
+
+def build_catalog(ids: tuple[str, ...]) -> tuple[dict[str, ServeWorkload], dict[str, int]]:
+    """Instantiate grid cases as service workloads; returns (catalog, depths)."""
+    factories = _case_factories()
+    catalog: dict[str, ServeWorkload] = {}
+    depths: dict[str, int] = {}
+    for case_id in ids:
+        problem = factories[case_id]()  # type: ignore[operator]
+        catalog[case_id] = ServeWorkload(
+            name=case_id,
+            make_game=lambda game=problem.game: game,
+            sort_below_root=problem.sort_below_root,
+            default_depth=problem.depth,
+        )
+        depths[case_id] = problem.depth
+    return catalog, depths
+
+
+def oracle_choices(
+    catalog: dict[str, ServeWorkload], depths: dict[str, int]
+) -> dict[str, MoveChoice]:
+    """Serial alpha-beta engine decision per workload — the ground truth."""
+    choices: dict[str, MoveChoice] = {}
+    for name, workload in catalog.items():
+        game = workload.make_game()
+        engine = GameEngine(
+            game,
+            EngineConfig(
+                algorithm="alphabeta",
+                max_depth=depths[name],
+                sort_below_root=workload.sort_below_root,
+            ),
+        )
+        choices[name] = engine.choose(game.root())
+    return choices
+
+
+def serve_rounds(
+    catalog: dict[str, ServeWorkload],
+    depths: dict[str, int],
+    *,
+    tt_mode: str,
+    rounds: int,
+) -> tuple[list[SearchRequest], list, dict[str, int]]:
+    """Interleave ``rounds`` concurrent requests per workload through a service."""
+    config = ServeConfig(
+        n_workers=3,
+        max_concurrency=4,
+        queue_limit=len(catalog) * rounds + 1,
+        tt_mode=tt_mode,
+    )
+    requests = [
+        SearchRequest(
+            request_id=f"{name}#{round_index}",
+            workload=name,
+            max_depth=depths[name],
+        )
+        for round_index in range(rounds)
+        for name in catalog
+    ]
+
+    async def run() -> list:
+        async with SearchService(config, catalog=catalog) as service:
+            replies = await asyncio.gather(
+                *(service.handle(request) for request in requests)
+            )
+            assert service.scheduler is not None
+            assert service.scheduler.conservation_problems() == []
+        return replies
+
+    replies = asyncio.run(run())
+    return requests, replies, {}
+
+
+def assert_replies_match_oracle(requests, replies, oracle) -> None:
+    assert len(replies) == len(requests)
+    for request, reply in zip(requests, replies):
+        truth = oracle[request.workload]
+        tag = f"{request.request_id} (workload {request.workload})"
+        assert reply.status == "ok", f"{tag}: {reply.status} ({reply.detail})"
+        assert reply.depth_reached == request.max_depth, tag
+        assert reply.per_move_values == truth.per_move_values, (
+            f"{tag}: service values {reply.per_move_values} != "
+            f"oracle {truth.per_move_values}"
+        )
+        assert reply.move_index == truth.move_index, tag
+        assert reply.value == truth.value, tag
+
+
+def test_concurrent_requests_match_serial_oracle_no_tt() -> None:
+    """Interleaved mixed-game requests, no table: exact oracle parity."""
+    catalog, depths = build_catalog(COLD_IDS)
+    oracle = oracle_choices(catalog, depths)
+    requests, replies, _ = serve_rounds(catalog, depths, tt_mode="off", rounds=2)
+    assert_replies_match_oracle(requests, replies, oracle)
+
+
+def test_concurrent_requests_match_serial_oracle_warm_shared_tt() -> None:
+    """Three rounds over one warm shared TT: reuse must not change values."""
+    catalog, depths = build_catalog(WARM_SAFE_IDS)
+    oracle = oracle_choices(catalog, depths)
+
+    config = ServeConfig(
+        n_workers=3,
+        max_concurrency=4,
+        queue_limit=len(catalog) * 3 + 1,
+        tt_mode="shared",
+        tt_capacity=1 << 15,
+    )
+    requests = [
+        SearchRequest(
+            request_id=f"{name}#{round_index}",
+            workload=name,
+            max_depth=depths[name],
+        )
+        for round_index in range(3)
+        for name in catalog
+    ]
+
+    async def run() -> tuple[list, dict[str, int]]:
+        async with SearchService(config, catalog=catalog) as service:
+            replies = await asyncio.gather(
+                *(service.handle(request) for request in requests)
+            )
+            assert service.scheduler is not None
+            assert service.scheduler.conservation_problems() == []
+        return replies, service.final_counters
+
+    replies, final = asyncio.run(run())
+    assert_replies_match_oracle(requests, replies, oracle)
+    # The warm table actually worked across requests: later rounds hit
+    # entries the earlier rounds stored.
+    assert final.get("tt_hits", 0) > 0, f"shared TT never hit: {final}"
+
+
+def test_service_parity_round_is_race_clean() -> None:
+    """One parity round under the race detector (ServeMetrics discipline)."""
+    catalog, depths = build_catalog(("explicit-fig6", "rand-d2h4s0", "tictactoe-d3"))
+    oracle = oracle_choices(catalog, depths)
+    with _trace.tracing() as recorder:
+        requests, replies, _ = serve_rounds(
+            catalog, depths, tt_mode="shared", rounds=2
+        )
+    assert_replies_match_oracle(requests, replies, oracle)
+    report = analyze(recorder.events)
+    assert report.ok, report.summary()
+
+
+@pytest.mark.parametrize("case_id", WARM_SAFE_IDS)
+def test_single_request_parity_per_case(case_id: str) -> None:
+    """Each warm-battery case individually matches the oracle end to end."""
+    catalog, depths = build_catalog((case_id,))
+    oracle = oracle_choices(catalog, depths)
+    requests, replies, _ = serve_rounds(catalog, depths, tt_mode="shared", rounds=1)
+    assert_replies_match_oracle(requests, replies, oracle)
