@@ -74,7 +74,7 @@ def record_ledger():
     root = RESULTS_DIR.parent.parent
     directory = root / "results" / "ledger"
 
-    def write(snap, *, workload, scale, seed=None, config=None, service=None):
+    def write(snap, *, workload, scale, seed=None, config=None, service=None, latency=None):
         record = ledger.make_record(
             snap,
             workload=workload,
@@ -82,6 +82,7 @@ def record_ledger():
             seed=seed,
             config=config,
             service=service,
+            latency=latency,
         )
         problems = ledger.validate_record(record)
         assert problems == [], "\n".join(problems)

@@ -1,0 +1,132 @@
+"""Request-tracing overhead budget on the serving path.
+
+PR 10 threads a trace tag through every pool submission and collects
+tagged worker spans, offset estimates, and per-request timing on the
+serving path.  All of that must be effectively free: with
+``trace_mode="off"`` the task payloads are byte-identical to the
+untagged protocol, and with ``trace_mode="full"`` the tag is one short
+string per submission plus ring records the workers already paid for.
+
+The budget is asserted the same way as the span-ring benchmark
+(``test_bench_trace_overhead.py``): each round serves the *same*
+deterministic trace through a traced and an untraced service
+back-to-back (temporally adjacent arms see the same machine load), and
+the minimum per-round traced/untraced wall ratio carries the assertion
+— wall noise only ever inflates a ratio, so the least-contaminated
+round estimates the intrinsic overhead.  The median is reported for
+drift-watching.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import statistics
+
+from repro.obs import live
+from repro.serve import SearchService, ServeConfig
+from repro.serve.traffic import TrafficSpec, generate_trace, run_trace
+
+#: Traced serving may cost at most this factor of untraced wall time.
+OVERHEAD_BUDGET = 1.05
+
+#: Interleaved measurement rounds (minimum of per-round ratios asserted).
+ROUNDS = 5
+
+SPEC = TrafficSpec(
+    workloads=("R1", "R3"),
+    n_requests=30,
+    seed=2026,
+    max_depth=3,
+    max_path_len=2,
+    repeat_fraction=0.5,
+)
+
+_BASE = ServeConfig(
+    n_workers=2,
+    max_concurrency=4,
+    queue_limit=128,
+    tt_mode="shared",
+    eval_cache_mode="shared",
+)
+
+
+async def _serve_rounds() -> dict[str, list[float]]:
+    """Wall seconds per arm per round, arms interleaved within a round.
+
+    Both services stay up across rounds (their caches warm during the
+    round-0 discard), so later rounds measure the steady state the
+    budget is about — tag propagation and span collection, not pool
+    spin-up.
+    """
+    walls: dict[str, list[float]] = {live.TRACE_OFF: [], live.TRACE_FULL: []}
+    configs = {
+        live.TRACE_OFF: _BASE,
+        live.TRACE_FULL: ServeConfig(
+            n_workers=_BASE.n_workers,
+            max_concurrency=_BASE.max_concurrency,
+            queue_limit=_BASE.queue_limit,
+            tt_mode=_BASE.tt_mode,
+            eval_cache_mode=_BASE.eval_cache_mode,
+            trace_mode=live.TRACE_FULL,
+        ),
+    }
+    services = {mode: SearchService(configs[mode]) for mode in walls}
+    try:
+        for service in services.values():
+            await service.start()
+        traces = {
+            mode: generate_trace(SPEC, service.catalog)
+            for mode, service in services.items()
+        }
+        for mode, service in services.items():  # warm both arms once
+            await run_trace(service, traces[mode])
+        for _ in range(ROUNDS):
+            for mode, service in services.items():
+                report = await run_trace(service, traces[mode])
+                assert report.errors == 0 and report.shed == 0
+                walls[mode].append(report.wall_s)
+    finally:
+        for service in services.values():
+            await service.shutdown()
+    return walls
+
+
+def test_request_tracing_overhead_within_budget(benchmark, scale, record_table):
+    walls = benchmark.pedantic(
+        lambda: asyncio.run(_serve_rounds()), rounds=1, iterations=1
+    )
+
+    ratios = [
+        traced / untraced
+        for traced, untraced in zip(walls[live.TRACE_FULL], walls[live.TRACE_OFF])
+    ]
+    ratio = min(ratios)
+    ratio_median = statistics.median(ratios)
+    untraced = statistics.median(walls[live.TRACE_OFF])
+    traced = statistics.median(walls[live.TRACE_FULL])
+
+    benchmark.extra_info["untraced_s"] = round(untraced, 4)
+    benchmark.extra_info["traced_s"] = round(traced, 4)
+    benchmark.extra_info["ratio"] = round(ratio, 4)
+    benchmark.extra_info["ratio_median"] = round(ratio_median, 4)
+    record_table(
+        "reqtrace_overhead",
+        "\n".join(
+            [
+                f"workload: {SPEC.n_requests} requests over "
+                f"{'/'.join(SPEC.workloads)}, P={_BASE.n_workers} "
+                f"({scale} scale)",
+                f"untraced wall (median of {ROUNDS}): {untraced:.4f}s",
+                f"traced wall   (median of {ROUNDS}): {traced:.4f}s  "
+                f"(ratio min {ratio:.3f} / median {ratio_median:.3f}, "
+                f"budget {OVERHEAD_BUDGET:.2f})",
+            ]
+        )
+        + "\n",
+    )
+
+    assert ratio <= OVERHEAD_BUDGET, (
+        f"request tracing cost {ratio:.3f}x the untraced wall time "
+        f"(budget {OVERHEAD_BUDGET}x): untraced={untraced:.4f}s "
+        f"traced={traced:.4f}s"
+    )

@@ -23,6 +23,8 @@ from repro.serve import SearchService, ServeConfig
 from repro.serve.traffic import (
     TrafficSpec,
     generate_trace,
+    latency_fields,
+    render_decomposition,
     run_trace,
     service_snapshot,
 )
@@ -67,7 +69,19 @@ def test_traffic_warm_vs_cold(benchmark, scale, record_table, record_ledger):
     violations = snap.check_accounting()
     assert violations == [], "\n".join(violations)
     record_table("traffic_cold", cold.render("traffic: cold tables (pass 1)"))
-    record_table("traffic_warm", warm.render("traffic: warm tables (pass 2)"))
+    record_table(
+        "traffic_warm",
+        warm.render("traffic: warm tables (pass 2)")
+        + "\n\n"
+        + render_decomposition(warm.replies, "warm latency decomposition"),
+    )
+    # Every warm reply must carry a conserved timing block — the stage
+    # decomposition the ledger's `latency` block and CI compare watch.
+    decomposed = [r for r in warm.replies if r.timing is not None]
+    assert len(decomposed) == SPEC.n_requests
+    for reply in decomposed:
+        assert reply.timing is not None
+        assert reply.timing.conservation_problems() == []
     record_ledger(
         snap,
         workload="traffic-warm",
@@ -81,6 +95,7 @@ def test_traffic_warm_vs_cold(benchmark, scale, record_table, record_ledger):
             "repeat_fraction": SPEC.repeat_fraction,
         },
         service=ledger.service_block(**warm.service_fields()),
+        latency=ledger.latency_block(**latency_fields(warm.replies)),
     )
 
     ratio = warm.rps / cold.rps if cold.rps else float("inf")

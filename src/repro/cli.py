@@ -711,6 +711,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 def _serve_config(args: argparse.Namespace) -> "ServeConfig":
     from .serve import ServeConfig
 
+    slo_targets = None if args.no_slo else ServeConfig.slo_targets
     return ServeConfig(
         host=args.host,
         port=args.port,
@@ -722,6 +723,10 @@ def _serve_config(args: argparse.Namespace) -> "ServeConfig":
         scale=args.scale,
         trace_mode=args.trace,
         metrics_port=args.metrics_port,
+        slo_targets=slo_targets,
+        slo_objective=args.slo_objective,
+        stall_overrun_factor=args.stall_overrun,
+        flight_dir=args.flight_dir,
     )
 
 
@@ -774,7 +779,12 @@ def _cmd_bench_traffic(args: argparse.Namespace) -> int:
     import asyncio
 
     from .serve import SearchService, TrafficSpec, generate_trace, suite_catalog
-    from .serve.traffic import run_trace, run_trace_client, service_snapshot
+    from .serve.traffic import (
+        render_decomposition,
+        run_trace,
+        run_trace_client,
+        service_snapshot,
+    )
 
     spec = TrafficSpec(
         workloads=tuple(args.workloads),
@@ -798,6 +808,10 @@ def _cmd_bench_traffic(args: argparse.Namespace) -> int:
             async with ServiceClient(host, int(port_text)) as client:
                 report = await run_trace_client(client, trace)
                 print(report.render(f"remote traffic ({args.connect})"))
+                print()
+                print(
+                    render_decomposition(report.replies, "latency decomposition")
+                )
                 if args.shutdown:
                     await client.shutdown_server()
                     print("sent shutdown; server is draining")
@@ -816,6 +830,8 @@ def _cmd_bench_traffic(args: argparse.Namespace) -> int:
             print(warm.render("warm (same trace, caches populated)"))
             ratio = warm.rps / cold.rps if cold.rps > 0 else float("inf")
             print(f"\nwarm/cold throughput ratio: {ratio:.2f}x")
+            print()
+            print(render_decomposition(warm.replies, "warm latency decomposition"))
             snap = service_snapshot(service, warm, workload=f"traffic-{args.seed}")
             problems = snap.check_accounting()
             for problem in problems:
@@ -823,6 +839,105 @@ def _cmd_bench_traffic(args: argparse.Namespace) -> int:
             return 1 if problems else 0
 
     return asyncio.run(run_local())
+
+
+def _cmd_profile_service(args: argparse.Namespace) -> int:
+    """Where do the service's milliseconds go, stage by stage?
+
+    Replays one deterministic traffic trace through an in-process
+    service with request tracing on, prints the traffic summary plus the
+    p50/p95/p99 stage-decomposition table, optionally exports the
+    per-request Perfetto tracks, and (with ``--ledger-dir``) records the
+    run — ``service`` *and* ``latency`` blocks — so ``repro-gametree
+    compare`` can flag a single stage regressing even when the
+    end-to-end tail holds.
+    """
+    import asyncio
+
+    from dataclasses import replace as _dc_replace
+
+    from .obs import export, ledger
+    from .serve import SearchService, TrafficSpec, generate_trace, suite_catalog
+    from .serve.traffic import (
+        latency_fields,
+        render_decomposition,
+        run_trace,
+        service_snapshot,
+    )
+
+    spec = TrafficSpec(
+        workloads=tuple(args.workloads),
+        n_requests=args.requests,
+        seed=args.seed,
+        max_depth=args.depth,
+        repeat_fraction=args.repeat,
+    )
+    catalog = suite_catalog(args.scale)
+    trace = generate_trace(spec, catalog)
+    config = _serve_config(args)
+    if config.trace_mode == "off":
+        # Worker spans are the point of the profile; default them on.
+        config = _dc_replace(config, trace_mode="full")
+
+    async def run() -> int:
+        async with SearchService(config, catalog=catalog) as service:
+            report = await run_trace(service, trace)
+            print(report.render(f"profile-service (seed {args.seed})"))
+            print()
+            print(render_decomposition(report.replies, "latency decomposition"))
+            exit_code = 0
+            snap = service_snapshot(service, report, workload=f"traffic-{args.seed}")
+            for problem in snap.check_accounting():
+                print(f"accounting problem: {problem}", file=sys.stderr)
+                exit_code = 1
+            stored = service.traces.traces()
+            conservation = [
+                problem
+                for stored_trace in stored
+                for problem in stored_trace.timing.conservation_problems()
+            ]
+            for problem in conservation:
+                print(f"conservation problem: {problem}", file=sys.stderr)
+                exit_code = 1
+            if args.trace_out is not None:
+                pool = service.pool
+                worker_spans = (
+                    {t.request_id: pool.request_spans(t.request_id) for t in stored}
+                    if pool is not None
+                    else {}
+                )
+                path = export.write_service_trace(
+                    args.trace_out,
+                    stored,
+                    worker_spans=worker_spans,
+                    span_pids=pool.span_pids() if pool is not None else {},
+                    metadata={"seed": args.seed, "requests": args.requests},
+                )
+                print(f"\nper-request Perfetto trace: {path}")
+            if args.ledger_dir is not None:
+                record = ledger.make_record(
+                    snap,
+                    workload=f"traffic-{args.seed}",
+                    scale=args.scale,
+                    seed=args.seed,
+                    config={
+                        "requests": args.requests,
+                        "depth": args.depth,
+                        "tt": config.tt_mode,
+                        "eval_cache": config.eval_cache_mode,
+                        "trace": config.trace_mode,
+                    },
+                    service=ledger.service_block(**report.service_fields()),  # type: ignore[arg-type]
+                    latency=ledger.latency_block(**latency_fields(report.replies)),  # type: ignore[arg-type]
+                )
+                problems = ledger.validate_record(record)
+                if problems:
+                    raise SystemExit("ledger record invalid: " + "; ".join(problems))
+                record_path = ledger.write_record(record, args.ledger_dir)
+                print(f"ledger record: {record_path}")
+            return exit_code
+
+    return asyncio.run(run())
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -1234,6 +1349,31 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="PORT",
             help="serve Prometheus text metrics on this port (0 picks a free one)",
         )
+        p.add_argument(
+            "--no-slo",
+            action="store_true",
+            help="disable the per-priority SLO gauges (histograms stay on)",
+        )
+        p.add_argument(
+            "--slo-objective",
+            type=float,
+            default=0.99,
+            help="fraction of requests expected under their latency target",
+        )
+        p.add_argument(
+            "--stall-overrun",
+            type=float,
+            default=0.0,
+            metavar="FACTOR",
+            help="flight-record a request once elapsed exceeds "
+            "deadline * FACTOR (0 disables; needs --flight-dir)",
+        )
+        p.add_argument(
+            "--flight-dir",
+            default=None,
+            metavar="DIR",
+            help="directory receiving stall flight records",
+        )
 
     serve = sub.add_parser(
         "serve",
@@ -1272,6 +1412,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --connect: send the shutdown op after the run",
     )
     bench_traffic.set_defaults(func=_cmd_bench_traffic)
+
+    profile_service = sub.add_parser(
+        "profile-service",
+        help="replay a traffic trace with request tracing on and print the "
+        "p50/p95/p99 latency decomposition per stage",
+    )
+    add_service_args(profile_service)
+    profile_service.add_argument("--requests", type=int, default=40)
+    profile_service.add_argument(
+        "--workloads", nargs="+", default=["R3"], metavar="NAME"
+    )
+    profile_service.add_argument("--depth", type=int, default=2)
+    profile_service.add_argument("--seed", type=int, default=0)
+    profile_service.add_argument(
+        "--repeat",
+        type=float,
+        default=0.5,
+        help="fraction of requests re-asking an already-issued position",
+    )
+    profile_service.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the per-request Perfetto tracks here",
+    )
+    profile_service.add_argument(
+        "--ledger-dir",
+        default=None,
+        help="also write a ledger record (service + latency blocks)",
+    )
+    profile_service.set_defaults(func=_cmd_profile_service)
 
     verify = sub.add_parser(
         "verify", help="lint concurrency invariants and race-check all backends"

@@ -34,7 +34,8 @@ from ..sim.metrics import SimReport
 from . import events as _events
 from .critpath import BUSY as _CP_BUSY
 from .critpath import UNTAGGED, CriticalPath
-from .live import COORDINATOR, LiveTrace
+from .live import COORDINATOR, LiveTrace, WorkerSpan, split_span_name
+from .reqtrace import RequestTrace
 from .snapshot import SECONDS, SIM_UNITS
 
 #: Chrome-trace category names per event origin.
@@ -43,9 +44,14 @@ _CAT_NODES = "nodes"
 _CAT_TASKS = "tasks"
 _CAT_ENGINE = "engine"
 _CAT_CRITPATH = "critpath"
+_CAT_REQUEST = "request"
 
 #: Perfetto process id of the critical-path overlay group.
 _CRITPATH_PID = 1
+
+#: Perfetto process id of the first per-request track of a service
+#: trace; request ``i`` (by arrival order) renders at ``base + i``.
+_REQUEST_PID_BASE = 1000
 
 #: Perfetto process ids of the live wall-clock span groups: one pid per
 #: OS worker at ``_LIVE_PID_BASE + index``, the coordinator one below.
@@ -338,6 +344,171 @@ def write_chrome_trace(
         render_chrome_trace(
             events, report=report, time_unit=time_unit, metadata=metadata,
             critpath=critpath, live=live,
+        ),
+        encoding="utf-8",
+    )
+    return target
+
+
+def _request_stage_events(
+    trace: RequestTrace, *, pid: int, scale: float, offset: float
+) -> list[TraceEvent]:
+    """The synthetic stage lane (tid 0) of one request's track.
+
+    Stages are laid end to end from ``arrived_at`` in pipeline order —
+    admission, queue wait, one slice per deepening iteration, reply
+    serialization, then the explicit ``unattributed`` remainder.  Because
+    the decomposition conserves, the lane spans *exactly*
+    ``[arrived_at, finished_at]``: any gap would be a conservation bug,
+    so the track doubles as a visual audit of the identity.
+    """
+    timing = trace.timing
+    slices: list[tuple[str, float]] = [
+        ("admission", timing.admission_s),
+        ("queue_wait", timing.queue_wait_s),
+    ]
+    slices.extend(
+        (f"iteration d{index + 1}", seconds)
+        for index, seconds in enumerate(timing.iterations_s)
+    )
+    slices.append(("reply_serialize", timing.reply_serialize_s))
+    slices.append(("unattributed", timing.unattributed_s))
+    out: list[TraceEvent] = []
+    cursor = trace.arrived_at
+    for name, seconds in slices:
+        out.append(
+            {
+                "ph": "X",
+                "name": name,
+                "cat": _CAT_REQUEST,
+                "pid": pid,
+                "tid": 0,
+                "ts": (cursor - offset) * scale,
+                "dur": max(0.0, seconds) * scale,
+            }
+        )
+        cursor += seconds
+    return out
+
+
+def render_service_trace(
+    traces: Iterable[RequestTrace],
+    *,
+    worker_spans: Optional[Mapping[str, Iterable[WorkerSpan]]] = None,
+    span_pids: Optional[Mapping[int, int]] = None,
+    metadata: Optional[Mapping[str, object]] = None,
+) -> str:
+    """Render a service run as per-request Perfetto tracks.
+
+    Each :class:`~repro.obs.reqtrace.RequestTrace` becomes its own
+    Perfetto process group (pids from :data:`_REQUEST_PID_BASE`, arrival
+    order): thread 0 carries the conserved stage decomposition laid end
+    to end over ``[arrived_at, finished_at]``, and — when the pool ran
+    with tracing on — one extra thread per engine worker shows that
+    worker's tagged spans for *this* request, threaded across OS
+    processes (``worker_spans`` keyed by ``request_id``, already merged
+    onto the server clock by the pool's offset estimators; ``span_pids``
+    labels worker lanes with their OS pid).
+
+    Timestamps are wall-clock seconds rebased to the earliest request
+    arrival and scaled to Chrome-trace microseconds.
+    """
+    trace_list = sorted(traces, key=lambda t: (t.arrived_at, t.request_id))
+    by_request: dict[str, list[WorkerSpan]] = {
+        request_id: list(spans)
+        for request_id, spans in (worker_spans or {}).items()
+    }
+    pids = dict(span_pids or {})
+    starts = [trace.arrived_at for trace in trace_list]
+    for spans in by_request.values():
+        starts.extend(span.start for span in spans)
+    offset = min(starts) if starts else 0.0
+    scale = 1e6
+    events: list[TraceEvent] = []
+    for index, trace in enumerate(trace_list):
+        pid = _REQUEST_PID_BASE + index
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {
+                    "name": (
+                        f"request {trace.request_id}/{trace.span_id} "
+                        f"(prio {trace.priority}, {trace.status})"
+                    )
+                },
+            }
+        )
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": "stages"},
+            }
+        )
+        events.extend(
+            _request_stage_events(trace, pid=pid, scale=scale, offset=offset)
+        )
+        request_spans = by_request.get(trace.request_id, [])
+        for worker in sorted({span.worker for span in request_spans}):
+            label = f"engine worker {worker}"
+            os_pid = pids.get(worker)
+            if os_pid is not None:
+                label += f" (os pid {os_pid})"
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": 1 + worker,
+                    "args": {"name": label},
+                }
+            )
+        for span in request_spans:
+            base, tag = split_span_name(span.name)
+            args: dict[str, object] = {"tag": tag or ""}
+            os_pid = pids.get(span.worker)
+            if os_pid is not None:
+                args["os_pid"] = os_pid
+            events.append(
+                {
+                    "ph": "X",
+                    "name": base,
+                    "cat": f"live-{span.cat}",
+                    "pid": pid,
+                    "tid": 1 + span.worker,
+                    "ts": (span.start - offset) * scale,
+                    "dur": span.duration * scale,
+                    "args": args,
+                }
+            )
+    payload: dict[str, object] = {
+        "displayTimeUnit": "ms",
+        "metadata": dict(metadata) if metadata else {},
+        "traceEvents": events,
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def write_service_trace(
+    path: Union[str, Path],
+    traces: Iterable[RequestTrace],
+    *,
+    worker_spans: Optional[Mapping[str, Iterable[WorkerSpan]]] = None,
+    span_pids: Optional[Mapping[int, int]] = None,
+    metadata: Optional[Mapping[str, object]] = None,
+) -> Path:
+    """Write :func:`render_service_trace` output to ``path``; returns it."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        render_service_trace(
+            traces, worker_spans=worker_spans, span_pids=span_pids,
+            metadata=metadata,
         ),
         encoding="utf-8",
     )

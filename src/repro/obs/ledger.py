@@ -106,6 +106,26 @@ LEDGER_SCHEMA: dict[str, object] = {
                 "p99_s": {"type": "number", "minimum": 0},
             },
         },
+        # Optional: per-stage latency decomposition (repro.obs.reqtrace),
+        # present on "serve"-backend records produced with request
+        # tracing.  Stage keys follow repro.serve.traffic.STAGE_ORDER
+        # plus the conserved "end_to_end" total; "unattributed" must be
+        # present — the remainder is reported, never hidden.
+        "latency": {
+            "type": "object",
+            "required": ["samples", "stages"],
+            "properties": {
+                "samples": {"type": "integer", "minimum": 0},
+                "stages": {
+                    "type": "object",
+                    "required": ["end_to_end", "unattributed"],
+                    "additionalProperties": {
+                        "type": "object",
+                        "required": ["mean_s", "p50_s", "p95_s", "p99_s"],
+                    },
+                },
+            },
+        },
         # Optional: live wall-clock tracing summary (repro.obs.live).
         # Absent on untraced runs and on all simulated-backend records.
         "trace": {
@@ -188,15 +208,18 @@ def make_record(
     whatif: Optional[list[Mapping[str, object]]] = None,
     trace: Optional[Mapping[str, object]] = None,
     service: Optional[Mapping[str, object]] = None,
+    latency: Optional[Mapping[str, object]] = None,
 ) -> Record:
     """Assemble one ledger record from a snapshot plus run identity.
 
     ``whatif`` — the flat points of a causal sweep
     (:func:`repro.obs.whatif.to_records`) — ``trace`` — the
-    wall-clock tracing summary (:func:`trace_block`) — and ``service``
+    wall-clock tracing summary (:func:`trace_block`) — ``service``
     — the traffic summary of a search-service run
-    (:func:`service_block`) — are stored only when given, so records
-    from runs without them stay byte-identical to schema v1.
+    (:func:`service_block`) — and ``latency`` — the per-stage
+    decomposition of the same run (:func:`latency_block`) — are stored
+    only when given, so records from runs without them stay
+    byte-identical to schema v1.
     """
     record: Record = {
         "schema_version": SCHEMA_VERSION,
@@ -217,6 +240,8 @@ def make_record(
         record["trace"] = dict(trace)
     if service is not None:
         record["service"] = dict(service)
+    if latency is not None:
+        record["latency"] = dict(latency)
     return record
 
 
@@ -260,6 +285,30 @@ def service_block(
         "p50_s": float(p50_s),
         "p95_s": float(p95_s),
         "p99_s": float(p99_s),
+    }
+
+
+#: Percentile stats required of every ``latency`` stage entry.
+_LATENCY_STATS = ("mean_s", "p50_s", "p95_s", "p99_s")
+
+
+def latency_block(
+    *, samples: int, stages: Mapping[str, Mapping[str, float]]
+) -> Record:
+    """Assemble the optional ``latency`` record block from a traffic run.
+
+    Callers typically splat :func:`repro.serve.traffic.latency_fields`
+    output: ``latency_block(**latency_fields(replies))``.  ``stages``
+    must carry the conserved ``end_to_end`` total and the explicit
+    ``unattributed`` remainder — validation rejects records that hide
+    either.
+    """
+    return {
+        "samples": int(samples),
+        "stages": {
+            name: {stat: float(row.get(stat, 0.0)) for stat in _LATENCY_STATS}
+            for name, row in stages.items()
+        },
     }
 
 
@@ -382,6 +431,35 @@ def validate_record(record: Record) -> list[str]:
                     f"service counters do not conserve: completed {completed} "
                     f"+ shed {shed} != requests {requests}"
                 )
+    latency = record.get("latency")
+    if latency is not None:
+        if not isinstance(latency, dict):
+            problems.append("latency must be an object")
+        else:
+            samples = latency.get("samples")
+            if not isinstance(samples, int) or samples < 0:
+                problems.append("latency samples must be a non-negative integer")
+            stages = latency.get("stages")
+            if not isinstance(stages, dict):
+                problems.append("latency stages must be an object")
+            else:
+                for required_stage in ("end_to_end", "unattributed"):
+                    if required_stage not in stages:
+                        problems.append(
+                            f"latency stages missing {required_stage!r} — the "
+                            "decomposition must report its total and remainder"
+                        )
+                for stage, row in stages.items():
+                    if not isinstance(row, dict):
+                        problems.append(f"latency stage {stage!r} must be an object")
+                        continue
+                    for stat in _LATENCY_STATS:
+                        value = row.get(stat)
+                        if not isinstance(value, (int, float)) or value < 0:
+                            problems.append(
+                                f"latency stage {stage!r} {stat} must be a "
+                                "non-negative number"
+                            )
     snap = Snapshot.from_dict(snapshot)
     problems.extend(snap.check_accounting())
     return problems
@@ -548,6 +626,7 @@ def compare_records(
 
     _compare_critpath(report, base_snap.critpath, cand_snap.critpath, tolerance)
     _compare_service(report, baseline.get("service"), candidate.get("service"), tolerance)
+    _compare_latency(report, baseline.get("latency"), candidate.get("latency"), tolerance)
     return report
 
 
@@ -630,6 +709,56 @@ def _compare_service(
             report.improvements.append(f"{key}: {old:g} -> {new:g} ({change:.1%})")
 
 
+#: Floor under the latency-stage p99 comparison, in seconds.  Stages
+#: whose tails sit under this on both sides are scheduler-hop noise —
+#: a 0.2 ms → 0.5 ms jump is a 150 % "regression" that means nothing.
+_LATENCY_FLOOR_S = 1e-3
+
+
+def _compare_latency(
+    report: CompareReport,
+    base: Optional[object],
+    cand: Optional[object],
+    tolerance: float,
+) -> None:
+    """Diff per-stage latency decompositions when both records carry one.
+
+    A stage's p99 growing beyond ``tolerance`` (relative) is a
+    regression — this is what catches "queue_wait doubled" even when the
+    end-to-end p99 moved within tolerance.  Stages under
+    :data:`_LATENCY_FLOOR_S` on both sides are skipped as noise; a
+    record without a latency block (pre-tracing baseline) is noted, not
+    flagged.
+    """
+    if not isinstance(base, dict) and not isinstance(cand, dict):
+        return
+    if not isinstance(base, dict):
+        report.notes.append("baseline has no latency decomposition; stages not compared")
+        return
+    if not isinstance(cand, dict):
+        report.notes.append("candidate has no latency decomposition; stages not compared")
+        return
+    base_stages = base.get("stages")
+    cand_stages = cand.get("stages")
+    if not isinstance(base_stages, dict) or not isinstance(cand_stages, dict):
+        return
+    for stage in sorted(base_stages.keys() & cand_stages.keys()):
+        base_row = base_stages.get(stage)
+        cand_row = cand_stages.get(stage)
+        if not isinstance(base_row, dict) or not isinstance(cand_row, dict):
+            continue
+        old = float(base_row.get("p99_s", 0.0))
+        new = float(cand_row.get("p99_s", 0.0))
+        if old < _LATENCY_FLOOR_S and new < _LATENCY_FLOOR_S:
+            continue
+        change = _rel_change(old, new)
+        label = f"latency stage {stage} p99_s"
+        if change > tolerance:
+            report.regressions.append(f"{label}: {old:g} -> {new:g} (+{change:.1%})")
+        elif change < -tolerance:
+            report.improvements.append(f"{label}: {old:g} -> {new:g} ({change:.1%})")
+
+
 def _series_point(summary: Record) -> Record:
     """One per-PR sample for the makespan/nodes/efficiency series."""
     fractions = summary.get("fractions")
@@ -685,6 +814,8 @@ def aggregate(directory: Union[str, Path], out_path: Optional[Union[str, Path]] 
             summary["whatif"] = record.get("whatif")
         if record.get("service") is not None:
             summary["service"] = record.get("service")
+        if record.get("latency") is not None:
+            summary["latency"] = record.get("latency")
         summaries.append(summary)
     series: dict[str, list[Record]] = {}
     for summary in summaries:

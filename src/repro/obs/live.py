@@ -66,11 +66,14 @@ __all__ = [
     "OffsetEstimator",
     "COORDINATOR",
     "RING",
+    "TAG_SEPARATOR",
     "install_ring",
     "uninstall_ring",
     "ring_for_mode",
     "merge_spans",
     "render_top",
+    "split_span_name",
+    "tag_span_name",
     "wall_clock",
 ]
 
@@ -100,6 +103,30 @@ SpanRec = tuple[str, str, float, float]
 def wall_clock() -> float:
     """The one sanctioned wall-clock seam of this module (VER008)."""
     return time.perf_counter()
+
+
+#: Separates a span's base name from its request tag.  None of the base
+#: names in use ("eval", "refute", "iteration", "request", cache ops)
+#: contain it, so the first occurrence splits unambiguously.
+TAG_SEPARATOR = "@"
+
+
+def tag_span_name(name: str, tag: str) -> str:
+    """Attach a request tag (``request_id/span_id``) to a span name.
+
+    The tag rides inside the existing ``SpanRec`` name field, so tagged
+    spans cross the worker result channel with zero wire changes — the
+    coordinator recovers identity with :func:`split_span_name`.
+    """
+    if TAG_SEPARATOR in name:
+        raise ValueError(f"span name {name!r} already carries a tag")
+    return f"{name}{TAG_SEPARATOR}{tag}"
+
+
+def split_span_name(name: str) -> tuple[str, Optional[str]]:
+    """``(base_name, tag)``; tag is ``None`` for untagged spans."""
+    base, sep, tag = name.partition(TAG_SEPARATOR)
+    return (base, tag if sep else None)
 
 
 class SpanRing:
@@ -226,6 +253,18 @@ class SpanRing:
         the ring's lifetime, and the multiproc workers ship them with
         every result so the coordinator sees cumulative values.
         """
+        out = self.peek()
+        self._slots = [None] * self.capacity
+        self._count = 0
+        return out
+
+    def peek(self) -> list[SpanRec]:
+        """The buffered spans, oldest first, *without* clearing them.
+
+        The flight recorder uses this to snapshot a live ring while the
+        overrunning request is still in flight — a drain there would
+        steal spans from the run's own end-of-run trace.
+        """
         held = min(self._count, self.capacity)
         start = (self._count - held) % self.capacity
         out: list[SpanRec] = []
@@ -233,8 +272,6 @@ class SpanRing:
             span = self._slots[(start + i) % self.capacity]
             if span is not None:
                 out.append(span)
-        self._slots = [None] * self.capacity
-        self._count = 0
         return out
 
     def snapshot_counters(self) -> tuple[int, float]:

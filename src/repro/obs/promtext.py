@@ -12,7 +12,13 @@ Mapping rules:
 
 * plain numbers (counters and gauges collapse to numbers in
   ``collect()``) -> one ``gauge`` sample;
-* histogram summaries (dicts with ``count``/``total``) -> a
+* bucketed histograms (dicts with ``count``/``total`` *and* cumulative
+  ``le:<bound>`` keys, produced by a
+  :class:`~repro.obs.registry.Histogram` with bounds — the per-priority
+  SLO latency histograms) -> a real ``histogram`` family:
+  ``<name>_bucket{le="..."}`` samples ending at ``le="+Inf"``, plus
+  ``<name>_sum`` / ``<name>_count``;
+* unbucketed histogram summaries (dicts with ``count``/``total``) -> a
   ``summary``-style family: ``<name>_count``, ``<name>_sum``, plus
   ``_min`` / ``_max`` / ``_mean`` gauges;
 * time-series summaries (dicts with ``peak``/``last``) -> ``_peak`` /
@@ -67,6 +73,17 @@ def _is_series(value: dict[str, float]) -> bool:
     return "peak" in value and "last" in value
 
 
+def _bucket_items(value: dict[str, float]) -> list[tuple[str, float]]:
+    """Cumulative ``(upper_bound, count)`` pairs from ``le:`` summary keys."""
+    items = [
+        (float(key[3:]), count)
+        for key, count in value.items()
+        if key.startswith("le:")
+    ]
+    items.sort()
+    return [(_fmt(bound), count) for bound, count in items]
+
+
 def render_prometheus(metrics: Mapping[str, MetricValue]) -> str:
     """Render a collected metrics mapping as Prometheus exposition text."""
     lines: list[str] = []
@@ -77,6 +94,17 @@ def render_prometheus(metrics: Mapping[str, MetricValue]) -> str:
             lines.append(f"# TYPE {family} gauge")
             lines.append(f"{family} {_fmt(float(value))}")
         elif isinstance(value, dict) and _is_histogram(value):
+            buckets = _bucket_items(value)
+            if buckets:
+                lines.append(f"# TYPE {family} histogram")
+                for bound, cumulative in buckets:
+                    lines.append(
+                        f'{family}_bucket{{le="{bound}"}} {_fmt(cumulative)}'
+                    )
+                lines.append(f'{family}_bucket{{le="+Inf"}} {_fmt(value["count"])}')
+                lines.append(f"{family}_sum {_fmt(value['total'])}")
+                lines.append(f"{family}_count {_fmt(value['count'])}")
+                continue
             lines.append(f"# TYPE {family} summary")
             lines.append(f"{family}_count {_fmt(value['count'])}")
             lines.append(f"{family}_sum {_fmt(value['total'])}")

@@ -47,18 +47,37 @@ class Gauge:
 
 @dataclass
 class Histogram:
-    """Streaming summary of an observed distribution."""
+    """Streaming summary of an observed distribution.
+
+    With ``bounds`` set (ascending upper bucket edges), the histogram
+    additionally counts observations per bucket, and :meth:`summary`
+    exposes Prometheus-style cumulative ``le:<bound>`` keys — which is
+    what lets :mod:`repro.obs.promtext` render a real ``histogram``
+    family (with ``+Inf`` implied by ``count``) instead of a summary.
+    """
 
     count: int = 0
     total: float = 0.0
     minimum: float = float("inf")
     maximum: float = float("-inf")
+    bounds: tuple[float, ...] = ()
+    bucket_counts: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError("histogram bounds must be strictly ascending")
+        if not self.bucket_counts:
+            self.bucket_counts = [0] * len(self.bounds)
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
         self.minimum = min(self.minimum, value)
         self.maximum = max(self.maximum, value)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                break
 
     @property
     def mean(self) -> float:
@@ -66,14 +85,20 @@ class Histogram:
 
     def summary(self) -> dict[str, float]:
         if not self.count:
-            return {"count": 0.0, "total": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
-        return {
-            "count": float(self.count),
-            "total": self.total,
-            "mean": self.mean,
-            "min": self.minimum,
-            "max": self.maximum,
-        }
+            out = {"count": 0.0, "total": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
+        else:
+            out = {
+                "count": float(self.count),
+                "total": self.total,
+                "mean": self.mean,
+                "min": self.minimum,
+                "max": self.maximum,
+            }
+        cumulative = 0
+        for bound, bucket in zip(self.bounds, self.bucket_counts):
+            cumulative += bucket
+            out[f"le:{bound:g}"] = float(cumulative)
+        return out
 
 
 @dataclass
@@ -109,8 +134,11 @@ class MetricsRegistry:
     def gauge(self, name: str) -> Gauge:
         return self._gauges.setdefault(name, Gauge())
 
-    def histogram(self, name: str) -> Histogram:
-        return self._histograms.setdefault(name, Histogram())
+    def histogram(
+        self, name: str, *, bounds: tuple[float, ...] = ()
+    ) -> Histogram:
+        """Get or create a histogram; ``bounds`` only applies on creation."""
+        return self._histograms.setdefault(name, Histogram(bounds=bounds))
 
     def timeseries(self, name: str) -> TimeSeries:
         return self._series.setdefault(name, TimeSeries())

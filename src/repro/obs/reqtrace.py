@@ -1,0 +1,484 @@
+"""Request-scoped tracing and latency attribution for the search service.
+
+``repro.serve`` turned the repo into a multi-user service, but its
+telemetry stopped at endpoint aggregates: ``TrafficReport`` says *what*
+the p99 is, not *where* those milliseconds went.  This module extends
+the repo's attribution discipline — the paper's Section 3.1 loss
+decomposition and PR 5's exact ``path == makespan`` critical-path
+invariant — to the request path:
+
+* **Trace context** (:class:`TraceContext`): a ``(request_id, span_id)``
+  pair originated by :class:`~repro.serve.client.ServiceClient`, carried
+  on :class:`~repro.serve.api.SearchRequest`, and propagated by the pool
+  into worker-process span names via
+  :func:`repro.obs.live.tag_span_name` — the tag piggybacks on the
+  existing result-pickle blobs, so no new wire channel exists for it.
+* **Conserved decomposition** (:class:`RequestTiming`, built by
+  :func:`attribute`): every request's end-to-end latency splits into
+  ``admission + queue_wait + Σ iterations + reply_serialize +
+  unattributed`` and the split *conserves exactly by construction*: the
+  ``unattributed`` component is defined as the remainder, is always
+  reported, and is asserted non-negative (a violation means two stamps
+  came from different clocks — the scheduler and server share
+  :func:`repro.obs.live.wall_clock` precisely so that cannot happen).
+* **Request records** (:class:`RequestTrace`, kept in a bounded
+  :class:`TraceStore`): one per completed request, joining the timing
+  decomposition with the absolute iteration bounds used by the Perfetto
+  per-request tracks in :mod:`repro.obs.export`.
+* **SLO policy** (:class:`SLOPolicy`): per-priority-class latency
+  targets plus an objective (the fraction of requests expected under
+  target); :class:`~repro.serve.scheduler.ServeMetrics` folds it into
+  per-priority histograms, good/bad counters and an error-budget
+  burn-rate gauge (1.0 = burning exactly the budget the objective
+  allows).
+* **Flight recorder** (:class:`FlightRecorder`): when a request overruns
+  its deadline by a configurable factor, the server snapshots the live
+  span rings (service ring plus merged worker spans) to a JSON file —
+  evidence captured *while the stall is happening*, not reconstructed
+  from aggregates afterwards.
+
+Per VER008 this module never reads a clock: every timestamp arrives as a
+value, stamped by the caller through one shared clock seam.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Optional, Sequence, Union
+
+from . import live as _live
+
+__all__ = [
+    "CONSERVATION_TOL_S",
+    "STAGES",
+    "TIMING_WIRE_VERSION",
+    "FlightRecorder",
+    "RequestTiming",
+    "RequestTrace",
+    "SLOPolicy",
+    "TraceContext",
+    "TraceStore",
+    "attribute",
+    "span_tag",
+    "timing_from_wire",
+]
+
+#: Wire schema version of the ``timing`` block on ``SearchReply``.
+#: Clients drop (rather than reject) blocks from a newer server.
+TIMING_WIRE_VERSION = 1
+
+#: Absolute slack allowed on the conservation identity, in seconds.
+#: The decomposition is exact in real arithmetic; this only absorbs
+#: float rounding across the component sum.
+CONSERVATION_TOL_S = 1e-6
+
+#: Decomposition components, in pipeline order.  ``iterations`` is the
+#: summed deepening-loop time; ``unattributed`` is the explicit
+#: remainder (scheduler hops, future wakeups) — reported, never hidden.
+STAGES = ("admission", "queue_wait", "iterations", "reply_serialize", "unattributed")
+
+
+def span_tag(request_id: str, span_id: str) -> str:
+    """The tag carried inside worker span names: ``request_id/span_id``."""
+    return f"{request_id}/{span_id}"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagated identity of one request's trace tree.
+
+    The client originates the root context; each layer derives child
+    span ids by suffixing (``root`` → ``root.d3`` for the depth-3
+    iteration), so a worker span's tag encodes its full path back to
+    the originating request.
+    """
+
+    request_id: str
+    span_id: str = "root"
+
+    def child(self, suffix: str) -> "TraceContext":
+        return TraceContext(self.request_id, f"{self.span_id}.{suffix}")
+
+    @property
+    def tag(self) -> str:
+        return span_tag(self.request_id, self.span_id)
+
+
+# ---------------------------------------------------------------------------
+# Conserved latency decomposition.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RequestTiming:
+    """One request's latency decomposition, conserved by construction.
+
+    All fields are seconds on the server's clock.  The identity
+
+    ``admission_s + queue_wait_s + sum(iterations_s) + reply_serialize_s
+    + unattributed_s == end_to_end_s``
+
+    holds to within :data:`CONSERVATION_TOL_S` because :func:`attribute`
+    *defines* ``unattributed_s`` as the remainder; a request with a
+    negative remainder (beyond tolerance) is a clock-domain bug and is
+    flagged by :meth:`conservation_problems`, mirroring the scheduler's
+    counter-conservation audit.
+    """
+
+    end_to_end_s: float
+    admission_s: float
+    queue_wait_s: float
+    iterations_s: tuple[float, ...]
+    reply_serialize_s: float
+    unattributed_s: float
+    version: int = TIMING_WIRE_VERSION
+
+    @property
+    def iterations_total_s(self) -> float:
+        return sum(self.iterations_s)
+
+    def components_total_s(self) -> float:
+        """The attributed sum — must equal ``end_to_end_s``."""
+        return (
+            self.admission_s
+            + self.queue_wait_s
+            + self.iterations_total_s
+            + self.reply_serialize_s
+            + self.unattributed_s
+        )
+
+    def stage_seconds(self) -> dict[str, float]:
+        """Seconds per :data:`STAGES` entry (iterations summed)."""
+        return {
+            "admission": self.admission_s,
+            "queue_wait": self.queue_wait_s,
+            "iterations": self.iterations_total_s,
+            "reply_serialize": self.reply_serialize_s,
+            "unattributed": self.unattributed_s,
+        }
+
+    def conservation_problems(self) -> list[str]:
+        """Violations of the decomposition identity (empty when sound)."""
+        problems: list[str] = []
+        for stage, seconds in self.stage_seconds().items():
+            if seconds < -CONSERVATION_TOL_S:
+                problems.append(f"stage {stage} is negative: {seconds:.9f}s")
+        for index, seconds in enumerate(self.iterations_s):
+            if seconds < -CONSERVATION_TOL_S:
+                problems.append(f"iteration {index + 1} is negative: {seconds:.9f}s")
+        gap = self.components_total_s() - self.end_to_end_s
+        if abs(gap) > CONSERVATION_TOL_S:
+            problems.append(
+                f"decomposition does not conserve: components sum to "
+                f"{self.components_total_s():.9f}s but end-to-end is "
+                f"{self.end_to_end_s:.9f}s (gap {gap:+.9f}s)"
+            )
+        return problems
+
+    # -- wire codec ---------------------------------------------------------
+
+    def to_wire(self) -> dict[str, object]:
+        return {
+            "v": self.version,
+            "end_to_end_s": self.end_to_end_s,
+            "admission_s": self.admission_s,
+            "queue_wait_s": self.queue_wait_s,
+            "iterations_s": list(self.iterations_s),
+            "reply_serialize_s": self.reply_serialize_s,
+            "unattributed_s": self.unattributed_s,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, object]) -> "RequestTiming":
+        """Decode a version-:data:`TIMING_WIRE_VERSION` timing block.
+
+        Raises :class:`ValueError` on malformed payloads; callers that
+        want forward compatibility should check ``payload["v"]`` first
+        (see :func:`timing_from_wire`).
+        """
+        version = payload.get("v")
+        if version != TIMING_WIRE_VERSION:
+            raise ValueError(f"unsupported timing version {version!r}")
+        raw_iters = payload.get("iterations_s")
+        if not isinstance(raw_iters, (list, tuple)):
+            raise ValueError("timing iterations_s must be a list of seconds")
+        iterations = tuple(_seconds(v, "iterations_s entry") for v in raw_iters)
+        return cls(
+            end_to_end_s=_seconds(payload.get("end_to_end_s"), "end_to_end_s"),
+            admission_s=_seconds(payload.get("admission_s"), "admission_s"),
+            queue_wait_s=_seconds(payload.get("queue_wait_s"), "queue_wait_s"),
+            iterations_s=iterations,
+            reply_serialize_s=_seconds(
+                payload.get("reply_serialize_s"), "reply_serialize_s"
+            ),
+            unattributed_s=_seconds(payload.get("unattributed_s"), "unattributed_s"),
+        )
+
+
+def _seconds(value: object, what: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(f"timing {what} must be a number, got {value!r}")
+    return float(value)
+
+
+def timing_from_wire(value: object) -> Optional[RequestTiming]:
+    """Tolerant decode for reply parsing: ``None`` when absent or newer.
+
+    A missing block or a block stamped with a *newer* version decodes to
+    ``None`` (old clients keep working against new servers); a
+    structurally malformed current-version block raises
+    :class:`ValueError` — corruption should not parse as silence.
+    """
+    if value is None:
+        return None
+    if not isinstance(value, Mapping):
+        raise ValueError("timing block must be an object")
+    version = value.get("v")
+    if isinstance(version, int) and not isinstance(version, bool):
+        if version > TIMING_WIRE_VERSION:
+            return None
+    return RequestTiming.from_wire(value)
+
+
+def attribute(
+    *,
+    arrived_at: float,
+    admitted_at: float,
+    started_at: float,
+    finished_at: float,
+    iterations_s: Sequence[float],
+    reply_serialize_s: float,
+) -> RequestTiming:
+    """Build the conserved decomposition from one clock's stamps.
+
+    All four timestamps must come from the *same* monotonic clock (the
+    server threads :func:`repro.obs.live.wall_clock` through the
+    scheduler for exactly this reason).  ``unattributed`` is defined as
+    the remainder, so the conservation identity holds by construction;
+    with a monotonic clock every component is also non-negative.
+    """
+    end_to_end = max(0.0, finished_at - arrived_at)
+    admission = max(0.0, admitted_at - arrived_at)
+    queue_wait = max(0.0, started_at - admitted_at)
+    iterations = tuple(max(0.0, float(s)) for s in iterations_s)
+    serialize = max(0.0, reply_serialize_s)
+    attributed = admission + queue_wait + sum(iterations) + serialize
+    return RequestTiming(
+        end_to_end_s=end_to_end,
+        admission_s=admission,
+        queue_wait_s=queue_wait,
+        iterations_s=iterations,
+        reply_serialize_s=serialize,
+        unattributed_s=end_to_end - attributed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Per-request server-side records.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RequestTrace:
+    """One request's server-side trace record.
+
+    ``arrived_at`` and ``iteration_bounds`` are absolute seconds on the
+    server clock, so the Perfetto exporter can place this request's
+    track against the worker-span timeline without re-deriving offsets.
+    """
+
+    request_id: str
+    span_id: str
+    priority: int
+    status: str
+    arrived_at: float
+    timing: RequestTiming
+    iteration_bounds: tuple[tuple[float, float], ...] = ()
+
+    @property
+    def tag(self) -> str:
+        return span_tag(self.request_id, self.span_id)
+
+    @property
+    def finished_at(self) -> float:
+        return self.arrived_at + self.timing.end_to_end_s
+
+
+class TraceStore:
+    """Bounded keep-latest store of :class:`RequestTrace` records.
+
+    Confined to the service event loop (single writer, post-run
+    readers); eviction is oldest-first so a long-lived service holds a
+    sliding window of recent requests rather than growing without
+    bound.
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ValueError("trace store capacity must be positive")
+        self.capacity = capacity
+        self._traces: deque[RequestTrace] = deque(maxlen=capacity)
+        self.added = 0
+
+    def add(self, trace: RequestTrace) -> None:
+        self._traces.append(trace)
+        self.added += 1
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    @property
+    def evicted(self) -> int:
+        return self.added - len(self._traces)
+
+    def traces(self) -> tuple[RequestTrace, ...]:
+        """Stored traces, oldest first."""
+        return tuple(self._traces)
+
+    def get(self, request_id: str) -> Optional[RequestTrace]:
+        """The most recent stored trace for ``request_id``, if any."""
+        for trace in reversed(self._traces):
+            if trace.request_id == request_id:
+                return trace
+        return None
+
+
+# ---------------------------------------------------------------------------
+# SLO policy.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """Per-priority-class latency targets with a shared objective.
+
+    ``targets`` maps a priority class to its latency target in seconds;
+    ``objective`` is the fraction of requests expected to finish under
+    target (0.99 → a 1 % error budget).  The burn rate of a class is
+    ``bad_fraction / (1 - objective)``: 1.0 means the service is
+    spending its budget exactly as fast as the objective allows, above
+    1.0 it is on course to blow the SLO.
+    """
+
+    targets: tuple[tuple[int, float], ...]
+    objective: float = 0.99
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(f"SLO objective must be in (0, 1), got {self.objective}")
+        for priority, target in self.targets:
+            if target <= 0.0:
+                raise ValueError(
+                    f"SLO target for priority {priority} must be positive, got {target}"
+                )
+
+    @property
+    def error_budget(self) -> float:
+        """The tolerated fraction of over-target requests."""
+        return 1.0 - self.objective
+
+    def target_for(self, priority: int) -> Optional[float]:
+        for known, target in self.targets:
+            if known == priority:
+                return target
+        return None
+
+    def burn_rate(self, good: int, bad: int) -> float:
+        """Error-budget burn rate for one class's good/bad counts."""
+        total = good + bad
+        if total <= 0:
+            return 0.0
+        return (bad / total) / self.error_budget
+
+
+# ---------------------------------------------------------------------------
+# Stall flight recorder.
+# ---------------------------------------------------------------------------
+
+
+def _safe_stem(request_id: str) -> str:
+    """A filesystem-safe stem derived from a client-chosen request id."""
+    cleaned = "".join(c if c.isalnum() or c in "._-" else "_" for c in request_id)
+    return cleaned[:80] or "request"
+
+
+class FlightRecorder:
+    """Dumps live span rings to disk when a request overruns its deadline.
+
+    The watchdog in :class:`~repro.serve.scheduler.RequestScheduler`
+    fires between deepening iterations once a request's elapsed time
+    exceeds ``deadline_s * overrun_factor``; the server then calls
+    :meth:`record` with a *non-destructive* snapshot of its service ring
+    and the pool's merged worker spans.  Each request is recorded at
+    most once and the recorder stops after ``limit`` files, so a stalled
+    fleet cannot flood the disk.
+    """
+
+    SCHEMA = 1
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        *,
+        overrun_factor: float,
+        limit: int = 16,
+    ) -> None:
+        if overrun_factor <= 0.0:
+            raise ValueError("flight-recorder overrun factor must be positive")
+        if limit < 1:
+            raise ValueError("flight-recorder file limit must be positive")
+        self.directory = Path(directory)
+        self.overrun_factor = overrun_factor
+        self.limit = limit
+        self.recorded: dict[str, Path] = {}
+        self.suppressed = 0
+
+    def record(
+        self,
+        *,
+        request_id: str,
+        span_id: str,
+        deadline_s: Optional[float],
+        elapsed_s: float,
+        service_spans: Sequence[_live.SpanRec],
+        worker_spans: Sequence[_live.WorkerSpan],
+        pids: Mapping[int, int],
+    ) -> Optional[Path]:
+        """Write one flight record; ``None`` if deduped or over the limit."""
+        if request_id in self.recorded or len(self.recorded) >= self.limit:
+            self.suppressed += 1
+            return None
+        payload: dict[str, object] = {
+            "flight_schema": self.SCHEMA,
+            "request_id": request_id,
+            "span_id": span_id,
+            "deadline_s": deadline_s,
+            "elapsed_s": elapsed_s,
+            "overrun_factor": self.overrun_factor,
+            "service_spans": [
+                {"cat": cat, "name": name, "start": start, "end": end}
+                for cat, name, start, end in service_spans
+            ],
+            "worker_spans": [
+                {
+                    "worker": span.worker,
+                    "os_pid": pids.get(span.worker),
+                    "cat": span.cat,
+                    "name": span.name,
+                    "start": span.start,
+                    "end": span.end,
+                }
+                for span in worker_spans
+            ],
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.directory / f"flight_{_safe_stem(request_id)}.json"
+        path.write_text(
+            json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n",
+            encoding="utf-8",
+        )
+        self.recorded[request_id] = path
+        return path

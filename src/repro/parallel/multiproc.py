@@ -247,8 +247,16 @@ def _run_task(payload: tuple[Any, ...]) -> _TaskOutcome:
     t_start = time.perf_counter()
     stats = SearchStats()
     children_done = 0
+    tag: Optional[str] = None
     if kind == "eval":
-        _, problem, alpha, beta = payload
+        # The serve pool appends an optional request tag
+        # (``request_id/span_id``) so this task's span carries its
+        # originating request; the 4-tuple form stays the multiproc
+        # driver's wire format.
+        if len(payload) == 5:
+            _, problem, alpha, beta, tag = payload
+        else:
+            _, problem, alpha, beta = payload
         value = er_search(
             problem, alpha, beta, stats=stats, table=_WORKER_TT,
             evaluator=_worker_evaluator(problem.game),
@@ -272,7 +280,8 @@ def _run_task(payload: tuple[Any, ...]) -> _TaskOutcome:
     t_end = time.perf_counter()
     ring = _live.RING
     if ring is not None:
-        ring.record("task", kind, t_start, t_end)
+        name = kind if tag is None else _live.tag_span_name(kind, tag)
+        ring.record("task", name, t_start, t_end)
     return (
         kind, value, _pack_stats(stats), t_start, t_end, os.getpid(), children_done,
         _drain_worker_ring(),

@@ -34,11 +34,33 @@ from .api import (
     SearchRequest,
 )
 from .pool import EnginePool, PoolEngine, ResolvedPosition
-from .scheduler import DeepeningEngine, IterationResult, RequestScheduler, ServeMetrics
+from .scheduler import (
+    SLO_LATENCY_BOUNDS,
+    DeepeningEngine,
+    IterationResult,
+    RequestScheduler,
+    ServeMetrics,
+)
 from .server import SearchService, ServeConfig, ServeWorkload, suite_catalog
-from .traffic import TrafficReport, TrafficSpec, generate_trace, run_trace
+from .traffic import (
+    STAGE_ORDER,
+    TrafficReport,
+    TrafficSpec,
+    generate_trace,
+    latency_fields,
+    render_decomposition,
+    run_trace,
+    stage_samples,
+    stage_stats,
+)
 
 __all__ = [
+    "SLO_LATENCY_BOUNDS",
+    "STAGE_ORDER",
+    "latency_fields",
+    "render_decomposition",
+    "stage_samples",
+    "stage_stats",
     "PRIORITY_HIGH",
     "PRIORITY_LOW",
     "PRIORITY_NORMAL",

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Mapping, Optional
 
 from ..errors import ServeError
+from ..obs.reqtrace import RequestTiming, timing_from_wire
 
 __all__ = [
     "PRIORITY_HIGH",
@@ -94,6 +95,11 @@ class SearchRequest:
             answered with no move.
         priority: one of :data:`PRIORITIES`; higher survives shedding
             longer.
+        span_id: root span id of this request's trace tree
+            (:class:`repro.obs.reqtrace.TraceContext`).  The client
+            originates it (:class:`~repro.serve.client.ServiceClient`
+            fills it in automatically); empty means "untraced caller"
+            and the server substitutes ``root``.
     """
 
     request_id: str
@@ -103,6 +109,7 @@ class SearchRequest:
     max_depth: int = 3
     deadline_s: Optional[float] = None
     priority: int = PRIORITY_NORMAL
+    span_id: str = ""
 
     def __post_init__(self) -> None:
         if not self.request_id:
@@ -128,6 +135,8 @@ class SearchRequest:
         }
         if self.deadline_s is not None:
             payload["deadline_s"] = self.deadline_s
+        if self.span_id:
+            payload["span_id"] = self.span_id
         return payload
 
     @classmethod
@@ -150,6 +159,9 @@ class SearchRequest:
         scale = payload.get("scale", "reduced")
         if not isinstance(scale, str):
             raise ServeError("request field 'scale' must be a string")
+        span_id = payload.get("span_id", "")
+        if not isinstance(span_id, str):
+            raise ServeError("request field 'span_id' must be a string")
         return cls(
             request_id=_require_str(payload, "request_id"),
             workload=_require_str(payload, "workload"),
@@ -158,6 +170,7 @@ class SearchRequest:
             max_depth=max_depth,
             deadline_s=None if deadline is None else float(deadline),
             priority=priority,
+            span_id=span_id,
         )
 
 
@@ -171,6 +184,11 @@ class SearchReply:
     guarantee.  ``shed`` replies carry the shedding reason in
     ``detail`` (``rejected`` at admission, ``evicted`` by a
     higher-priority arrival, ``shutdown`` during drain).
+
+    ``timing`` is the server's conserved latency decomposition
+    (:class:`repro.obs.reqtrace.RequestTiming`) for requests that ran;
+    shed requests have none.  The block is wire-versioned: replies from
+    a newer server decode with ``timing=None`` rather than failing.
     """
 
     request_id: str
@@ -183,13 +201,14 @@ class SearchReply:
     queue_wait_s: float = 0.0
     anytime: bool = False
     detail: str = ""
+    timing: Optional[RequestTiming] = None
 
     def __post_init__(self) -> None:
         if self.status not in (STATUS_OK, STATUS_SHED, STATUS_ERROR):
             raise ServeError(f"unknown reply status {self.status!r}")
 
     def to_wire(self) -> dict[str, object]:
-        return {
+        payload: dict[str, object] = {
             "op": "reply",
             "request_id": self.request_id,
             "status": self.status,
@@ -202,6 +221,9 @@ class SearchReply:
             "anytime": self.anytime,
             "detail": self.detail,
         }
+        if self.timing is not None:
+            payload["timing"] = self.timing.to_wire()
+        return payload
 
     @classmethod
     def from_wire(cls, payload: Mapping[str, object]) -> "SearchReply":
@@ -217,6 +239,10 @@ class SearchReply:
         depth = payload.get("depth_reached", 0)
         if not isinstance(depth, int) or isinstance(depth, bool):
             raise ServeError("reply field 'depth_reached' must be an integer")
+        try:
+            timing = timing_from_wire(payload.get("timing"))
+        except ValueError as error:
+            raise ServeError(f"reply field 'timing' is malformed: {error}") from error
         return cls(
             request_id=_require_str(payload, "request_id"),
             status=status,
@@ -232,6 +258,7 @@ class SearchReply:
             ),
             anytime=bool(payload.get("anytime", False)),
             detail=str(payload.get("detail", "")),
+            timing=timing,
         )
 
 

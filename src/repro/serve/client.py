@@ -11,6 +11,7 @@ completion order, not submission order).
 from __future__ import annotations
 
 import asyncio
+from dataclasses import replace
 from typing import Optional
 
 from ..errors import ServeError
@@ -20,11 +21,18 @@ __all__ = ["ServiceClient"]
 
 
 class ServiceClient:
-    """One NDJSON connection to a :class:`~repro.serve.server.SearchService`."""
+    """One NDJSON connection to a :class:`~repro.serve.server.SearchService`.
+
+    The client originates the trace context: a request submitted without
+    a ``span_id`` gets a per-connection one (``c1``, ``c2``, ...), so
+    every request this client sends is addressable in the server's
+    request-scoped traces without callers doing anything.
+    """
 
     def __init__(self, host: str, port: int) -> None:
         self._host = host
         self._port = port
+        self._span_seq = 0
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._write_lock = asyncio.Lock()
@@ -110,6 +118,9 @@ class ServiceClient:
             raise ServeError(
                 f"request_id {request.request_id!r} already in flight"
             )
+        if not request.span_id:
+            self._span_seq += 1
+            request = replace(request, span_id=f"c{self._span_seq}")
         loop = asyncio.get_running_loop()
         future: "asyncio.Future[SearchReply]" = loop.create_future()
         self._pending[request.request_id] = future

@@ -31,6 +31,7 @@ from __future__ import annotations
 import asyncio
 import multiprocessing
 import time
+from collections import deque
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Optional
@@ -40,6 +41,7 @@ from ..errors import ServeError
 from ..eval.cache import SharedMemoryEvalCache
 from ..games.base import Game, Position, RootedGame, SearchProblem, hash_key
 from ..obs import live as _live
+from ..obs import reqtrace as _reqtrace
 from ..parallel.multiproc import (
     WorkerCaches,
     _init_worker,
@@ -89,6 +91,9 @@ class EnginePool:
         start_method: multiprocessing start method (default prefers
             ``fork``).
         trace_mode: span-ring mode installed in every worker.
+        trace_span_limit: per-worker cap on coordinator-side collected
+            spans (oldest dropped first), bounding a long-lived
+            service's trace memory.
 
     The pool accumulates run-independent accounting: per-worker busy
     seconds keyed by stable worker index (same convention as
@@ -110,6 +115,7 @@ class EnginePool:
         batch_eval: bool = False,
         start_method: Optional[str] = None,
         trace_mode: str = _live.TRACE_OFF,
+        trace_span_limit: int = 8192,
     ) -> None:
         if n_workers < 1:
             raise ServeError("need at least one worker process")
@@ -148,6 +154,16 @@ class EnginePool:
         }
         self._closed = False
         self._final_counters: dict[str, int] = {}
+        #: Worker trace collection, fed by :meth:`note_outcome` from the
+        #: trace blobs riding on task results: per-pid span deques
+        #: (bounded), per-pid clock-offset estimators built from task
+        #: round-trips, and cumulative ring counters (max-merged — the
+        #: workers ship lifetime values with every result).
+        self._trace_span_limit = trace_span_limit
+        self._trace_spans: dict[int, deque[_live.SpanRec]] = {}
+        self._trace_offsets: dict[int, _live.OffsetEstimator] = {}
+        self._trace_dropped: dict[int, int] = {}
+        self._trace_self_cost: dict[int, float] = {}
 
     # -- PersistentPool protocol -------------------------------------------
 
@@ -180,16 +196,39 @@ class EnginePool:
     # -- task submission ----------------------------------------------------
 
     def submit_eval(
-        self, problem: SearchProblem, alpha: float = NEG_INF, beta: float = POS_INF
+        self,
+        problem: SearchProblem,
+        alpha: float = NEG_INF,
+        beta: float = POS_INF,
+        *,
+        tag: Optional[str] = None,
     ) -> "Future[_TaskOutcome]":
-        """Ship one full subtree search to a warm worker process."""
-        future = self.executor.submit(_run_task, ("eval", problem, alpha, beta))
+        """Ship one full subtree search to a warm worker process.
+
+        ``tag`` (``request_id/span_id``, see
+        :func:`repro.obs.reqtrace.span_tag`) rides in the task payload
+        so the worker's span for this task carries its originating
+        request — the propagation leg of request-scoped tracing.
+        """
+        payload: tuple[object, ...] = ("eval", problem, alpha, beta)
+        if tag is not None:
+            payload = payload + (tag,)
+        future = self.executor.submit(_run_task, payload)
         self.counters["tasks_submitted"] += 1
         return future
 
-    def note_outcome(self, outcome: _TaskOutcome) -> float:
-        """Fold one task result into the pool's accounting; returns its value."""
-        _, value, packed, t_start, t_end, worker_pid, _, _ = outcome
+    def note_outcome(
+        self, outcome: _TaskOutcome, *, submitted_at: Optional[float] = None
+    ) -> float:
+        """Fold one task result into the pool's accounting; returns its value.
+
+        ``submitted_at`` (coordinator clock, :func:`repro.obs.live.wall_clock`)
+        turns this result's worker timestamps into one clock-offset
+        observation — ``(submit, start, end, receive)`` brackets the
+        worker-to-coordinator offset — so collected worker spans can be
+        rebased onto the service timeline even across clock domains.
+        """
+        _, value, packed, t_start, t_end, worker_pid, _, blob = outcome
         self.stats.merge(_unpack_stats(packed))
         index = self._pid_index.setdefault(worker_pid, len(self._pid_index))
         split = self.per_worker.setdefault(
@@ -197,7 +236,61 @@ class EnginePool:
         )
         split["applied"] += max(0.0, t_end - t_start)
         self.counters["tasks_completed"] += 1
+        if blob is not None:
+            spans, dropped, self_cost = blob
+            store = self._trace_spans.setdefault(
+                worker_pid, deque(maxlen=self._trace_span_limit)
+            )
+            store.extend(spans)
+            self._trace_dropped[worker_pid] = max(
+                self._trace_dropped.get(worker_pid, 0), dropped
+            )
+            self._trace_self_cost[worker_pid] = max(
+                self._trace_self_cost.get(worker_pid, 0.0), self_cost
+            )
+        if submitted_at is not None:
+            estimator = self._trace_offsets.setdefault(
+                worker_pid, _live.OffsetEstimator()
+            )
+            estimator.observe(submitted_at, t_start, t_end, _live.wall_clock())
         return value
+
+    # -- collected worker traces --------------------------------------------
+
+    def merged_spans(self) -> tuple[_live.WorkerSpan, ...]:
+        """Collected worker spans rebased onto the coordinator clock.
+
+        Keyed by stable worker index — the same convention as
+        :attr:`per_worker` — with each worker's clock offset taken from
+        its round-trip estimator (0 when the clock domains agree, the
+        common Linux case).
+        """
+        spans_by_worker: dict[int, tuple[_live.SpanRec, ...]] = {}
+        offsets: dict[int, float] = {}
+        for pid, spans in self._trace_spans.items():
+            index = self._pid_index.setdefault(pid, len(self._pid_index))
+            spans_by_worker[index] = tuple(spans)
+            estimator = self._trace_offsets.get(pid)
+            offsets[index] = estimator.offset if estimator is not None else 0.0
+        return _live.merge_spans(spans_by_worker, offsets)
+
+    def request_spans(self, request_id: str) -> tuple[_live.WorkerSpan, ...]:
+        """Merged worker spans tagged as belonging to ``request_id``."""
+        prefix = f"{request_id}/"
+        matched: list[_live.WorkerSpan] = []
+        for span in self.merged_spans():
+            _, tag = _live.split_span_name(span.name)
+            if tag is not None and tag.startswith(prefix):
+                matched.append(span)
+        return tuple(matched)
+
+    def span_pids(self) -> dict[int, int]:
+        """Stable worker index -> OS pid, for labeling exported tracks."""
+        return {index: pid for pid, index in self._pid_index.items()}
+
+    def trace_dropped(self) -> int:
+        """Worker spans lost to ring overwrites (cumulative, all workers)."""
+        return sum(self._trace_dropped.values())
 
     def probe_exact(self, game: Game, position: Position, depth: int) -> Optional[float]:
         """Answer a full-window subtree from the warm table, if it can.
@@ -268,7 +361,9 @@ class PoolEngine:
             :class:`ResolvedPosition` (the server caches game instances
             per workload and applies :func:`~repro.games.base.follow_path`).
         span_ring: optional :class:`~repro.obs.live.SpanRing` receiving
-            one ``("serve", "iteration")`` span per iteration.
+            one ``serve`` span per iteration, named
+            ``iteration@<request_id>/<span_id>.d<depth>`` so the
+            service ring is request-addressable too.
     """
 
     def __init__(
@@ -295,8 +390,15 @@ class PoolEngine:
         """
         t0 = time.perf_counter()
         resolved = self._resolve(request)
+        # One child span id per deepening iteration; the tag only rides
+        # to the workers when they record spans at all, keeping the
+        # ``off`` payload byte-identical to the multiproc driver's.
+        context = _reqtrace.TraceContext(
+            request.request_id, request.span_id or "root"
+        ).child(f"d{depth}")
+        tag = None if self._pool.trace_mode == _live.TRACE_OFF else context.tag
         loop = asyncio.get_running_loop()
-        pending: list[tuple[int, "asyncio.Future[_TaskOutcome]"]] = []
+        pending: list[tuple[int, float, "asyncio.Future[_TaskOutcome]"]] = []
         values: list[Optional[float]] = [None] * len(resolved.children)
         for index, child in enumerate(resolved.children):
             hit = self._pool.probe_exact(resolved.game, child, depth - 1)
@@ -308,16 +410,18 @@ class PoolEngine:
                 depth=depth - 1,
                 sort_below_root=resolved.sort_below_root,
             )
-            future = self._pool.submit_eval(problem)
-            pending.append((index, asyncio.wrap_future(future, loop=loop)))
-        for index, wrapped in pending:
+            submitted_at = _live.wall_clock()
+            future = self._pool.submit_eval(problem, tag=tag)
+            pending.append((index, submitted_at, asyncio.wrap_future(future, loop=loop)))
+        for index, submitted_at, wrapped in pending:
             outcome = await wrapped
-            values[index] = -self._pool.note_outcome(outcome)
+            values[index] = -self._pool.note_outcome(outcome, submitted_at=submitted_at)
         iteration = [v for v in values if v is not None]
         assert len(iteration) == len(values), "every child resolved to a value"
         best_index = max(range(len(iteration)), key=iteration.__getitem__)
         if self._ring is not None:
-            self._ring.record("serve", "iteration", t0, time.perf_counter())
+            name = _live.tag_span_name("iteration", context.tag)
+            self._ring.record("serve", name, t0, time.perf_counter())
         return IterationResult(
             move_index=best_index,
             value=iteration[best_index],

@@ -36,11 +36,12 @@ import asyncio
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Awaitable, Callable, Optional, Protocol
 
 from ..errors import ServeError
 from ..obs import registry as _registry
+from ..obs import reqtrace as _reqtrace
 from ..verify import trace as _trace
 from .api import (
     PRIORITIES,
@@ -49,14 +50,23 @@ from .api import (
     STATUS_SHED,
     SearchReply,
     SearchRequest,
+    encode_line,
 )
 
 __all__ = [
     "DeepeningEngine",
     "IterationResult",
     "RequestScheduler",
+    "SLO_LATENCY_BOUNDS",
     "ServeMetrics",
 ]
+
+#: Upper bucket bounds (seconds) of the per-priority SLO latency
+#: histograms; with bounds set, :mod:`repro.obs.promtext` renders these
+#: as real Prometheus ``histogram`` families instead of summaries.
+SLO_LATENCY_BOUNDS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
 
 #: Scheduler counter names, in conservation order.  ``submitted ==
 #: completed + shed`` once every future has resolved; ``admitted ==
@@ -108,9 +118,17 @@ class ServeMetrics:
     detector can verify the locking discipline end to end.
     """
 
-    def __init__(self, registry: Optional[_registry.MetricsRegistry] = None) -> None:
+    def __init__(
+        self,
+        registry: Optional[_registry.MetricsRegistry] = None,
+        *,
+        slo: Optional[_reqtrace.SLOPolicy] = None,
+    ) -> None:
         self.registry = registry if registry is not None else _registry.MetricsRegistry()
         self._lock = threading.Lock()
+        self.slo = slo
+        self._slo_good: dict[int, int] = {}
+        self._slo_bad: dict[int, int] = {}
 
     def _acquired(self) -> None:
         if _trace.CURRENT is not None:
@@ -136,6 +154,43 @@ class ServeMetrics:
             self.registry.histogram(f"serve.{name}").observe(value)
             self._releasing()
 
+    def observe_latency(self, priority: int, latency_s: float) -> None:
+        """Fold one request's latency into the per-priority SLO machinery.
+
+        Always feeds the bucketed per-class histogram
+        (``serve.latency_seconds.p<priority>``); when an
+        :class:`~repro.obs.reqtrace.SLOPolicy` names a target for the
+        class it also updates the good/bad counters and the
+        error-budget burn-rate gauge (1.0 = spending the budget exactly
+        as fast as the objective allows).
+        """
+        with self._lock:
+            self._acquired()
+            name = f"latency_seconds.p{priority}"
+            if _trace.CURRENT is not None:
+                _trace.on_access(f"serve.{name}", _trace.WRITE)
+            self.registry.histogram(
+                f"serve.{name}", bounds=SLO_LATENCY_BOUNDS
+            ).observe(latency_s)
+            target = self.slo.target_for(priority) if self.slo is not None else None
+            if self.slo is not None and target is not None:
+                if latency_s <= target:
+                    self._slo_good[priority] = self._slo_good.get(priority, 0) + 1
+                    self.registry.counter(f"serve.slo.p{priority}.good").inc()
+                else:
+                    self._slo_bad[priority] = self._slo_bad.get(priority, 0) + 1
+                    self.registry.counter(f"serve.slo.p{priority}.bad").inc()
+                good = self._slo_good.get(priority, 0)
+                bad = self._slo_bad.get(priority, 0)
+                self.registry.gauge(f"serve.slo.p{priority}.target_seconds").set(target)
+                self.registry.gauge(f"serve.slo.p{priority}.objective").set(
+                    self.slo.objective
+                )
+                self.registry.gauge(f"serve.slo.p{priority}.burn_rate").set(
+                    self.slo.burn_rate(good, bad)
+                )
+            self._releasing()
+
     def sample(self, name: str, ts: float, value: float) -> None:
         """Record an instantaneous quantity as gauge + time series."""
         with self._lock:
@@ -159,11 +214,19 @@ class ServeMetrics:
 
 @dataclass
 class _Ticket:
-    """One admitted request waiting for (or holding) an engine slot."""
+    """One admitted request waiting for (or holding) an engine slot.
+
+    ``arrived_at`` is the caller-observed arrival stamp (the server
+    stamps it before pre-admission work); ``admitted_at`` is when the
+    admission decision landed.  Their gap is the ``admission`` stage of
+    the latency decomposition; direct scheduler users that pass no
+    arrival stamp get a zero-width admission stage.
+    """
 
     request: SearchRequest
     future: "asyncio.Future[SearchReply]"
     admitted_at: float
+    arrived_at: float
 
 
 class RequestScheduler:
@@ -178,7 +241,19 @@ class RequestScheduler:
         queue_limit: waiting requests beyond the running ones before
             load shedding begins.
         clock: injectable monotonic clock (tests drive a fake one).
+            The server passes :func:`repro.obs.live.wall_clock` so the
+            scheduler's stamps and its own share one clock domain —
+            the precondition of the conserved latency decomposition.
         metrics: shared :class:`ServeMetrics`; one is created if absent.
+        trace_sink: receives one :class:`~repro.obs.reqtrace.RequestTrace`
+            per *executed* request (shed requests never ran, so they
+            have no decomposition).
+        stall_overrun_factor: with ``stall_sink`` set, fire the sink
+            once per request when its elapsed time exceeds
+            ``deadline_s * factor`` (checked between deepening
+            iterations, like the deadline itself).  0 disables.
+        stall_sink: the watchdog callback ``(request, elapsed_s)`` —
+            the server wires the flight recorder here.
     """
 
     def __init__(
@@ -189,7 +264,12 @@ class RequestScheduler:
         queue_limit: int = 32,
         clock: Optional[Callable[[], float]] = None,
         metrics: Optional[ServeMetrics] = None,
+        trace_sink: Optional[Callable[[_reqtrace.RequestTrace], None]] = None,
+        stall_overrun_factor: float = 0.0,
+        stall_sink: Optional[Callable[[SearchRequest, float], None]] = None,
     ) -> None:
+        if stall_overrun_factor < 0.0:
+            raise ServeError("stall_overrun_factor must be non-negative")
         if max_concurrency < 1:
             raise ServeError("max_concurrency must be at least 1")
         if queue_limit < 0:
@@ -199,6 +279,9 @@ class RequestScheduler:
         self._queue_limit = queue_limit
         self._clock: Callable[[], float] = clock if clock is not None else time.monotonic
         self.metrics = metrics if metrics is not None else ServeMetrics()
+        self._trace_sink = trace_sink
+        self._stall_overrun_factor = stall_overrun_factor
+        self._stall_sink = stall_sink
         #: One FIFO per priority class; dispatch serves the highest
         #: non-empty class, shedding evicts from the lowest.
         self._queues: dict[int, deque[_Ticket]] = {p: deque() for p in PRIORITIES}
@@ -237,12 +320,22 @@ class RequestScheduler:
 
     # -- submission ---------------------------------------------------------
 
-    async def submit(self, request: SearchRequest) -> SearchReply:
+    async def submit(
+        self, request: SearchRequest, *, arrived_at: Optional[float] = None
+    ) -> SearchReply:
         """Admit (or shed) ``request`` and await its one reply."""
-        return await self.submit_nowait(request)
+        return await self.submit_nowait(request, arrived_at=arrived_at)
 
-    def submit_nowait(self, request: SearchRequest) -> "asyncio.Future[SearchReply]":
-        """Admission decision now; the returned future resolves exactly once."""
+    def submit_nowait(
+        self, request: SearchRequest, *, arrived_at: Optional[float] = None
+    ) -> "asyncio.Future[SearchReply]":
+        """Admission decision now; the returned future resolves exactly once.
+
+        ``arrived_at`` is the caller's arrival stamp on *this
+        scheduler's clock*; it anchors the ``admission`` stage of the
+        reply's latency decomposition (absent = the admission stamp,
+        i.e. a zero-width stage).
+        """
         loop = asyncio.get_running_loop()
         future: "asyncio.Future[SearchReply]" = loop.create_future()
         self._count("submitted")
@@ -264,7 +357,13 @@ class RequestScheduler:
             victim.future.set_result(self._shed(victim, "evicted"))
             self._note_depth()
         self._count("admitted")
-        ticket = _Ticket(request=request, future=future, admitted_at=self._clock())
+        admitted_at = self._clock()
+        ticket = _Ticket(
+            request=request,
+            future=future,
+            admitted_at=admitted_at,
+            arrived_at=admitted_at if arrived_at is None else arrived_at,
+        )
         self._queues[request.priority].append(ticket)
         self._note_depth()
         self._pump(loop)
@@ -314,14 +413,21 @@ class RequestScheduler:
         depth_reached = 0
         anytime = False
         failure = ""
+        stalled = False
+        iteration_bounds: list[tuple[float, float]] = []
         try:
             for depth in range(1, request.max_depth + 1):
+                iter_start = self._clock()
                 best = await self._engine.run_iteration(request, depth)
+                iter_end = self._clock()
+                iteration_bounds.append((iter_start, iter_end))
                 depth_reached = depth
+                elapsed = iter_end - ticket.admitted_at
+                stalled = self._check_stall(request, elapsed, stalled)
                 if (
                     request.deadline_s is not None
                     and depth < request.max_depth
-                    and self._clock() - ticket.admitted_at >= request.deadline_s
+                    and elapsed >= request.deadline_s
                 ):
                     anytime = True
                     self._count("deadline_hits")
@@ -342,6 +448,7 @@ class RequestScheduler:
         latency = max(0.0, self._clock() - ticket.admitted_at)
         self.metrics.observe("latency_seconds", latency)
         self.metrics.observe("queue_wait_seconds", queue_wait)
+        self.metrics.observe_latency(request.priority, latency)
         if failure or best is None:
             self._count("completed")
             self._count("failed")
@@ -365,12 +472,63 @@ class RequestScheduler:
                 queue_wait_s=queue_wait,
                 anytime=anytime,
             )
+        # Serialize probe: encode the reply once to price the
+        # ``reply_serialize`` stage (the timing block itself adds a few
+        # short fields, so the probe is representative of the line the
+        # server actually writes).
+        serialize_start = self._clock()
+        encode_line(reply.to_wire())
+        reply_serialize = max(0.0, self._clock() - serialize_start)
+        timing = _reqtrace.attribute(
+            arrived_at=ticket.arrived_at,
+            admitted_at=ticket.admitted_at,
+            started_at=started_at,
+            finished_at=self._clock(),
+            iterations_s=[end - start for start, end in iteration_bounds],
+            reply_serialize_s=reply_serialize,
+        )
+        reply = replace(reply, timing=timing)
+        if self._trace_sink is not None:
+            self._trace_sink(
+                _reqtrace.RequestTrace(
+                    request_id=request.request_id,
+                    span_id=request.span_id or "root",
+                    priority=request.priority,
+                    status=reply.status,
+                    arrived_at=ticket.arrived_at,
+                    timing=timing,
+                    iteration_bounds=tuple(iteration_bounds),
+                )
+            )
         if not ticket.future.done():
             ticket.future.set_result(reply)
+        # Completion-side depth sample: the queue did not change here,
+        # but time passed — without it the depth series ends on an
+        # admission-side peak instead of decaying to its true level.
+        self._note_depth()
         loop = asyncio.get_running_loop()
         self._pump(loop)
         if self.in_flight == 0 and self._idle_event is not None:
             self._idle_event.set()
+
+    def _check_stall(
+        self, request: SearchRequest, elapsed: float, already_stalled: bool
+    ) -> bool:
+        """Fire the stall watchdog at most once per overrunning request."""
+        if (
+            already_stalled
+            or self._stall_sink is None
+            or self._stall_overrun_factor <= 0.0
+            or request.deadline_s is None
+            or request.deadline_s <= 0.0
+            or elapsed < request.deadline_s * self._stall_overrun_factor
+        ):
+            return already_stalled
+        try:
+            self._stall_sink(request, elapsed)
+        except Exception:  # noqa: BLE001 - flight recording must not fail the request
+            self.metrics.bump("flight.errors")
+        return True
 
     # -- shutdown -----------------------------------------------------------
 

@@ -23,13 +23,13 @@ scheduler's conservation laws balance.
 from __future__ import annotations
 
 import asyncio
-import time
 from dataclasses import dataclass
 from typing import Callable, Mapping, Optional
 
 from ..errors import ReproError, ServeError
 from ..games.base import Game, follow_path
 from ..obs import live as _live
+from ..obs import reqtrace as _reqtrace
 from ..obs.promtext import MetricsServer
 from ..workloads.suite import table3_suite
 from .api import (
@@ -98,6 +98,17 @@ class ServeConfig:
         span_capacity: the service's own span ring size.
         metrics_port: mount the Prometheus text endpoint here (``None``
             disables; 0 picks a free port).
+        trace_capacity: per-request :class:`~repro.obs.reqtrace.RequestTrace`
+            records kept (oldest evicted first).
+        slo_targets: per-priority-class latency targets in seconds, as
+            ``(priority, seconds)`` pairs; ``None`` disables the SLO
+            gauges (the per-class histograms stay on).
+        slo_objective: fraction of requests expected under target —
+            0.99 leaves a 1 % error budget.
+        stall_overrun_factor: flight-record a request once its elapsed
+            time exceeds ``deadline_s * factor`` (0 disables; requires
+            ``flight_dir``).
+        flight_dir: directory receiving stall flight records.
     """
 
     host: str = "127.0.0.1"
@@ -115,10 +126,35 @@ class ServeConfig:
     trace_mode: str = _live.TRACE_OFF
     span_capacity: int = _live.DEFAULT_RING_CAPACITY
     metrics_port: Optional[int] = None
+    trace_capacity: int = 512
+    slo_targets: Optional[tuple[tuple[int, float], ...]] = (
+        (0, 5.0),
+        (1, 1.0),
+        (2, 0.5),
+    )
+    slo_objective: float = 0.99
+    stall_overrun_factor: float = 0.0
+    flight_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.max_depth_limit < 1:
             raise ServeError("max_depth_limit must be at least 1")
+        if self.trace_capacity < 1:
+            raise ServeError("trace_capacity must be at least 1")
+        if self.stall_overrun_factor < 0.0:
+            raise ServeError("stall_overrun_factor must be non-negative")
+        if self.stall_overrun_factor > 0.0 and self.flight_dir is None:
+            raise ServeError("stall_overrun_factor requires flight_dir")
+        # Fail at construction, not at the first over-target request.
+        self.slo_policy()
+
+    def slo_policy(self) -> Optional[_reqtrace.SLOPolicy]:
+        """The configured :class:`~repro.obs.reqtrace.SLOPolicy`, if any."""
+        if self.slo_targets is None:
+            return None
+        return _reqtrace.SLOPolicy(
+            targets=self.slo_targets, objective=self.slo_objective
+        )
 
 
 class SearchService:
@@ -149,8 +185,14 @@ class SearchService:
             catalog if catalog is not None else suite_catalog(config.scale)
         )
         self._games: dict[str, Game] = {}
-        self.metrics = ServeMetrics()
+        self.metrics = ServeMetrics(slo=config.slo_policy())
         self.ring = _live.SpanRing(config.span_capacity)
+        self.traces = _reqtrace.TraceStore(config.trace_capacity)
+        self._flight: Optional[_reqtrace.FlightRecorder] = None
+        if config.stall_overrun_factor > 0.0 and config.flight_dir is not None:
+            self._flight = _reqtrace.FlightRecorder(
+                config.flight_dir, overrun_factor=config.stall_overrun_factor
+            )
         self.pool: Optional[EnginePool] = None
         self.scheduler: Optional[RequestScheduler] = None
         self._server: Optional[asyncio.AbstractServer] = None
@@ -188,11 +230,18 @@ class SearchService:
             trace_mode=cfg.trace_mode,
         )
         engine = PoolEngine(self.pool, self._resolve, span_ring=self.ring)
+        # One clock end to end: the scheduler stamps with the same
+        # wall_clock as handle()'s arrival stamp, which is what makes
+        # the per-request latency decomposition conserve exactly.
         self.scheduler = RequestScheduler(
             engine,
             max_concurrency=cfg.max_concurrency,
             queue_limit=cfg.queue_limit,
+            clock=_live.wall_clock,
             metrics=self.metrics,
+            trace_sink=self.traces.add,
+            stall_overrun_factor=cfg.stall_overrun_factor,
+            stall_sink=self._flight_record if self._flight is not None else None,
         )
         self._server = await asyncio.start_server(
             self._on_connection, host=cfg.host, port=cfg.port
@@ -313,6 +362,9 @@ class SearchService:
         """
         if self.scheduler is None:
             raise ServeError("service was never started")
+        # Arrival stamp first: pre-admission resolution is part of the
+        # decomposition's ``admission`` stage, on the scheduler's clock.
+        arrived_at = _live.wall_clock()
         try:
             self._resolve(request)
         except ReproError as error:
@@ -321,10 +373,32 @@ class SearchService:
                 status=STATUS_ERROR,
                 detail=str(error),
             )
-        t0 = time.perf_counter()
-        reply = await self.scheduler.submit(request)
-        self.ring.record("serve", "request", t0, time.perf_counter())
+        reply = await self.scheduler.submit(request, arrived_at=arrived_at)
+        name = _live.tag_span_name(
+            "request", _reqtrace.span_tag(request.request_id, request.span_id or "root")
+        )
+        self.ring.record("serve", name, arrived_at, _live.wall_clock())
         return reply
+
+    def _flight_record(self, request: SearchRequest, elapsed_s: float) -> None:
+        """Stall-watchdog sink: snapshot the live rings for one request."""
+        recorder = self._flight
+        if recorder is None:
+            return
+        worker_spans: tuple[_live.WorkerSpan, ...] = ()
+        pids: dict[int, int] = {}
+        if self.pool is not None and not self.pool.closed:
+            worker_spans = self.pool.merged_spans()
+            pids = self.pool.span_pids()
+        recorder.record(
+            request_id=request.request_id,
+            span_id=request.span_id or "root",
+            deadline_s=request.deadline_s,
+            elapsed_s=elapsed_s,
+            service_spans=self.ring.peek(),
+            worker_spans=worker_spans,
+            pids=pids,
+        )
 
     def stats_snapshot(self) -> dict[str, object]:
         """Live counters: scheduler conservation set, pool work, spans."""
@@ -344,6 +418,7 @@ class SearchService:
         dropped, _ = self.ring.snapshot_counters()
         snapshot["spans_recorded"] = self.ring.recorded
         snapshot["spans_dropped"] = dropped
+        snapshot["traces_stored"] = len(self.traces)
         return snapshot
 
     # -- the wire -----------------------------------------------------------

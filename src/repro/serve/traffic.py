@@ -43,14 +43,24 @@ from .api import (
 from .server import SearchService, ServeWorkload
 
 __all__ = [
+    "STAGE_ORDER",
     "TrafficReport",
     "TrafficSpec",
     "generate_trace",
+    "latency_fields",
     "percentile",
+    "render_decomposition",
     "run_trace",
     "run_trace_client",
     "service_snapshot",
+    "stage_samples",
+    "stage_stats",
 ]
+
+#: Decomposition stages in pipeline order — the rows of the
+#: ``profile-service`` table and the keys of the ledger ``latency``
+#: block (plus the ``end_to_end`` total).
+STAGE_ORDER = ("admission", "queue_wait", "iterations", "reply_serialize", "unattributed")
 
 
 @dataclass(frozen=True)
@@ -168,7 +178,18 @@ def percentile(sorted_values: Sequence[float], q: float) -> float:
 
 @dataclass(frozen=True)
 class TrafficReport:
-    """What one trace run measured."""
+    """What one trace run measured.
+
+    ``samples`` is the count of latency observations behind the
+    percentiles (``ok`` replies only).  With fewer than 3 samples the
+    nearest-rank p50/p95/p99 collapse onto the same order statistics,
+    so :meth:`render` reports ``n`` and flags the degenerate case
+    instead of printing three indistinguishable numbers silently.
+
+    ``replies`` keeps the raw per-request replies so the stage
+    decomposition (:func:`render_decomposition`, :func:`latency_fields`)
+    can be derived from the same run the summary describes.
+    """
 
     requests: int
     admitted: int
@@ -182,6 +203,8 @@ class TrafficReport:
     p50_s: float
     p95_s: float
     p99_s: float
+    samples: int = 0
+    replies: tuple[SearchReply, ...] = ()
 
     def service_fields(self) -> dict[str, object]:
         """Keyword arguments for :func:`repro.obs.ledger.service_block`."""
@@ -209,8 +232,14 @@ class TrafficReport:
             f"wall       {self.wall_s:.3f} s",
             f"throughput {self.rps:.1f} req/s",
             f"latency    p50 {self.p50_s * 1e3:.1f} ms | "
-            f"p95 {self.p95_s * 1e3:.1f} ms | p99 {self.p99_s * 1e3:.1f} ms",
+            f"p95 {self.p95_s * 1e3:.1f} ms | p99 {self.p99_s * 1e3:.1f} ms "
+            f"(n={self.samples})",
         ]
+        if 0 < self.samples < 3:
+            lines.append(
+                f"           [degenerate: only {self.samples} latency "
+                "sample(s); nearest-rank p50/p95/p99 are not distinct]"
+            )
         return "\n".join(lines)
 
 
@@ -237,6 +266,8 @@ def _fold_replies(
         p50_s=percentile(latencies, 50),
         p95_s=percentile(latencies, 95),
         p99_s=percentile(latencies, 99),
+        samples=len(latencies),
+        replies=tuple(replies),
     )
 
 
@@ -276,6 +307,93 @@ async def run_trace_client(
     after = await client.stats()
     admitted = int(str(after.get("admitted", 0))) - int(str(before.get("admitted", 0)))
     return _fold_replies(trace, replies, wall, admitted)
+
+
+# ---------------------------------------------------------------------------
+# Latency decomposition over a run's replies.
+# ---------------------------------------------------------------------------
+
+
+def stage_samples(replies: Sequence[SearchReply]) -> dict[str, list[float]]:
+    """Per-stage latency samples from replies carrying a ``timing`` block.
+
+    Keys are :data:`STAGE_ORDER` plus ``end_to_end``; shed replies (and
+    replies from pre-tracing servers) carry no block and contribute
+    nothing, so every stage has the same sample count.
+    """
+    out: dict[str, list[float]] = {stage: [] for stage in STAGE_ORDER}
+    out["end_to_end"] = []
+    for reply in replies:
+        timing = reply.timing
+        if timing is None:
+            continue
+        for stage, seconds in timing.stage_seconds().items():
+            out[stage].append(seconds)
+        out["end_to_end"].append(timing.end_to_end_s)
+    return out
+
+
+def stage_stats(
+    samples: Mapping[str, Sequence[float]]
+) -> dict[str, dict[str, float]]:
+    """mean/p50/p95/p99 seconds per stage (nearest-rank percentiles)."""
+    stats: dict[str, dict[str, float]] = {}
+    for stage, values in samples.items():
+        ordered = sorted(values)
+        n = len(ordered)
+        stats[stage] = {
+            "mean_s": sum(ordered) / n if n else 0.0,
+            "p50_s": percentile(ordered, 50),
+            "p95_s": percentile(ordered, 95),
+            "p99_s": percentile(ordered, 99),
+        }
+    return stats
+
+
+def latency_fields(replies: Sequence[SearchReply]) -> dict[str, object]:
+    """Keyword arguments for :func:`repro.obs.ledger.latency_block`."""
+    samples = stage_samples(replies)
+    return {
+        "samples": len(samples["end_to_end"]),
+        "stages": stage_stats(samples),
+    }
+
+
+def render_decomposition(replies: Sequence[SearchReply], title: str) -> str:
+    """The p50/p95/p99 stage-decomposition table of one run.
+
+    Answers "which stage dominates tail latency": one row per
+    decomposition stage plus the conserved ``end_to_end`` total, and a
+    closing line naming the stage with the largest p99.
+    """
+    samples = stage_samples(replies)
+    stats = stage_stats(samples)
+    n = len(samples["end_to_end"])
+    lines = [title, "-" * len(title), f"decomposed requests: {n}"]
+    if n == 0:
+        lines.append("(no replies carried a timing block)")
+        return "\n".join(lines)
+    header = (
+        f"{'stage':>16s}  {'mean ms':>9s}  {'p50 ms':>9s}  "
+        f"{'p95 ms':>9s}  {'p99 ms':>9s}"
+    )
+    lines.append(header)
+    for stage in STAGE_ORDER + ("end_to_end",):
+        row = stats[stage]
+        lines.append(
+            f"{stage:>16s}  {row['mean_s'] * 1e3:9.3f}  {row['p50_s'] * 1e3:9.3f}  "
+            f"{row['p95_s'] * 1e3:9.3f}  {row['p99_s'] * 1e3:9.3f}"
+        )
+    dominant = max(STAGE_ORDER, key=lambda stage: stats[stage]["p99_s"])
+    lines.append(
+        f"dominant tail stage: {dominant} "
+        f"(p99 {stats[dominant]['p99_s'] * 1e3:.3f} ms)"
+    )
+    if n < 3:
+        lines.append(
+            f"[degenerate: only {n} sample(s); percentiles are not distinct]"
+        )
+    return "\n".join(lines)
 
 
 def service_snapshot(

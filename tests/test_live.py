@@ -170,6 +170,92 @@ class TestOffsetEstimator:
         assert est.lo > est.hi
         assert est.lo >= est.offset >= est.hi
 
+    @staticmethod
+    def _round_trip(
+        est: live.OffsetEstimator,
+        c_submit: float,
+        *,
+        skew: float,
+        dispatch: float,
+        work: float,
+        reply: float,
+    ) -> None:
+        """One simulated task against a worker clock ``skew`` s behind.
+
+        coordinator = worker + skew, so the true offset δ is ``skew``;
+        the observation bounds it to ``[skew - dispatch, skew + reply]``.
+        """
+        w_start = (c_submit + dispatch) - skew
+        w_end = w_start + work
+        est.observe(c_submit, w_start, w_end, c_submit + dispatch + work + reply)
+
+    def test_injected_constant_skew_recovered_within_latency(self) -> None:
+        # A worker clock 50s behind with millisecond-scale messaging
+        # latencies: the estimate must land within the latency bound and
+        # must NOT snap to zero (zero is far outside the interval).
+        est = live.OffsetEstimator()
+        skew = 50.0
+        clock = 100.0
+        for dispatch, reply in ((0.002, 0.001), (0.0015, 0.002), (0.001, 0.0005)):
+            self._round_trip(
+                est, clock, skew=skew, dispatch=dispatch, work=0.3, reply=reply
+            )
+            clock += 1.0
+        assert est.lo <= skew <= est.hi
+        assert est.offset != 0.0
+        assert est.offset == pytest.approx(skew, abs=0.002)
+
+    def test_intersection_narrows_monotonically(self) -> None:
+        # Each observation can only tighten the interval: lo never
+        # decreases, hi never increases, width never grows — and the
+        # final width is set by the single tightest round-trip.
+        est = live.OffsetEstimator()
+        skew = 7.0
+        clock = 0.0
+        latencies = [(0.05, 0.04), (0.01, 0.03), (0.002, 0.001), (0.02, 0.02)]
+        widths: list[float] = []
+        lo_prev, hi_prev = est.lo, est.hi
+        for dispatch, reply in latencies:
+            self._round_trip(
+                est, clock, skew=skew, dispatch=dispatch, work=0.1, reply=reply
+            )
+            clock += 1.0
+            assert est.lo >= lo_prev and est.hi <= hi_prev
+            lo_prev, hi_prev = est.lo, est.hi
+            widths.append(est.width)
+        assert widths == sorted(widths, reverse=True)
+        assert est.width == pytest.approx(min(d + r for d, r in latencies))
+
+    def test_drift_within_run_gives_inconsistent_midpoint(self) -> None:
+        # A worker clock drifting between observations breaks the
+        # constant-offset model: the intervals stop intersecting and the
+        # estimator splits the difference rather than crashing or
+        # pretending certainty.
+        est = live.OffsetEstimator()
+        clock = 0.0
+        for skew in (5.0, 5.1, 5.2):
+            self._round_trip(
+                est, clock, skew=skew, dispatch=0.01, work=0.2, reply=0.01
+            )
+            clock += 1.0
+        assert est.lo > est.hi  # inconsistent: drift exceeded latency slack
+        assert est.offset == pytest.approx((est.lo + est.hi) / 2.0)
+        assert 5.0 < est.offset < 5.2
+
+    def test_snap_to_zero_exactly_at_the_boundary(self) -> None:
+        # lo == 0 and hi == 0 are both still "zero is plausible".
+        at_lo = live.OffsetEstimator()
+        at_lo.observe(10.0, 10.0, 10.4, 10.5)  # delta in [0.0, 0.1]
+        assert at_lo.lo == 0.0 and at_lo.offset == 0.0
+        at_hi = live.OffsetEstimator()
+        at_hi.observe(10.0, 10.1, 10.5, 10.5)  # delta in [-0.1, 0.0]
+        assert at_hi.hi == 0.0 and at_hi.offset == 0.0
+        # Nudge lo past zero and the snap must stop: midpoint estimate.
+        past = live.OffsetEstimator()
+        past.observe(10.0, 9.99, 10.4, 10.5)  # delta in [0.01, 0.1]
+        assert past.lo > 0.0
+        assert past.offset == pytest.approx(0.055)
+
     def test_merge_rebases_and_sorts(self) -> None:
         spans = {
             0: [("task", "a", 5.0, 6.0)],
